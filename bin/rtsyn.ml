@@ -1,0 +1,528 @@
+(* rtsyn: command-line front end for the graph-based synthesis library.
+
+   Subcommands:
+     check      parse and validate a specification
+     synth      synthesize and verify a static schedule
+     analyze    latency/response report for a user-supplied schedule
+     simulate   replay a synthesized schedule against random arrivals
+     dot        Graphviz export
+     multiproc  partition across processors and schedule the bus
+     example    print the paper's example specification *)
+
+open Cmdliner
+open Rt_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_model path =
+  match Rt_spec.Elaborate.load (read_file path) with
+  | Ok m -> Ok m
+  | Error errs -> Error (String.concat "\n" errs)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let spec_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"Specification file (see rtsyn example).")
+
+let no_merge =
+  Arg.(value & flag & info [ "no-merge" ] ~doc:"Disable shared-operation merging.")
+
+let no_pipeline =
+  Arg.(value & flag & info [ "no-pipeline" ] ~doc:"Disable software pipelining.")
+
+let max_hyperperiod =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-hyperperiod" ] ~docv:"N"
+        ~doc:"Abort if the cyclic schedule would exceed $(docv) slots.")
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run path =
+    let m = or_die (load_model path) in
+    Format.printf "%a" Model.pp m;
+    Format.printf "utilization (no sharing): %.3f@." (Model.utilization m);
+    Format.printf "density: %.3f@." (Model.density m);
+    (match Model.hyperperiod m with
+    | h -> Format.printf "hyperperiod of T_p: %d@." h
+    | exception Rt_graph.Intmath.Overflow ->
+        Format.printf "hyperperiod of T_p: overflow@.");
+    let shared = Model.elements_shared m in
+    if shared <> [] then begin
+      Format.printf "shared elements:@.";
+      List.iter
+        (fun (e, users) ->
+          Format.printf "  %s used by {%s}@."
+            (Comm_graph.element m.Model.comm e).Element.name
+            (String.concat " " users))
+        shared
+    end;
+    (match Model.theorem3_premises m with
+    | Ok () -> Format.printf "Theorem 3 premises: satisfied@."
+    | Error es ->
+        Format.printf "Theorem 3 premises: violated (%s)@."
+          (String.concat "; " es));
+    (match
+       Rt_graph.Digraph.feedback_components (Comm_graph.graph m.Model.comm)
+     with
+    | [] -> ()
+    | loops ->
+        Format.printf "feedback loops:@.";
+        List.iter
+          (fun comp ->
+            Format.printf "  {%s}@."
+              (String.concat " "
+                 (List.map
+                    (fun e -> (Comm_graph.element m.Model.comm e).Element.name)
+                    comp)))
+          loops);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a specification.")
+    Term.(ret (const run $ spec_file))
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PLAN"
+          ~doc:"Write the verified plan (model + schedule) to $(docv).")
+  in
+  let run path no_merge no_pipeline max_hyperperiod output =
+    let m = or_die (load_model path) in
+    match
+      Synthesis.synthesize ~merge:(not no_merge) ~pipeline:(not no_pipeline)
+        ~max_hyperperiod m
+    with
+    | Error e ->
+        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+        `Error (false, "synthesis failed")
+    | Ok plan ->
+        Format.printf "%a" (Synthesis.pp_plan m) plan;
+        (match output with
+        | None -> ()
+        | Some out ->
+            Rt_spec.Persist.save_file out plan.Synthesis.model_used
+              plan.Synthesis.schedule;
+            Format.printf "plan written to %s@." out);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize and verify a static schedule.")
+    Term.(
+      ret
+        (const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
+       $ output))
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let schedule_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schedule"; "s" ] ~docv:"SLOTS"
+          ~doc:
+            "Space-separated schedule: element names and '.' for idle, e.g. \
+             \"f_x f_s f_s . f_k\".")
+  in
+  let run path sched_str =
+    let m = or_die (load_model path) in
+    match Schedule.of_string m.Model.comm sched_str with
+    | Error e -> `Error (false, e)
+    | Ok sched -> (
+        match Schedule.validate m.Model.comm sched with
+        | Error errs ->
+            List.iter prerr_endline errs;
+            `Error (false, "ill-formed schedule")
+        | Ok () ->
+            let verdicts = Latency.verify m sched in
+            List.iter
+              (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+              verdicts;
+            Format.printf "%s@."
+              (if Latency.all_ok verdicts then "FEASIBLE" else "INFEASIBLE");
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Latency/response verdicts for a user-supplied schedule.")
+    Term.(ret (const run $ spec_file $ schedule_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let horizon =
+    Arg.(
+      value & opt int 1000
+      & info [ "horizon" ] ~docv:"N" ~doc:"Slots to simulate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for arrivals.")
+  in
+  let run path horizon seed =
+    let m = or_die (load_model path) in
+    match Synthesis.synthesize m with
+    | Error e ->
+        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+        `Error (false, "synthesis failed")
+    | Ok plan ->
+        let prng = Rt_graph.Prng.create seed in
+        let arrivals =
+          List.map
+            (fun (c : Timing.t) ->
+              ( c.name,
+                Rt_sim.Arrivals.random prng ~horizon ~separation:c.period
+                  ~density:0.9 ))
+            (Model.asynchronous plan.Synthesis.model_used)
+        in
+        let report =
+          Rt_sim.Runtime.run plan.Synthesis.model_used plan.Synthesis.schedule
+            ~horizon ~arrivals
+        in
+        Format.printf "%a" Rt_sim.Runtime.pp_report report;
+        List.iter
+          (fun s -> Format.printf "%a@." Rt_sim.Stats.pp_summary s)
+          (Rt_sim.Stats.summarize report);
+        if report.Rt_sim.Runtime.misses = 0 then `Ok ()
+        else `Error (false, "deadline misses observed")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Synthesize, then replay against random arrivals.")
+    Term.(ret (const run $ spec_file $ horizon $ seed))
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("comm", `Comm); ("full", `Full) ]) `Full
+      & info [ "what" ] ~docv:"WHAT"
+          ~doc:"Which graph to render: $(b,comm) or $(b,full).")
+  in
+  let run path what =
+    let m = or_die (load_model path) in
+    (match what with
+    | `Comm -> print_string (Rt_spec.Dot.comm_graph m)
+    | `Full -> print_string (Rt_spec.Dot.full m));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Graphviz export of the model.")
+    Term.(ret (const run $ spec_file $ what))
+
+(* ------------------------------------------------------------------ *)
+(* multiproc                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let multiproc_cmd =
+  let procs =
+    Arg.(
+      value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Number of processors.")
+  in
+  let msg_cost =
+    Arg.(
+      value & opt int 1
+      & info [ "msg-cost" ] ~docv:"C"
+          ~doc:"Bus slots per cross-processor transmission.")
+  in
+  let run path procs msg_cost =
+    let m = or_die (load_model path) in
+    match Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost m with
+    | Error e ->
+        Format.eprintf "multiprocessor synthesis failed: %s@." e;
+        `Error (false, "infeasible")
+    | Ok r ->
+        Format.printf "%a" (Rt_multiproc.Msched.pp_result m) r;
+        Array.iteri
+          (fun i s ->
+            Format.printf "p%d: %s@." i (Schedule.to_string m.Model.comm s))
+          r.Rt_multiproc.Msched.processor_schedules;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "multiproc" ~doc:"Partition over processors and schedule the bus.")
+    Term.(ret (const run $ spec_file $ procs $ msg_cost))
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let plan_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PLAN" ~doc:"Plan file written by 'rtsyn synth -o'.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 1000
+      & info [ "horizon" ] ~docv:"N" ~doc:"Slots to replay.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival seed.")
+  in
+  let run plan_file horizon seed =
+    match Rt_spec.Persist.load_file plan_file with
+    | Error e ->
+        Format.eprintf "plan rejected: %s@." e;
+        `Error (false, "plan rejected")
+    | Ok (m, sched) ->
+        Format.printf "plan verified on load.@.";
+        let prng = Rt_graph.Prng.create seed in
+        let arrivals =
+          List.map
+            (fun (c : Timing.t) ->
+              ( c.name,
+                Rt_sim.Arrivals.random prng ~horizon ~separation:c.period
+                  ~density:0.9 ))
+            (Model.asynchronous m)
+        in
+        let report = Rt_sim.Runtime.run m sched ~horizon ~arrivals in
+        Format.printf "%a" Rt_sim.Runtime.pp_report report;
+        if report.Rt_sim.Runtime.misses = 0 then `Ok ()
+        else `Error (false, "deadline misses observed")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Load a saved plan (re-verifying it) and replay it.")
+    Term.(ret (const run $ plan_file $ horizon $ seed))
+
+(* ------------------------------------------------------------------ *)
+(* admit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let admit_cmd =
+  let run path =
+    let m = or_die (load_model path) in
+    (match Admission.admit m with
+    | Admission.Guaranteed why ->
+        Format.printf "GUARANTEED feasible (%s)@." why
+    | Admission.Impossible why -> Format.printf "IMPOSSIBLE: %s@." why
+    | Admission.Inconclusive ->
+        Format.printf
+          "INCONCLUSIVE (run 'rtsyn synth' — the exact boundary is NP-hard)@.");
+    Format.printf "element demand rate bound: %.3f@." (Admission.rate_bound m);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "admit" ~doc:"Fast analytic admission test (no synthesis).")
+    Term.(ret (const run $ spec_file))
+
+(* ------------------------------------------------------------------ *)
+(* gantt                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gantt_cmd =
+  let width =
+    Arg.(
+      value & opt int 72
+      & info [ "width" ] ~docv:"N" ~doc:"Columns per chart row.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ] ~doc:"Trim removable idle slots first.")
+  in
+  let run path width optimize =
+    let m = or_die (load_model path) in
+    match Synthesis.synthesize m with
+    | Error e ->
+        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+        `Error (false, "synthesis failed")
+    | Ok plan ->
+        let mu = plan.Synthesis.model_used in
+        let sched =
+          if optimize then
+            let s, report = Optimize.trim_idle mu plan.Synthesis.schedule in
+            Format.printf "trimmed %d idle slot(s)@."
+              report.Optimize.removed_idle;
+            s
+          else plan.Synthesis.schedule
+        in
+        print_string (Gantt.render ~width mu.Model.comm sched);
+        print_newline ();
+        print_endline (Gantt.legend mu.Model.comm sched);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Synthesize and draw the schedule as ASCII Gantt.")
+    Term.(ret (const run $ spec_file $ width $ optimize))
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let exact_cmd =
+  let solver =
+    Arg.(
+      value
+      & opt (enum [ ("game", `Game); ("atomic", `Atomic); ("unit", `Unit) ])
+          `Game
+      & info [ "solver" ] ~docv:"WHICH"
+          ~doc:
+            "$(b,game): the Theorem-1 simulation game (single-operation \
+             constraints, exact); $(b,atomic): execution-granularity \
+             enumeration; $(b,unit): unit-weight slot enumeration.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 500_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"State budget (game) or maximum schedule length (enumerations).")
+  in
+  let run path solver budget =
+    let m = or_die (load_model path) in
+    let stats =
+      match solver with
+      | `Game -> Exact.solve_single_ops ~max_states:budget m
+      | `Atomic -> Exact.enumerate_atomic ~max_len:(min budget 64) m
+      | `Unit -> Exact.enumerate ~max_len:(min budget 64) m
+    in
+    Format.printf "explored: %d@." stats.Exact.explored;
+    match stats.Exact.outcome with
+    | Exact.Feasible sched ->
+        Format.printf "FEASIBLE: %s@." (Schedule.to_string m.Model.comm sched);
+        List.iter
+          (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+          (Latency.verify m sched);
+        `Ok ()
+    | Exact.Infeasible ->
+        Format.printf "INFEASIBLE (no execution trace meets the latencies)@.";
+        `Ok ()
+    | Exact.Unknown msg ->
+        Format.printf "UNKNOWN: %s@." msg;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Exact feasibility decision (asynchronous constraints).")
+    Term.(ret (const run $ spec_file $ solver $ budget))
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_cmd =
+  let run path =
+    let m = or_die (load_model path) in
+    (match Sensitivity.critical_speed ~resolution:16 m with
+    | None -> Format.printf "the model does not synthesize as given@."
+    | Some s ->
+        Format.printf
+          "critical time scale: %.3f (timing can shrink to %.0f%%)@."
+          s (100.0 *. s);
+        List.iter
+          (fun (c : Timing.t) ->
+            match Sensitivity.tightest_deadline m c.name with
+            | Some d ->
+                Format.printf "  %s: deadline %d could tighten to %d@." c.name
+                  c.deadline d
+            | None -> ())
+          m.Model.constraints);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Margin analysis: tightest deadlines and critical time scale.")
+    Term.(ret (const run $ spec_file))
+
+(* ------------------------------------------------------------------ *)
+(* emit-c                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit_c_cmd =
+  let run path =
+    let m = or_die (load_model path) in
+    match Synthesis.synthesize m with
+    | Error e ->
+        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+        `Error (false, "synthesis failed")
+    | Ok plan ->
+        print_string
+          (Emit_c.emit plan.Synthesis.model_used plan.Synthesis.schedule);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:
+         "Synthesize and emit the C run-time scheduler (schedule table + \
+          rt_tick dispatcher).")
+    Term.(ret (const run $ spec_file))
+
+(* ------------------------------------------------------------------ *)
+(* example                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let example_cmd =
+  let run () =
+    let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+    print_string (Rt_spec.Printer.print ~name:"control" m);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "example"
+       ~doc:"Print the paper's example control system as a specification.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "rtsyn" ~version:"1.0.0"
+      ~doc:
+        "Synthesis of run-time schedulers from graph-based real-time models \
+         (Mok, ICPP 1985)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd;
+            synth_cmd;
+            analyze_cmd;
+            admit_cmd;
+            gantt_cmd;
+            replay_cmd;
+            sensitivity_cmd;
+            exact_cmd;
+            emit_c_cmd;
+            simulate_cmd;
+            dot_cmd;
+            multiproc_cmd;
+            example_cmd;
+          ]))

@@ -1,0 +1,102 @@
+(* An automotive engine controller: time-synchronous tasks at several
+   rates whose releases are deliberately phased (offsets) so that the
+   heavy combustion computation and the transmission-control burst never
+   contend in the same window — a scheduling pattern the graph-based
+   model expresses directly with release offsets.
+
+   Demonstrates: offsets in the model and the spec language, the
+   sensitivity analyser confirming the phasing is load-bearing, and the
+   C emitter producing the deployable dispatcher.
+
+   Run with:  dune exec examples/automotive.exe *)
+
+open Rt_core
+
+let spec =
+  {|
+system "engine" {
+  element crank_acq  weight 1 pipelinable;   # crank angle acquisition
+  element combustion weight 4 pipelinable;   # injection/ignition maps
+  element knock      weight 2 pipelinable;   # knock detection window
+  element trans_ctl  weight 4 pipelinable;   # transmission control burst
+  element lambda     weight 2 pipelinable;   # O2 feedback loop
+  edge crank_acq -> combustion;
+  edge crank_acq -> knock;
+  edge combustion -> lambda;
+  # Fire injection maps every 16 slots, right at the start of the frame.
+  constraint inject periodic period 16 deadline 8 {
+    crank_acq -> combustion;
+  }
+  # The transmission burst runs in the second half of each frame.
+  constraint shift periodic period 16 deadline 7 offset 8 {
+    trans_ctl;
+  }
+  constraint knockd periodic period 32 deadline 32 {
+    crank_acq -> knock;
+  }
+  constraint o2 periodic period 64 deadline 60 offset 4 {
+    lambda;
+  }
+}
+|}
+
+let () =
+  let model =
+    match Rt_spec.Elaborate.load spec with
+    | Ok m -> m
+    | Error errs ->
+        List.iter print_endline errs;
+        exit 1
+  in
+  Format.printf "utilization: %.3f@." (Model.utilization model);
+
+  (* The phased system fits... *)
+  (match Synthesis.synthesize model with
+  | Error e ->
+      Format.printf "synthesis failed: %a@." Synthesis.pp_error e;
+      exit 1
+  | Ok plan ->
+      let mu = plan.Synthesis.model_used in
+      Format.printf "phased system synthesized (%d-slot cycle):@.%s@."
+        plan.Synthesis.hyperperiod
+        (Gantt.render ~width:64 mu.Model.comm plan.Synthesis.schedule);
+      List.iter
+        (fun v -> Format.printf "  %a@." Latency.pp_verdict v)
+        plan.Synthesis.verdicts);
+
+  (* ...and the phasing is load-bearing: aligning the transmission
+     burst with the injection window (offset 0) overloads the first
+     half-frame. *)
+  let aligned =
+    Model.make ~comm:model.Model.comm
+      ~constraints:
+        (List.map
+           (fun (c : Timing.t) ->
+             if c.name = "shift" then
+               Timing.make ~name:c.name ~graph:c.graph ~period:c.period
+                 ~deadline:c.deadline ~kind:c.kind
+             else c)
+           model.Model.constraints)
+  in
+  (match Synthesis.synthesize aligned with
+  | Ok _ ->
+      Format.printf
+        "@.unexpected: the unphased variant fit as well (windows overlap)@."
+  | Error _ ->
+      Format.printf
+        "@.without the offset, inject (8 units due by t=8) and shift (4 \
+         units due by t=7)@.overlap and the frame overloads — the offset is \
+         what makes this design work.@.");
+
+  (* Margin analysis on the phased design. *)
+  (match Sensitivity.critical_speed ~resolution:16 model with
+  | Some s -> Format.printf "@.critical time scale: %.2f@." s
+  | None -> ());
+  List.iter
+    (fun (c : Timing.t) ->
+      match Sensitivity.tightest_deadline model c.name with
+      | Some d ->
+          Format.printf "tightest deadline for %-7s: %d (currently %d)@."
+            c.name d c.deadline
+      | None -> ())
+    model.Model.constraints

@@ -1,0 +1,150 @@
+(* An avionics-style workload in the spirit of the A-7E requirements
+   document the paper cites ([HENI 80]): navigation, flight data
+   computation, display update and HUD refresh share the air-data
+   computer; a pilot weapon-release button is an asynchronous constraint
+   with a tight latency bound.
+
+   The example contrasts the paper's two implementation routes:
+
+   - the naive process-based mapping (one process per constraint,
+     monitors around the shared air-data computer, [MOK 83]
+     schedulability analysis), and
+   - latency scheduling (merging shared work, software pipelining, EDF
+     cyclic construction, latency verification).
+
+   Run with:  dune exec examples/avionics.exe *)
+
+open Rt_core
+
+let model =
+  let comm =
+    Comm_graph.create
+      ~elements:
+        [
+          (* Shared air-data computer: heavy, pipelinable. *)
+          ("air_data", 4, true);
+          (* Sensors / preprocessing. *)
+          ("imu", 2, true);
+          ("gps", 2, true);
+          ("baro", 1, true);
+          (* Consumers. *)
+          ("nav_filter", 3, true);
+          ("flight_ctl", 3, true);
+          ("display", 2, true);
+          ("hud", 1, true);
+          (* Weapon release chain. *)
+          ("trigger", 1, true);
+          ("release", 2, true);
+        ]
+      ~edges:
+        [
+          ("imu", "air_data");
+          ("gps", "air_data");
+          ("baro", "air_data");
+          ("air_data", "nav_filter");
+          ("air_data", "flight_ctl");
+          ("air_data", "display");
+          ("nav_filter", "flight_ctl");
+          ("nav_filter", "display");
+          ("display", "hud");
+          ("trigger", "release");
+          ("air_data", "release");
+        ]
+  in
+  let id = Comm_graph.id_of_name comm in
+  let chain names = Task_graph.of_chain (List.map id names) in
+  let dag nodes edges =
+    Task_graph.create
+      ~nodes:(Array.of_list (List.map id nodes))
+      ~edges
+  in
+  Model.make ~comm
+    ~constraints:
+      [
+        (* Flight control: imu -> air_data -> flight_ctl at 25 Hz
+           (period 40 units). *)
+        Timing.make ~name:"flight"
+          ~graph:(chain [ "imu"; "air_data"; "flight_ctl" ])
+          ~period:40 ~deadline:40 ~kind:Timing.Periodic;
+        (* Navigation: {imu, gps} -> air_data -> nav_filter, same rate:
+           shares air_data with flight control. *)
+        Timing.make ~name:"nav"
+          ~graph:
+            (dag
+               [ "imu"; "gps"; "air_data"; "nav_filter" ]
+               [ (0, 2); (1, 2); (2, 3) ])
+          ~period:40 ~deadline:40 ~kind:Timing.Periodic;
+        (* Display refresh at 1/4 the rate. *)
+        Timing.make ~name:"disp"
+          ~graph:(chain [ "baro"; "air_data"; "display"; "hud" ])
+          ~period:160 ~deadline:160 ~kind:Timing.Periodic;
+        (* Weapon release: asynchronous, minimum separation 200, must
+           actuate within 30 units. *)
+        Timing.make ~name:"weapon"
+          ~graph:(chain [ "trigger"; "release" ])
+          ~period:200 ~deadline:30 ~kind:Timing.Asynchronous;
+      ]
+
+let () =
+  Format.printf "=== avionics workload ===@.%a@." Model.pp model;
+  Format.printf "utilization without sharing: %.3f@." (Model.utilization model);
+
+  (* ---- Route 1: naive process-based implementation. ---- *)
+  let tr = Rt_process.From_model.translate model in
+  Format.printf "@.=== process-based baseline ===@.";
+  List.iter
+    (fun prog ->
+      Format.printf "  %s@." (Rt_process.Codegen.render model prog))
+    tr.Rt_process.From_model.programs;
+  Format.printf "monitors:@.";
+  List.iter
+    (fun mon ->
+      Format.printf "  %s guarded (critical section %d) for {%s}@."
+        mon.Rt_process.Monitor.element_name
+        mon.Rt_process.Monitor.critical_section
+        (String.concat " " mon.Rt_process.Monitor.users))
+    tr.Rt_process.From_model.monitors;
+  Format.printf "EDF schedulable (polling sporadics): %b@."
+    (Rt_process.From_model.edf_schedulable tr);
+  Format.printf "DM schedulable (with monitor blocking): %b@."
+    (Rt_process.From_model.fixed_priority_schedulable tr);
+  Format.printf "redundant shared work per hyperperiod: %d units@."
+    (Rt_process.From_model.redundant_work model tr);
+
+  (* ---- Route 2: latency scheduling. ---- *)
+  Format.printf "@.=== latency scheduling ===@.";
+  (match Synthesis.synthesize model with
+  | Error e -> Format.printf "synthesis failed: %a@." Synthesis.pp_error e
+  | Ok plan ->
+      (match plan.Synthesis.merge_report with
+      | Some r when r.Merge.merged_groups <> [] ->
+          List.iter
+            (fun (srcs, dst) ->
+              Format.printf "merged {%s} into %s@." (String.concat " " srcs)
+                dst)
+            r.Merge.merged_groups;
+          Format.printf "work per round: %d -> %d@." r.Merge.time_before
+            r.Merge.time_after
+      | _ -> Format.printf "no merging opportunities@.");
+      Format.printf "hyperperiod: %d, load: %.3f@." plan.Synthesis.hyperperiod
+        (Schedule.load plan.Synthesis.schedule);
+      List.iter
+        (fun v -> Format.printf "  %a@." Latency.pp_verdict v)
+        plan.Synthesis.verdicts;
+
+      (* Exercise the weapon-release path end to end. *)
+      let prng = Rt_graph.Prng.create 7 in
+      let arrivals =
+        Rt_sim.Arrivals.random prng ~horizon:2000 ~separation:200 ~density:0.9
+      in
+      let report =
+        Rt_sim.Runtime.run plan.Synthesis.model_used plan.Synthesis.schedule
+          ~horizon:2000
+          ~arrivals:[ ("weapon", arrivals) ]
+      in
+      Format.printf "@.runtime over 2000 slots: %d invocations, %d misses@."
+        (List.length report.Rt_sim.Runtime.invocations)
+        report.Rt_sim.Runtime.misses;
+      List.iter
+        (fun (name, w) -> Format.printf "  worst response %s: %d@." name w)
+        report.Rt_sim.Runtime.worst_response)

@@ -1,0 +1,109 @@
+(* The code of docs/TUTORIAL.md, compiled and executed end to end so
+   the tutorial cannot drift from the library.
+
+   Run with:  dune exec examples/tutorial.exe *)
+
+open Rt_core
+
+(* 1. Model the application. *)
+
+let comm =
+  Comm_graph.create
+    ~elements:
+      [
+        ("sensor", 1, true);
+        ("filter", 3, true);
+        ("control", 2, true);
+        ("actuate", 1, false);
+      ]
+    ~edges:
+      [ ("sensor", "filter"); ("filter", "control"); ("control", "actuate") ]
+
+let id = Comm_graph.id_of_name comm
+
+let model =
+  Model.make ~comm
+    ~constraints:
+      [
+        Timing.make ~name:"loop"
+          ~graph:
+            (Task_graph.of_chain
+               [ id "sensor"; id "filter"; id "control"; id "actuate" ])
+          ~period:20 ~deadline:20 ~kind:Timing.Periodic;
+        Timing.make ~name:"cmd"
+          ~graph:(Task_graph.of_chain [ id "control"; id "actuate" ])
+          ~period:100 ~deadline:12 ~kind:Timing.Asynchronous;
+      ]
+
+let () =
+  Format.printf "utilization: %.3f@." (Model.utilization model);
+
+  (* 2. Fast feasibility screen. *)
+  (match Admission.admit model with
+  | Admission.Impossible why -> print_endline ("give up: " ^ why)
+  | Admission.Guaranteed how -> print_endline ("certain: " ^ how)
+  | Admission.Inconclusive -> print_endline "inconclusive: run the synthesizer");
+
+  (* 3. Synthesize and inspect. *)
+  let plan =
+    match Synthesis.synthesize model with
+    | Ok p -> p
+    | Error e -> failwith (Format.asprintf "%a" Synthesis.pp_error e)
+  in
+  let mu = plan.Synthesis.model_used in
+  print_string (Gantt.render mu.Model.comm plan.Synthesis.schedule);
+  List.iter
+    (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+    plan.Synthesis.verdicts;
+  (match Latency.worst_window mu.Model.comm plan.Synthesis.schedule
+           (Model.find mu "cmd").Timing.graph
+   with
+  | Some (t0, t1) -> Format.printf "critical cmd window: [%d, %d)@." t0 t1
+  | None -> ());
+  List.iter
+    (fun (name, slack) -> Format.printf "slack %s: %d@." name slack)
+    (Optimize.slack_profile mu plan.Synthesis.schedule);
+  let fp = Optimize.fundamental_period plan.Synthesis.schedule in
+  Format.printf "dispatch table: %d slots (fundamental period %d)@."
+    (Schedule.length plan.Synthesis.schedule)
+    (Schedule.length fp);
+
+  (* 4. How much margin is there? *)
+  (match Sensitivity.tightest_deadline model "cmd" with
+  | Some d -> Format.printf "cmd could promise %d instead of 12@." d
+  | None -> ());
+  (match Sensitivity.critical_speed model with
+  | Some s -> Format.printf "survives timing shrunk to %.0f%%@." (100. *. s)
+  | None -> ());
+
+  (* 5. Attack it. *)
+  let prng = Rt_graph.Prng.create 42 in
+  let arrivals =
+    Rt_sim.Arrivals.adversarial_phases prng ~horizon:2000 ~separation:100
+  in
+  let report =
+    Rt_sim.Runtime.run mu plan.Synthesis.schedule ~horizon:2000
+      ~arrivals:[ ("cmd", arrivals) ]
+  in
+  assert (report.Rt_sim.Runtime.misses = 0);
+  List.iter
+    (fun s -> Format.printf "%a@." Rt_sim.Stats.pp_summary s)
+    (Rt_sim.Stats.summarize report);
+
+  (* 6. Ship it. *)
+  let plan_path = Filename.temp_file "tutorial" ".plan" in
+  let c_path = Filename.temp_file "tutorial" ".c" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove plan_path;
+      Sys.remove c_path)
+    (fun () ->
+      Rt_spec.Persist.save_file plan_path mu plan.Synthesis.schedule;
+      (match Rt_spec.Persist.load_file plan_path with
+      | Ok _ -> Format.printf "plan saved and re-verified: %s@." plan_path
+      | Error e -> failwith e);
+      let oc = open_out c_path in
+      output_string oc (Emit_c.emit mu plan.Synthesis.schedule);
+      close_out oc;
+      Format.printf "C scheduler emitted (%d bytes)@."
+        (Unix.stat c_path).Unix.st_size)

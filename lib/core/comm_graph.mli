@@ -1,0 +1,69 @@
+(** Communication graphs: [G = (V, E, W_V)] of the paper.
+
+    Nodes are {!Element.t} (functional elements, with their computation
+    times as weights); edges are the communication paths along which data
+    values may be transmitted.  Task graphs (timing-constraint bodies)
+    must be compatible with the communication graph: every task-graph
+    node maps to an element of [V] and every task-graph edge to an edge
+    of [E].
+
+    The communication graph itself may be cyclic — the example in the
+    paper feeds the output [u] of [f_s] back through [f_k] into [f_s]. *)
+
+type t
+
+val create :
+  elements:(string * int * bool) list -> edges:(string * string) list -> t
+(** [create ~elements ~edges] builds a communication graph.  Each element
+    is given as [(name, weight, pipelinable)]; elements are assigned
+    dense ids in list order.  Edges refer to elements by name.  Raises
+    [Invalid_argument] on duplicate or empty names, negative weights, or
+    edges naming unknown elements. *)
+
+val n_elements : t -> int
+(** Number of functional elements. *)
+
+val element : t -> int -> Element.t
+(** [element g id] is the element with dense index [id].  Raises
+    [Invalid_argument] if out of range. *)
+
+val elements : t -> Element.t list
+(** All elements in id order. *)
+
+val find : t -> string -> Element.t
+(** [find g name] looks an element up by name.  Raises [Not_found]. *)
+
+val find_opt : t -> string -> Element.t option
+(** [find_opt g name] is [find] without the exception. *)
+
+val id_of_name : t -> string -> int
+(** [id_of_name g name] is [(find g name).id].  Raises [Not_found]. *)
+
+val weight : t -> int -> int
+(** [weight g id] is the computation-time bound of element [id]. *)
+
+val pipelinable : t -> int -> bool
+(** [pipelinable g id] tells whether element [id] may be software-
+    pipelined. *)
+
+val graph : t -> Rt_graph.Digraph.t
+(** The underlying digraph over element ids. *)
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v] tests for the communication path [u -> v]. *)
+
+val total_weight : t -> int
+(** Sum of all element weights. *)
+
+val all_pipelinable : t -> bool
+(** Whether every element is pipelinable (premise (iii) of Theorem 3). *)
+
+val with_elements : t -> (string * int * bool) list -> (string * string) list -> t
+(** [with_elements g more_elements more_edges] extends [g]; used by the
+    software-pipelining rewrite.  Same validation as {!create}. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump. *)

@@ -1,0 +1,31 @@
+(** Functional elements: the nodes of the communication graph.
+
+    In the paper a functional element performs "a functional
+    transformation or transmission of data values subject to pipelining
+    constraints"; its computation time is assumed bounded and the bound
+    is the node weight [W_V].  The [pipelinable] flag records whether the
+    element may be decomposed into a chain of unit-time sub-functions
+    (software pipelining); Theorem 2(ii) and Theorem 3 distinguish the
+    two cases. *)
+
+type t = private {
+  id : int;  (** Dense index of this element inside its communication graph. *)
+  name : string;  (** Unique human-readable name (e.g. ["f_s"]). *)
+  weight : int;  (** Worst-case computation time, in integer time units; [>= 0]. *)
+  pipelinable : bool;
+      (** Whether software pipelining may split this element into
+          unit-time sub-functions. *)
+}
+
+val make : id:int -> name:string -> weight:int -> pipelinable:bool -> t
+(** [make ~id ~name ~weight ~pipelinable] constructs an element.  Raises
+    [Invalid_argument] if [weight < 0], [id < 0], or [name] is empty. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+(** Total order by [id]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["name/weight"] with a ["~"] suffix when not pipelinable. *)

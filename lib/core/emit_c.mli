@@ -1,0 +1,29 @@
+(** C code generation: the final "automate the synthesis of code for
+    time-critical applications" step.
+
+    From a verified plan (model + static schedule) this emits a
+    self-contained C translation unit:
+
+    - one function hook per functional element ([void fe_<name>(void)]),
+      to be implemented by the application;
+    - the schedule table, one entry per slot;
+    - [rt_tick()], the round-robin run-time scheduler the paper
+      promises is "very efficient once a feasible static schedule has
+      been found off-line" — a table lookup and an indirect call, meant
+      to be driven by a periodic timer interrupt.
+
+    With [-DRT_TEST_MAIN] the unit additionally compiles stub element
+    implementations and a [main] that prints the element index executed
+    at each slot for a requested number of slots — the test suite
+    compiles the emitted code with a real C compiler and checks that
+    the executed trace equals the schedule. *)
+
+val element_identifier : string -> string
+(** [element_identifier name] is the C identifier used for element
+    [name]: non-alphanumeric characters become ['_'] and a leading
+    digit is prefixed ([f_s#2] -> [fe_f_s_2]). *)
+
+val emit : Model.t -> Schedule.t -> string
+(** [emit m l] renders the C source.  Raises [Invalid_argument] if the
+    schedule does not verify against the model, or if two element names
+    collide after identifier sanitization. *)

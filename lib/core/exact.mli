@@ -1,0 +1,72 @@
+(** Exact feasibility deciders for latency scheduling.
+
+    Two complete procedures, matching the two restricted problem classes
+    of Theorem 2 (both of which are already strongly NP-hard):
+
+    {ol
+    {- {!enumerate}: exhaustive search over static schedules of bounded
+       length for models whose elements all have unit computation time
+       (Theorem 2 case (i): unit weights, chain task graphs).  With unit
+       weights every slot string is well-formed, so the enumeration is
+       complete up to the length bound.}
+    {- {!solve_single_ops}: the finite {e simulation game} behind
+       Theorem 1, specialised to models in which every task graph is a
+       single operation (Theorem 2 case (ii)).  States track, per
+       constraint, the remaining budget until the next execution must
+       complete, plus the progress of the (contiguous) in-flight
+       execution; a feasible trace exists iff a safe cycle through an
+       execution-boundary state is reachable, and the cycle's action word
+       is itself a feasible static schedule — a constructive reading of
+       Theorem 1.}}
+
+    Both deciders consider the asynchronous constraints only (the paper
+    states its key results for [T_p = {}]). *)
+
+type outcome =
+  | Feasible of Schedule.t
+      (** A feasible static schedule (verified before being returned). *)
+  | Infeasible  (** Complete search proved no feasible schedule exists. *)
+  | Unknown of string
+      (** Resource bound hit before the search completed; the message
+          says which. *)
+
+type stats = {
+  explored : int;  (** Schedules tested / states expanded. *)
+  outcome : outcome;
+}
+
+val enumerate : ?max_len:int -> Model.t -> stats
+(** [enumerate m] searches schedule lengths [1 .. max_len] (default 12)
+    in increasing order; within a length, depth-first over slot strings
+    with two prunings that preserve completeness: slot 0 is never idle
+    (feasibility is rotation-invariant), and any fully decided window
+    that lacks a required execution cuts the branch.  Raises
+    [Invalid_argument] if some element used by an asynchronous
+    constraint does not have unit weight.  [Infeasible] here means "no
+    feasible schedule of length <= max_len"; it is reported as
+    [Unknown] instead, since longer schedules could exist, unless
+    [max_len] exceeds the instance's trivial upper bound. *)
+
+val enumerate_atomic : ?max_len:int -> Model.t -> stats
+(** [enumerate_atomic m] searches for feasible schedules of up to
+    [max_len] slots (default 16) at {e execution granularity}: each
+    decision appends either one idle slot or one whole contiguous
+    execution of an element.  For models whose elements are all
+    non-pipelinable this enumeration is complete up to the length bound
+    (any well-formed schedule is, after rotation, such a concatenation);
+    for pipelinable elements it is sound but may miss schedules that
+    interleave executions.  Same outcome conventions as
+    {!enumerate}. *)
+
+val solve_single_ops : ?max_states:int -> Model.t -> stats
+(** [solve_single_ops m] runs the simulation game (default bound: one
+    million states).  Raises [Invalid_argument] if some asynchronous
+    constraint's task graph is not a single operation.  [Infeasible]
+    is definitive: no execution trace (and hence no static schedule)
+    has the required latencies.  Weight-[w] executions are kept
+    contiguous, matching non-pipelinable elements; for pipelinable
+    elements this makes the verdict conservative (a [Feasible] answer
+    is always correct).  A necessary long-run rate condition
+    ([Σ_e w_e / (d_e + 1 - w_e) <= 1] over distinct elements with their
+    tightest deadlines) is checked first, so overloaded instances are
+    rejected without search. *)

@@ -1,0 +1,59 @@
+let active_elements g sched =
+  List.filter
+    (fun (e : Element.t) -> Schedule.occurrences sched e.id > 0)
+    (Comm_graph.elements g)
+
+let render_window ?(width = 72) g sched ~t0 ~t1 =
+  if t1 <= t0 then invalid_arg "Gantt.render_window: empty window";
+  let elements = active_elements g sched in
+  let name_w =
+    List.fold_left
+      (fun acc (e : Element.t) -> max acc (String.length e.name))
+      1 elements
+    + 2
+  in
+  let buf = Buffer.create 1024 in
+  let chunk_start = ref t0 in
+  while !chunk_start < t1 do
+    let chunk_end = min t1 (!chunk_start + width) in
+    (* Tens ruler. *)
+    Buffer.add_string buf (Printf.sprintf "%-*s" name_w "t");
+    for t = !chunk_start to chunk_end - 1 do
+      Buffer.add_char buf
+        (if t mod 10 = 0 then
+           String.get (string_of_int (t / 10 mod 10)) 0
+         else ' ')
+    done;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "%-*s" name_w "");
+    for t = !chunk_start to chunk_end - 1 do
+      Buffer.add_string buf (string_of_int (t mod 10))
+    done;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (e : Element.t) ->
+        Buffer.add_string buf (Printf.sprintf "%-*s" name_w e.name);
+        for t = !chunk_start to chunk_end - 1 do
+          Buffer.add_char buf
+            (match Schedule.slot sched t with
+            | Schedule.Run x when x = e.id -> '#'
+            | _ -> '-')
+        done;
+        Buffer.add_char buf '\n')
+      elements;
+    chunk_start := chunk_end;
+    if !chunk_start < t1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render ?width g sched =
+  render_window ?width g sched ~t0:0 ~t1:(Schedule.length sched)
+
+let legend g sched =
+  let n = Schedule.length sched in
+  active_elements g sched
+  |> List.map (fun (e : Element.t) ->
+         let occ = Schedule.occurrences sched e.id in
+         Printf.sprintf "%s: %d/%d slots (%.1f%%)" e.name occ n
+           (100.0 *. float_of_int occ /. float_of_int n))
+  |> String.concat "\n"

@@ -1,0 +1,27 @@
+(** ASCII Gantt rendering of static schedules — a terminal stand-in for
+    CONSORT's graphical view.
+
+    One row per functional element, one column per slot:
+
+    {v
+    t        0         1         2
+             0123456789012345678901234567
+    f_x      #-------- #---------#-------
+    f_s      -##-------- ##------- ##----
+    ...
+    v}
+
+    ['#'] marks a slot where the element runs, ['-'] a slot where it
+    does not; every tenth column is labelled. *)
+
+val render : ?width:int -> Comm_graph.t -> Schedule.t -> string
+(** [render g l] draws one cycle of [l] (wrapped into chunks of [width]
+    columns, default 72).  Elements that never run are omitted. *)
+
+val render_window :
+  ?width:int -> Comm_graph.t -> Schedule.t -> t0:int -> t1:int -> string
+(** [render_window g l ~t0 ~t1] draws slots [t0 .. t1-1] of the induced
+    trace (the schedule repeated round-robin). *)
+
+val legend : Comm_graph.t -> Schedule.t -> string
+(** Per-element slot counts: ["f_s: 20/260 slots (7.7%)"] lines. *)

@@ -1,0 +1,216 @@
+(* The containment search assigns execution instances to task-graph nodes
+   by depth-first search in topological order with full backtracking.
+   Task graphs are small (the paper's examples have <= 6 nodes) and a
+   window of length d contains at most d/w instances per element, so the
+   search space is tiny in practice; backtracking is required for
+   correctness when several nodes map to the same element or when an
+   early greedy choice starves a successor (see test_latency.ml for a
+   concrete such case). *)
+
+let executes_within g tg trace ~t0 ~t1 =
+  let order = Array.of_list (Task_graph.topological_order tg) in
+  let n = Array.length order in
+  let assignment = Array.make (Task_graph.size tg) None in
+  let used : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let preds = Rt_graph.Digraph.pred (Task_graph.graph tg) in
+  let rec assign pos =
+    if pos = n then true
+    else
+      let v = order.(pos) in
+      let e = Task_graph.element_of_node tg v in
+      let ready =
+        List.fold_left
+          (fun acc u ->
+            match assignment.(u) with
+            | Some (inst : Trace.instance) -> max acc inst.finish
+            | None -> assert false)
+          t0 (preds v)
+      in
+      let insts = Trace.instances trace e in
+      let start_idx =
+        match Trace.first_index_at_or_after trace ~elem:e ~time:ready with
+        | Some i -> i
+        | None -> Array.length insts
+      in
+      let rec try_from i =
+        if i >= Array.length insts then false
+        else
+          let inst = insts.(i) in
+          if inst.start >= t1 || inst.finish > t1 then false
+            (* starts are ascending, so later instances also overflow *)
+          else if Hashtbl.mem used (e, i) then try_from (i + 1)
+          else begin
+            assignment.(v) <- Some inst;
+            Hashtbl.add used (e, i) ();
+            if assign (pos + 1) then true
+            else begin
+              Hashtbl.remove used (e, i);
+              assignment.(v) <- None;
+              try_from (i + 1)
+            end
+          end
+      in
+      try_from start_idx
+  in
+  ignore g;
+  if assign 0 then
+    Some
+      (List.init (Task_graph.size tg) (fun v ->
+           match assignment.(v) with
+           | Some inst -> (v, inst)
+           | None -> assert false))
+  else None
+
+let contains_execution g tg trace ~t0 ~t1 =
+  Option.is_some (executes_within g tg trace ~t0 ~t1)
+
+let next_completion g tg trace ~from =
+  (* Binary search over the candidate window ends: containment in
+     [from, t1) is monotone in t1.  Candidates are instance finishes. *)
+  let horizon = Trace.horizon trace in
+  if contains_execution g tg trace ~t0:from ~t1:horizon then begin
+    let finishes =
+      Task_graph.elements_used tg
+      |> List.concat_map (fun e ->
+             Array.to_list (Trace.instances trace e)
+             |> List.filter_map (fun (i : Trace.instance) ->
+                    if i.finish > from then Some i.finish else None))
+      |> List.sort_uniq Int.compare
+      |> Array.of_list
+    in
+    let rec bsearch lo hi =
+      (* invariant: containment holds for finishes.(hi), fails below lo *)
+      if lo >= hi then finishes.(hi)
+      else
+        let mid = (lo + hi) / 2 in
+        if contains_execution g tg trace ~t0:from ~t1:finishes.(mid) then
+          bsearch lo mid
+        else bsearch (mid + 1) hi
+    in
+    Some (bsearch 0 (Array.length finishes - 1))
+  end
+  else None
+
+(* Horizon sufficient for every next_completion question asked below:
+   each task-graph node's instance lies within (its weight + 1) cycles of
+   its ready time once the schedule repeats, so (total weight + size + 3)
+   cycles past the latest question time always suffices for well-formed
+   schedules in which every element of the task graph occurs. *)
+let analysis_horizon g tg sched ~last_question =
+  let cycle = Schedule.length sched in
+  let w = Task_graph.computation_time g tg in
+  last_question + ((w + Task_graph.size tg + 3) * cycle)
+
+let elements_all_present g tg sched =
+  List.for_all
+    (fun e -> Comm_graph.weight g e > 0 && Schedule.occurrences sched e > 0)
+    (Task_graph.elements_used tg)
+
+let latency_argmax g sched tg =
+  if not (elements_all_present g tg sched) then None
+  else begin
+    let cycle = Schedule.length sched in
+    let horizon = analysis_horizon g tg sched ~last_question:cycle in
+    let trace = Trace.of_schedule g sched ~horizon in
+    (* next_completion is a non-decreasing step function of the window
+       start t, constant except where an instance of one of the task
+       graph's elements stops being available — i.e. at t = start + 1.
+       On each constancy interval, completion - t peaks at the left end,
+       so it suffices to evaluate t = 0 and t = s + 1 for every instance
+       start s within the first cycle. *)
+    let candidates =
+      0
+      :: (Task_graph.elements_used tg
+         |> List.concat_map (fun e ->
+                Array.to_list (Trace.instances trace e)
+                |> List.filter_map (fun (i : Trace.instance) ->
+                       if i.start + 1 < cycle then Some (i.start + 1) else None)))
+      |> List.sort_uniq Int.compare
+    in
+    let rec worst ts acc =
+      match ts with
+      | [] -> Some acc
+      | t :: rest -> (
+          match next_completion g tg trace ~from:t with
+          | None -> None
+          | Some f ->
+              let _, best_lat = acc in
+              worst rest (if f - t > best_lat then (t, f - t) else acc))
+    in
+    worst candidates (0, 0)
+  end
+
+let latency g sched tg = Option.map snd (latency_argmax g sched tg)
+
+let worst_window g sched tg =
+  Option.map (fun (t, lat) -> (t, t + lat)) (latency_argmax g sched tg)
+
+let meets_asynchronous g sched (c : Timing.t) =
+  match latency g sched c.graph with
+  | Some k -> k <= c.deadline
+  | None -> false
+
+let periodic_response g sched (c : Timing.t) =
+  if not (elements_all_present g c.graph sched) then None
+  else begin
+    let cycle = Schedule.length sched in
+    match Rt_graph.Intmath.lcm c.period cycle with
+    | exception Rt_graph.Intmath.Overflow ->
+        (* Phase structure too large to enumerate: report "no bound
+           established" rather than crash. *)
+        None
+    | super ->
+        let horizon = analysis_horizon g c.graph sched ~last_question:super in
+        let trace = Trace.of_schedule g sched ~horizon in
+        let n_invocations = super / c.period in
+        let rec worst k acc =
+          if k >= n_invocations then Some acc
+          else
+            let t = c.offset + (k * c.period) in
+            match next_completion g c.graph trace ~from:t with
+            | None -> None
+            | Some f -> worst (k + 1) (max acc (f - t))
+        in
+        worst 0 0
+  end
+
+let meets_periodic g sched (c : Timing.t) =
+  match periodic_response g sched c with
+  | Some r -> r <= c.deadline
+  | None -> false
+
+type verdict = {
+  constraint_name : string;
+  kind : Timing.kind;
+  bound : int;
+  achieved : int option;
+  ok : bool;
+}
+
+let verify (m : Model.t) sched =
+  (match Schedule.validate m.comm sched with
+  | Ok () -> ()
+  | Error errs ->
+      invalid_arg ("Latency.verify: ill-formed schedule: " ^ String.concat "; " errs));
+  List.map
+    (fun (c : Timing.t) ->
+      let achieved =
+        match c.kind with
+        | Timing.Asynchronous -> latency m.comm sched c.graph
+        | Timing.Periodic -> periodic_response m.comm sched c
+      in
+      let ok = match achieved with Some k -> k <= c.deadline | None -> false in
+      { constraint_name = c.name; kind = c.kind; bound = c.deadline; achieved; ok })
+    m.constraints
+
+let all_ok vs = List.for_all (fun v -> v.ok) vs
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "%s [%s] d=%d %s=%s: %s" v.constraint_name
+    (Timing.kind_to_string v.kind)
+    v.bound
+    (match v.kind with
+    | Timing.Asynchronous -> "latency"
+    | Timing.Periodic -> "response")
+    (match v.achieved with Some k -> string_of_int k | None -> "unbounded")
+    (if v.ok then "OK" else "VIOLATED")

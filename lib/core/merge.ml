@@ -1,0 +1,97 @@
+type report = {
+  merged_groups : (string list * string) list;
+  time_before : int;
+  time_after : int;
+}
+
+let at_most_once (c : Timing.t) =
+  List.for_all
+    (fun e -> Task_graph.occurrences c.graph e <= 1)
+    (Task_graph.elements_used c.graph)
+
+(* Union of two task graphs, identifying nodes by the element they map
+   to.  Returns None if the union has a cycle. *)
+let union_graphs a b =
+  let elems =
+    List.sort_uniq Int.compare
+      (Task_graph.elements_used a @ Task_graph.elements_used b)
+  in
+  let nodes = Array.of_list elems in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i e -> Hashtbl.replace index e i) nodes;
+  let edge_of tg (u, v) =
+    ( Hashtbl.find index (Task_graph.element_of_node tg u),
+      Hashtbl.find index (Task_graph.element_of_node tg v) )
+  in
+  let edges =
+    List.map (edge_of a) (Task_graph.edges a)
+    @ List.map (edge_of b) (Task_graph.edges b)
+    |> List.sort_uniq compare
+  in
+  match Task_graph.create ~nodes ~edges with
+  | tg -> Some tg
+  | exception Invalid_argument _ -> None
+
+let merge_pair (a : Timing.t) (b : Timing.t) =
+  if
+    Timing.is_periodic a && Timing.is_periodic b
+    && a.period = b.period
+    && a.offset = b.offset
+    && at_most_once a && at_most_once b
+  then
+    match union_graphs a.graph b.graph with
+    | Some graph ->
+        let merged =
+          Timing.make
+            ~name:(a.name ^ "_and_" ^ b.name)
+            ~graph ~period:a.period
+            ~deadline:(min a.deadline b.deadline)
+            ~kind:Timing.Periodic
+        in
+        Some (if a.offset = 0 then merged else Timing.with_offset merged a.offset)
+    | None -> None
+  else None
+
+let mergeable a b = Option.is_some (merge_pair a b)
+
+let apply (m : Model.t) =
+  let time c = Timing.computation_time m.comm c in
+  let time_before =
+    List.fold_left (fun acc c -> acc + time c) 0 m.constraints
+  in
+  (* Greedy left-to-right: keep a list of accumulated constraints with
+     the original names they absorbed; try to fold each new periodic
+     constraint into the first compatible accumulator. *)
+  let rec absorb acc (c : Timing.t) =
+    match acc with
+    | [] -> None
+    | (merged, names) :: rest -> (
+        match merge_pair merged c with
+        | Some m' -> Some ((m', names @ [ c.Timing.name ]) :: rest)
+        | None ->
+            Option.map
+              (fun tail -> (merged, names) :: tail)
+              (absorb rest c))
+  in
+  let accs =
+    List.fold_left
+      (fun acc (c : Timing.t) ->
+        if Timing.is_periodic c then
+          match absorb acc c with
+          | Some acc' -> acc'
+          | None -> acc @ [ (c, [ c.name ]) ]
+        else acc @ [ (c, [ c.name ]) ])
+      [] m.constraints
+  in
+  let constraints = List.map fst accs in
+  let merged_groups =
+    List.filter_map
+      (fun ((c : Timing.t), names) ->
+        if List.length names > 1 then Some (names, c.name) else None)
+      accs
+  in
+  let model = Model.make ~comm:m.comm ~constraints in
+  let time_after =
+    List.fold_left (fun acc c -> acc + time c) 0 constraints
+  in
+  (model, { merged_groups; time_before; time_after })

@@ -1,0 +1,41 @@
+(** Shared-operation merging of same-period timing constraints.
+
+    The paper's motivating observation: "if [p_x] is equal to [p_y] in
+    the example control system, then there is no reason why [f_S] should
+    be executed twice per period.  In the process model, there are two
+    distinct calls to [f_S] and so the redundant work cannot be
+    avoided."  Latency scheduling can avoid it because the graph model
+    exposes which operations are common.
+
+    Two {e periodic} constraints with the same period are invoked at the
+    same instants, so a single execution of the union of their task
+    graphs (identifying nodes that map to the same element) satisfies
+    both, provided the union is still acyclic; the merged deadline is
+    the minimum of the two.  An execution of the merged graph restricts
+    to an execution of each original graph, so feasibility of the merged
+    constraint implies feasibility of both originals.  Asynchronous
+    constraints are never merged (their invocation instants are
+    unrelated). *)
+
+type report = {
+  merged_groups : (string list * string) list;
+      (** Original constraint names -> merged constraint name. *)
+  time_before : int;  (** Summed computation time of all constraints before. *)
+  time_after : int;  (** Summed computation time after merging. *)
+}
+(** What the merge achieved. *)
+
+val mergeable : Timing.t -> Timing.t -> bool
+(** [mergeable a b] holds when [a] and [b] are both periodic with equal
+    periods and equal offsets (so they are invoked at the same
+    instants), each uses every element at most once, and the union of
+    their task graphs is acyclic. *)
+
+val merge_pair : Timing.t -> Timing.t -> Timing.t option
+(** [merge_pair a b] is the merged constraint when {!mergeable}. *)
+
+val apply : Model.t -> Model.t * report
+(** [apply m] greedily merges same-period periodic constraints of [m]
+    (in declaration order) and returns the rewritten model together with
+    a report.  Constraints that cannot merge are kept unchanged.  The
+    communication graph is not modified. *)

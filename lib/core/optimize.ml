@@ -1,0 +1,90 @@
+type report = {
+  original_length : int;
+  optimized_length : int;
+  removed_idle : int;
+  attempts : int;
+}
+
+let verifies m sched = Latency.all_ok (Latency.verify m sched)
+
+let remove_slot slots i =
+  Array.append (Array.sub slots 0 i)
+    (Array.sub slots (i + 1) (Array.length slots - i - 1))
+
+let trim_idle ?(max_rounds = 4) (m : Model.t) sched =
+  if not (verifies m sched) then
+    invalid_arg "Optimize.trim_idle: input schedule does not verify";
+  let attempts = ref 0 in
+  let current = ref (Schedule.slots sched) in
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < max_rounds do
+    changed := false;
+    incr round;
+    (* Right to left so indices of earlier candidates stay valid. *)
+    let i = ref (Array.length !current - 1) in
+    while !i >= 0 do
+      (if !current.(!i) = Schedule.Idle && Array.length !current > 1 then begin
+         incr attempts;
+         let candidate = remove_slot !current !i in
+         let cand_sched = Schedule.of_array candidate in
+         if
+           Schedule.validate m.Model.comm cand_sched = Ok ()
+           && verifies m cand_sched
+         then begin
+           current := candidate;
+           changed := true
+         end
+       end);
+      decr i
+    done
+  done;
+  let optimized = Schedule.of_array !current in
+  ( optimized,
+    {
+      original_length = Schedule.length sched;
+      optimized_length = Schedule.length optimized;
+      removed_idle = Schedule.length sched - Schedule.length optimized;
+      attempts = !attempts;
+    } )
+
+let canonical_rotation sched =
+  let n = Schedule.length sched in
+  let key s =
+    Array.to_list (Schedule.slots s)
+    |> List.map (function Schedule.Idle -> max_int | Schedule.Run e -> e)
+  in
+  let best = ref sched in
+  for k = 1 to n - 1 do
+    let r = Schedule.rotate sched k in
+    if key r < key !best then best := r
+  done;
+  !best
+
+let slack_profile (m : Model.t) sched =
+  let verdicts = Latency.verify m sched in
+  if not (Latency.all_ok verdicts) then
+    invalid_arg "Optimize.slack_profile: schedule does not verify";
+  List.map
+    (fun (v : Latency.verdict) ->
+      match v.achieved with
+      | Some k -> (v.constraint_name, v.bound - k)
+      | None -> assert false)
+    verdicts
+
+let fundamental_period sched =
+  let slots = Schedule.slots sched in
+  let n = Array.length slots in
+  let divides p =
+    let rec ok i = i >= n || (slots.(i) = slots.(i mod p) && ok (i + 1)) in
+    ok p
+  in
+  let rec smallest p =
+    if p >= n then sched
+    else if n mod p = 0 && divides p then
+      Schedule.of_array (Array.sub slots 0 p)
+    else smallest (p + 1)
+  in
+  smallest 1
+
+let total_idle = Schedule.idle_slots

@@ -1,0 +1,52 @@
+(** Post-optimization of static schedules.
+
+    The paper motivates the whole enterprise with processor economy:
+    "processor power is still at a premium ... software for these
+    applications needs to be highly optimized".  A schedule produced by
+    the EDF constructor is feasible but not minimal: it may contain
+    idle slots that could be dropped (shortening the cycle and hence
+    the table the run-time scheduler stores) and it has an arbitrary
+    phase.  Every transformation here re-verifies with {!Latency}, so
+    optimized schedules are feasible by construction.
+
+    Caution: dropping idle slots changes the alignment between the
+    cycle and periodic invocation instants, so each removal is accepted
+    only if full verification still passes. *)
+
+type report = {
+  original_length : int;
+  optimized_length : int;
+  removed_idle : int;  (** Idle slots dropped. *)
+  attempts : int;  (** Candidate removals tried. *)
+}
+
+val trim_idle : ?max_rounds:int -> Model.t -> Schedule.t -> Schedule.t * report
+(** [trim_idle m l] greedily removes idle slots (right to left), keeping
+    a removal only when [Latency.verify] still passes; repeats up to
+    [max_rounds] (default 4) passes or until a fixpoint.  Returns the
+    shortened schedule and a report.  The input must verify; raises
+    [Invalid_argument] otherwise. *)
+
+val canonical_rotation : Schedule.t -> Schedule.t
+(** [canonical_rotation l] is the lexicographically smallest rotation of
+    [l] (idle sorting last) — a canonical form for comparing schedules
+    produced by different routes.  Rotation preserves asynchronous
+    latencies; it generally does NOT preserve periodic-response
+    verdicts, so this is a comparison device, not an optimization. *)
+
+val slack_profile : Model.t -> Schedule.t -> (string * int) list
+(** [slack_profile m l] reports, per constraint, the margin
+    [deadline - achieved] (latency for asynchronous constraints, worst
+    response for periodic ones).  Raises [Invalid_argument] if the
+    schedule does not verify. *)
+
+val fundamental_period : Schedule.t -> Schedule.t
+(** [fundamental_period l] is the shortest schedule whose round-robin
+    repetition induces exactly the same trace as [l]: if the cycle is
+    [k] copies of a shorter word, the word is returned (the run-time
+    table shrinks by [k] with no behavioural change at all); otherwise
+    [l] itself.  EDF over a hyperperiod often produces such repetition
+    when the job pattern has a smaller period than the lcm. *)
+
+val total_idle : Schedule.t -> int
+(** Idle slots per cycle (convenience re-export). *)

@@ -1,0 +1,113 @@
+type origin = { orig_elem : int; stage : int; stages : int }
+
+type t = {
+  model : Model.t;
+  origin : origin array;
+  first_stage : int array;
+  last_stage : int array;
+}
+
+let stage_name base i n = if n = 1 then base else Printf.sprintf "%s#%d" base i
+
+let rewrite (m : Model.t) =
+  let g = m.comm in
+  let n = Comm_graph.n_elements g in
+  (* Decide the stage count of every element. *)
+  let stages_of =
+    Array.init n (fun e ->
+        let w = Comm_graph.weight g e in
+        if w > 1 && Comm_graph.pipelinable g e then w else 1)
+  in
+  let first_stage = Array.make n 0 in
+  let last_stage = Array.make n 0 in
+  let specs = ref [] (* reversed element specs *) in
+  let origins = ref [] in
+  let next_id = ref 0 in
+  for e = 0 to n - 1 do
+    let elem = Comm_graph.element g e in
+    let k = stages_of.(e) in
+    first_stage.(e) <- !next_id;
+    for i = 1 to k do
+      let name = stage_name elem.Element.name i k in
+      let weight = if k = 1 then elem.Element.weight else 1 in
+      specs := (name, weight, elem.Element.pipelinable) :: !specs;
+      origins := { orig_elem = e; stage = i - 1; stages = k } :: !origins;
+      incr next_id
+    done;
+    last_stage.(e) <- !next_id - 1
+  done;
+  let elem_specs = List.rev !specs in
+  let origin = Array.of_list (List.rev !origins) in
+  let name_of id =
+    let o = origin.(id) in
+    stage_name (Comm_graph.element g o.orig_elem).Element.name (o.stage + 1)
+      o.stages
+  in
+  (* Internal chain edges plus the images of the original edges. *)
+  let chain_edges = ref [] in
+  for e = 0 to n - 1 do
+    for i = first_stage.(e) to last_stage.(e) - 1 do
+      chain_edges := (name_of i, name_of (i + 1)) :: !chain_edges
+    done
+  done;
+  let mapped_edges =
+    Rt_graph.Digraph.edges (Comm_graph.graph g)
+    |> List.map (fun (u, v) ->
+           (name_of last_stage.(u), name_of first_stage.(v)))
+  in
+  let comm =
+    Comm_graph.create ~elements:elem_specs
+      ~edges:(List.rev !chain_edges @ mapped_edges)
+  in
+  (* Rewrite a task graph: each node becomes a chain of stage nodes. *)
+  let rewrite_graph tg =
+    let size = Task_graph.size tg in
+    let node_first = Array.make size 0 in
+    let node_last = Array.make size 0 in
+    let new_nodes = ref [] in
+    let count = ref 0 in
+    for v = 0 to size - 1 do
+      let e = Task_graph.element_of_node tg v in
+      node_first.(v) <- !count;
+      for i = first_stage.(e) to last_stage.(e) do
+        new_nodes := i :: !new_nodes;
+        incr count
+      done;
+      node_last.(v) <- !count - 1
+    done;
+    let nodes = Array.of_list (List.rev !new_nodes) in
+    let internal =
+      List.concat
+        (List.init size (fun v ->
+             List.init
+               (node_last.(v) - node_first.(v))
+               (fun i -> (node_first.(v) + i, node_first.(v) + i + 1))))
+    in
+    let mapped =
+      List.map
+        (fun (u, v) -> (node_last.(u), node_first.(v)))
+        (Task_graph.edges tg)
+    in
+    Task_graph.create ~nodes ~edges:(internal @ mapped)
+  in
+  let constraints =
+    List.map
+      (fun (c : Timing.t) ->
+        let c' =
+          Timing.make ~name:c.name ~graph:(rewrite_graph c.graph)
+            ~period:c.period ~deadline:c.deadline ~kind:c.kind
+        in
+        if c.offset = 0 || Timing.is_asynchronous c then c'
+        else Timing.with_offset c' c.offset)
+      m.constraints
+  in
+  let model = Model.make ~comm ~constraints in
+  { model; origin; first_stage; last_stage }
+
+let is_fully_pipelined (m : Model.t) =
+  List.for_all
+    (fun (c : Timing.t) ->
+      List.for_all
+        (fun e -> Comm_graph.weight m.comm e = 1)
+        (Task_graph.elements_used c.graph))
+    m.constraints

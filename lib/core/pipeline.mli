@@ -1,0 +1,47 @@
+(** Software pipelining: decompose functional elements into chains of
+    unit-time sub-functions.
+
+    "To improve efficiency, we can reduce the size of critical sections
+    by software pipelining, i.e., decomposing a functional element into
+    a chain of sub-functions each of which has the same computation
+    time.  (We now see one of the virtues of the graph-based model: all
+    the data dependencies are made explicit and hence software
+    pipelining can be easily automated.)"
+
+    The rewrite turns every {e pipelinable} element of weight [w > 1]
+    into a chain of [w] unit-weight stages [e#1 -> e#2 -> ... -> e#w];
+    task-graph nodes mapping to [e] become chains of stage nodes, with
+    incoming precedence edges attached to the first stage and outgoing
+    ones to the last.  Non-pipelinable elements and unit-weight elements
+    are left untouched.  The rewrite preserves computation times and
+    constraint satisfaction: a schedule is feasible for the rewritten
+    model iff the corresponding stage-interleaved discipline is feasible
+    for the original. *)
+
+type origin = {
+  orig_elem : int;  (** Element of the source model this stage came from. *)
+  stage : int;  (** 0-based stage number ([0] for untouched elements). *)
+  stages : int;  (** Total number of stages of the original element. *)
+}
+(** Provenance of a rewritten element. *)
+
+type t = {
+  model : Model.t;  (** The rewritten model (all stages unit weight). *)
+  origin : origin array;  (** Indexed by rewritten element id. *)
+  first_stage : int array;  (** Original element id -> first stage id. *)
+  last_stage : int array;  (** Original element id -> last stage id. *)
+}
+(** Result of the rewrite. *)
+
+val rewrite : Model.t -> t
+(** [rewrite m] applies the pipelining transformation to every
+    pipelinable multi-unit element of [m]. *)
+
+val is_fully_pipelined : Model.t -> bool
+(** True when every element used by some constraint has unit weight —
+    i.e. {!rewrite} would be the identity on the schedulable part. *)
+
+val stage_name : string -> int -> int -> string
+(** [stage_name base i n] is the name given to stage [i] of an
+    [n]-stage decomposition of element [base] (e.g. ["f_s#2"]); exposed
+    so reports can relate stages back to their elements. *)

@@ -1,0 +1,86 @@
+(** Static schedules: finite strings over [V ∪ {idle}].
+
+    A static schedule [L] induces an execution trace by round-robin
+    repetition ("the execution trace which a round-robin scheduler
+    generates by repeating L ad infinitum").  Slot [i] of the trace is
+    [L.(i mod length L)].
+
+    A schedule is {e well-formed} w.r.t. a communication graph when, for
+    every element [e], the number of slots labelled [e] in one cycle is a
+    multiple of [e]'s weight — i.e. the cycle contains only whole
+    executions, so the execution-instance structure repeats with the
+    cycle — and every execution of a non-pipelinable element occupies
+    contiguous slots {e within the linear cycle}.  (Wrapping an atomic
+    execution around the cycle boundary is never well-formed: the
+    induced trace starts at slot 0, so the boundary-split execution's
+    first occurrence is non-contiguous.)  All analyses in {!Latency}
+    require well-formedness. *)
+
+type slot = Idle | Run of int  (** [Run e] executes element [e]. *)
+
+type t
+(** A non-empty static schedule. *)
+
+val of_slots : slot list -> t
+(** [of_slots l] builds a schedule.  Raises [Invalid_argument] on the
+    empty list. *)
+
+val of_array : slot array -> t
+(** Array counterpart of {!of_slots} (the array is copied). *)
+
+val length : t -> int
+(** Cycle length in slots. *)
+
+val slot : t -> int -> slot
+(** [slot l i] is the trace content of slot [i] for any [i >= 0]
+    (round-robin: index is taken mod the cycle length). *)
+
+val slots : t -> slot array
+(** One cycle of slots (a fresh copy). *)
+
+val unroll : t -> int -> slot array
+(** [unroll l h] is the first [h] slots of the induced trace. *)
+
+val busy_slots : t -> int
+(** Number of non-idle slots per cycle. *)
+
+val idle_slots : t -> int
+(** Number of idle slots per cycle. *)
+
+val occurrences : t -> int -> int
+(** [occurrences l e] counts slots running element [e] per cycle. *)
+
+val load : t -> float
+(** Fraction of busy slots per cycle. *)
+
+val validate : Comm_graph.t -> t -> (unit, string list) result
+(** Well-formedness check described above; also rejects slots referring
+    to elements outside the communication graph. *)
+
+val rotate : t -> int -> t
+(** [rotate l k] starts the cycle [k] slots later; the induced trace
+    tail is unchanged, so latencies w.r.t. asynchronous constraints are
+    preserved. *)
+
+val concat : t -> t -> t
+(** [concat a b] plays one cycle of [a] then one cycle of [b]. *)
+
+val repeat : t -> int -> t
+(** [repeat l k] concatenates [k >= 1] copies of [l] (same induced
+    trace). *)
+
+val equal : t -> t -> bool
+(** Slot-wise equality of one cycle. *)
+
+val to_string : Comm_graph.t -> t -> string
+(** Render as space-separated element names with ["."] for idle,
+    e.g. ["f_x f_s f_s . f_k"]. *)
+
+val of_string : Comm_graph.t -> string -> (t, string) result
+(** [of_string g s] parses the {!to_string} format (whitespace
+    separated element names, ["."] for idle).  Errors on unknown
+    element names or an empty schedule.  Inverse of {!to_string}:
+    [of_string g (to_string g l) = Ok l]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render with element ids: ["[0 1 1 . 3]"]. *)

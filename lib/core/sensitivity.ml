@@ -1,0 +1,67 @@
+let rebuild (m : Model.t) ~f =
+  let constraints = List.map f m.Model.constraints in
+  Model.make ~comm:m.Model.comm ~constraints
+
+let with_deadline (m : Model.t) name d =
+  if d <= 0 then invalid_arg "Sensitivity.with_deadline: deadline must be positive";
+  ignore (Model.find m name);
+  rebuild m ~f:(fun (c : Timing.t) ->
+      if c.name = name then begin
+        let c' =
+          Timing.make ~name:c.name ~graph:c.graph ~period:c.period ~deadline:d
+            ~kind:c.kind
+        in
+        if c.offset = 0 || Timing.is_asynchronous c then c'
+        else Timing.with_offset c' c.offset
+      end
+      else c)
+
+let scaled_time (m : Model.t) ~num ~den =
+  if num <= 0 || den <= 0 then invalid_arg "Sensitivity.scaled_time";
+  rebuild m ~f:(fun (c : Timing.t) ->
+      let period = max 1 (c.period * num / den) in
+      let c' =
+        Timing.make ~name:c.name ~graph:c.graph ~period
+          ~deadline:(max 1 (c.deadline * num / den))
+          ~kind:c.kind
+      in
+      let offset = min (c.offset * num / den) (period - 1) in
+      if offset = 0 || Timing.is_asynchronous c then c'
+      else Timing.with_offset c' offset)
+
+let default_synthesize m =
+  match Synthesis.synthesize m with Ok _ -> true | Error _ -> false
+
+let tightest_deadline ?(synthesize = default_synthesize) (m : Model.t) name =
+  let c = Model.find m name in
+  if not (synthesize m) then None
+  else begin
+    (* Smallest feasible d in [1, current]; success is monotone in d. *)
+    let ok d = synthesize (with_deadline m name d) in
+    let rec bsearch lo hi =
+      (* invariant: ok hi, not (ok (lo - 1)) conceptually; lo <= hi *)
+      if lo >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if ok mid then bsearch lo mid else bsearch (mid + 1) hi
+    in
+    Some (bsearch 1 c.deadline)
+  end
+
+let critical_speed ?(synthesize = default_synthesize) ?(resolution = 32)
+    (m : Model.t) =
+  if resolution < 1 then invalid_arg "Sensitivity.critical_speed";
+  if not (synthesize m) then None
+  else begin
+    (* Find the smallest num in [1, resolution] (denominator
+       [resolution]) that still synthesizes; monotone in num. *)
+    let ok num = synthesize (scaled_time m ~num ~den:resolution) in
+    let rec bsearch lo hi =
+      if lo >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if ok mid then bsearch lo mid else bsearch (mid + 1) hi
+    in
+    let num = bsearch 1 resolution in
+    Some (float_of_int num /. float_of_int resolution)
+  end

@@ -1,0 +1,41 @@
+(** Sensitivity analysis: how much margin does a design have?
+
+    Computer-aided design needs more than a yes/no feasibility answer —
+    the engineer wants to know how far a parameter can be pushed before
+    synthesis breaks.  Two standard questions are answered here by
+    (monotone) search over re-parameterized models:
+
+    - the tightest deadline a given constraint could be given while the
+      system stays synthesizable;
+    - the largest uniform slow-down of all periods/deadlines/separations
+      (equivalently, the smallest processor speed-up) under which
+      synthesis still succeeds. *)
+
+val with_deadline : Model.t -> string -> int -> Model.t
+(** [with_deadline m name d] is [m] with constraint [name]'s deadline
+    replaced by [d].  Raises [Not_found] for unknown names,
+    [Invalid_argument] for [d <= 0]. *)
+
+val scaled_time : Model.t -> num:int -> den:int -> Model.t
+(** [scaled_time m ~num ~den] multiplies every period, separation and
+    deadline by [num/den] (rounded down, floored at 1) — the classical
+    "processor speed" re-parameterization with weights fixed.  Raises
+    [Invalid_argument] unless [num, den > 0]. *)
+
+val tightest_deadline :
+  ?synthesize:(Model.t -> bool) -> Model.t -> string -> int option
+(** [tightest_deadline m name] is the smallest deadline of constraint
+    [name] for which synthesis still succeeds, holding everything else
+    fixed; [None] if even the current deadline fails.  Uses binary
+    search, which is justified because the success predicate is
+    monotone in the deadline for the polling/EDF synthesis pipeline.
+    [synthesize] defaults to {!Synthesis.synthesize} succeeding. *)
+
+val critical_speed :
+  ?synthesize:(Model.t -> bool) -> ?resolution:int -> Model.t -> float option
+(** [critical_speed m] estimates the smallest time-scale factor
+    [>= 1/resolution] (default resolution 32) at which synthesis still
+    succeeds when all timing parameters are multiplied by the factor —
+    i.e. how much faster the environment could get.  A result of e.g.
+    [0.75] means the system tolerates every period and deadline
+    shrinking to 75%.  [None] if the unscaled model already fails. *)

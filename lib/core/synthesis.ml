@@ -1,0 +1,201 @@
+type plan = {
+  model_used : Model.t;
+  schedule : Schedule.t;
+  verdicts : Latency.verdict list;
+  merge_report : Merge.report option;
+  polling : (string * int * int) list;
+  hyperperiod : int;
+}
+
+type error = { stage : string; message : string }
+
+let fail stage fmt = Printf.ksprintf (fun message -> Error { stage; message }) fmt
+
+(* Candidate polling periods for an asynchronous constraint with
+   computation time w and latency bound d.  Any q with
+   w <= d + 1 - q (the polling job fits its relative deadline
+   D = d + 1 - q) and D <= q (at most one outstanding job) preserves the
+   latency bound, because consecutive polling completions satisfy
+   f_{k+1} <= r_k + q + D <= s_k + d + 1.  Larger q costs less processor
+   time; smaller q leaves EDF more slack. *)
+let polling_candidates ~w ~d =
+  if w > d then []
+  else begin
+    let q_max = d + 1 - w in
+    let q_min = (d + 1 + 1) / 2 (* ceil((d+1)/2), ensures D <= q *) in
+    let q_min = max q_min 1 in
+    let q_max = max q_max q_min in
+    let mid = (q_min + q_max) / 2 in
+    let exact =
+      List.sort_uniq Int.compare [ q_max; mid; q_min ]
+      |> List.rev (* cheapest first *)
+      |> List.filter (fun q -> q >= 1 && d + 1 - q >= w && d + 1 - q <= q)
+      |> List.map (fun q -> (q, d + 1 - q))
+    in
+    (* Harmonic fallbacks: power-of-two periods keep the hyperperiod of
+       the whole job set small (and latency verification cheap), at the
+       cost of polling somewhat more often than the exact candidates.
+       First a constrained-deadline variant at the largest power of two
+       below q_max, then the implicit-deadline variant at the largest
+       power of two with 2q <= d + 1. *)
+    let harmonic_tight =
+      let q = Rt_graph.Intmath.pow2_floor (max 1 q_max) in
+      let dl = d + 1 - q in
+      if dl >= w && dl <= q then [ (q, dl) ] else []
+    in
+    let harmonic_implicit =
+      let q = Rt_graph.Intmath.pow2_floor (max 1 ((d + 1) / 2)) in
+      if q >= w then [ (q, q) ] else []
+    in
+    exact @ harmonic_tight @ harmonic_implicit
+    |> List.sort_uniq compare
+    |> List.sort (fun (qa, _) (qb, _) -> Int.compare qb qa)
+  end
+
+let rec synthesize ?(merge = true) ?(pipeline = true)
+    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000) (m : Model.t) =
+  match synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod m with
+  | Ok plan -> Ok plan
+  | Error e when merge ->
+      (* Merging tightens the merged deadline to the minimum of the
+         group, which can hurt (e.g. a heavy graph absorbed into a
+         tight-deadline sibling); fall back to the unmerged model. *)
+      (match synthesize ~merge:false ~pipeline ~backend ~max_hyperperiod m with
+      | Ok plan -> Ok plan
+      | Error _ -> Error e)
+  | Error e -> Error e
+
+and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
+  (* Stage 1: merge shared periodic work. *)
+  let m, merge_report =
+    if merge then
+      let m', r = Merge.apply m in
+      (m', Some r)
+    else (m, None)
+  in
+  (* Stage 2: software pipelining. *)
+  let m = if pipeline then (Pipeline.rewrite m).Pipeline.model else m in
+  let bad_periodic =
+    List.find_opt
+      (fun (c : Timing.t) -> c.offset + c.deadline > c.period)
+      (Model.periodic m)
+  in
+  match bad_periodic with
+  | Some c ->
+      fail "periodic"
+        "constraint %s has offset %d + deadline %d > period %d; the cyclic \
+         constructor requires each job to fit its period slice"
+        c.name c.offset c.deadline c.period
+  | None -> (
+      (* Stage 3+4: pick polling periods for the asynchronous
+         constraints and dispatch everything with EDF.  Candidate
+         configurations are tried cheapest-first. *)
+      let asyncs = Model.asynchronous m in
+      let periodics = Model.periodic m in
+      let candidate_lists =
+        List.map
+          (fun (c : Timing.t) ->
+            let w = Timing.computation_time m.comm c in
+            (c, polling_candidates ~w ~d:c.deadline))
+          asyncs
+      in
+      match
+        List.find_opt (fun (_, cands) -> cands = []) candidate_lists
+      with
+      | Some ((c : Timing.t), _) ->
+          fail "polling"
+            "asynchronous constraint %s cannot meet its latency bound: \
+             computation time %d exceeds deadline %d"
+            c.name
+            (Timing.computation_time m.comm c)
+            c.deadline
+      | None -> (
+          (* Round r picks the r-th candidate of each constraint
+             (clamped), moving uniformly from cheapest to most slack. *)
+          let max_round =
+            List.fold_left
+              (fun acc (_, cands) -> max acc (List.length cands))
+              1 candidate_lists
+          in
+          let nth_clamped l r = List.nth l (min r (List.length l - 1)) in
+          let attempt r =
+            let picks =
+              List.map (fun (c, cands) -> (c, nth_clamped cands r)) candidate_lists
+            in
+            let periods =
+              List.map (fun (c : Timing.t) -> c.period) periodics
+              @ List.map (fun (_, (q, _)) -> q) picks
+            in
+            match Rt_graph.Intmath.lcm_list periods with
+            | exception Rt_graph.Intmath.Overflow -> None
+            | hyperperiod when hyperperiod > max_hyperperiod || hyperperiod < 1
+              ->
+                None
+            | hyperperiod -> (
+                let jobs =
+                  List.concat_map
+                    (Edf_cyclic.jobs_of_periodic ~horizon:hyperperiod)
+                    periodics
+                  @ List.concat_map
+                      (fun ((c : Timing.t), (q, dl)) ->
+                        Edf_cyclic.jobs_of_polling ~horizon:hyperperiod
+                          ~name:c.name ~graph:c.graph ~period:q
+                          ~rel_deadline:dl)
+                      picks
+                in
+                match
+                  Edf_cyclic.build ~policy:backend m.comm
+                    ~horizon:hyperperiod jobs
+                with
+                | Error _ -> None
+                | Ok sched ->
+                    let verdicts = Latency.verify m sched in
+                    if Latency.all_ok verdicts then
+                      Some
+                        {
+                          model_used = m;
+                          schedule = sched;
+                          verdicts;
+                          merge_report;
+                          polling =
+                            List.map
+                              (fun ((c : Timing.t), (q, dl)) -> (c.name, q, dl))
+                              picks;
+                          hyperperiod;
+                        }
+                    else None)
+          in
+          let rec rounds r =
+            if r >= max_round then
+              fail "edf"
+                "no polling configuration produced a feasible schedule \
+                 (tried %d rounds); the model may be infeasible or beyond \
+                 this heuristic"
+                max_round
+            else match attempt r with Some p -> Ok p | None -> rounds (r + 1)
+          in
+          rounds 0))
+
+let pp_plan (_orig : Model.t) fmt (p : plan) =
+  Format.fprintf fmt "@[<v>hyperperiod: %d@,schedule: %s@,load: %.3f@,"
+    p.hyperperiod
+    (Schedule.to_string p.model_used.Model.comm p.schedule)
+    (Schedule.load p.schedule);
+  (match p.merge_report with
+  | Some r when r.Merge.merged_groups <> [] ->
+      List.iter
+        (fun (names, into) ->
+          Format.fprintf fmt "merged: %s -> %s@," (String.concat ", " names)
+            into)
+        r.Merge.merged_groups;
+      Format.fprintf fmt "work per round: %d -> %d@," r.Merge.time_before
+        r.Merge.time_after
+  | _ -> ());
+  List.iter
+    (fun (name, q, d) ->
+      Format.fprintf fmt "polling: %s every %d slots, deadline %d@," name q d)
+    p.polling;
+  List.iter (fun v -> Format.fprintf fmt "%a@," Latency.pp_verdict v) p.verdicts;
+  Format.fprintf fmt "@]"
+
+let pp_error fmt e = Format.fprintf fmt "[%s] %s" e.stage e.message

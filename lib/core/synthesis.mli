@@ -1,0 +1,70 @@
+(** Top-level synthesis driver: from a graph-based model to a verified
+    static schedule.
+
+    Implements the paper's heuristic pipeline: "we can employ a good
+    heuristic algorithm which first computes a static schedule to
+    satisfy the periodic timing constraints and then incorporates
+    additional operations to satisfy the asynchronous timing
+    constraints."  Concretely:
+
+    {ol
+    {- optionally merge same-period periodic constraints so shared
+       operations execute once ({!Merge});}
+    {- optionally software-pipeline multi-unit elements so EDF can
+       preempt at unit granularity ({!Pipeline});}
+    {- turn each asynchronous constraint [(C,p,d)] into a polling
+       periodic task with period [q] and relative deadline [D] such
+       that [q + D <= d + 1] and [D >= w], trying a small set of
+       candidate [q]s from cheapest ([q = d + 1 - w], least processor
+       time) down to most slack ([q = D = ⌈(d+1)/2⌉]), including
+       power-of-two variants that keep the overall hyperperiod — and
+       hence verification cost — small;}
+    {- dispatch all jobs with EDF over the hyperperiod
+       ({!Edf_cyclic});}
+    {- verify the resulting schedule against the (rewritten)
+       constraints with the independent latency analyser
+       ({!Latency.verify}) — synthesis only returns schedules whose
+       verdicts all pass.}} *)
+
+type plan = {
+  model_used : Model.t;
+      (** The model actually scheduled (after merge / pipelining). *)
+  schedule : Schedule.t;  (** One cycle of the synthesized schedule. *)
+  verdicts : Latency.verdict list;
+      (** All-pass verification of [model_used] against [schedule]. *)
+  merge_report : Merge.report option;
+      (** Present when merging was enabled and applied. *)
+  polling : (string * int * int) list;
+      (** Asynchronous constraint name, polling period [q], polling
+          relative deadline [D]. *)
+  hyperperiod : int;  (** Cycle length of the schedule. *)
+}
+(** A successful synthesis outcome. *)
+
+type error = {
+  stage : string;  (** Which stage gave up. *)
+  message : string;  (** Why. *)
+}
+(** A diagnosable failure. *)
+
+val synthesize :
+  ?merge:bool ->
+  ?pipeline:bool ->
+  ?backend:Edf_cyclic.policy ->
+  ?max_hyperperiod:int ->
+  Model.t ->
+  (plan, error) Stdlib.result
+(** [synthesize m] runs the pipeline above.  [merge] and [pipeline]
+    default to [true]; [backend] selects the dispatcher for step 4
+    (default [Edf_cyclic.Edf]; [Dm] gives the fixed-priority
+    alternative, useful for backend comparisons); [max_hyperperiod]
+    (default 1_000_000 slots) caps the cycle length.  Periodic
+    constraints must satisfy [offset + deadline <= period].  A [plan]
+    is returned only if verification passes. *)
+
+val pp_plan : Model.t -> Format.formatter -> plan -> unit
+(** Render a plan (schedule, polling choices, verdicts) for humans;
+    the first argument is the original model, used for naming. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** Render a failure. *)

@@ -1,0 +1,65 @@
+type result = {
+  pipelined : Pipeline.t;
+  schedule : Schedule.t;
+  polling_periods : (string * int) list;
+  verdicts : Latency.verdict list;
+}
+
+let premises_hold m =
+  match Model.theorem3_premises m with Ok () -> true | Error _ -> false
+
+let schedule ?(max_hyperperiod = 1_000_000) (m : Model.t) =
+  match Model.theorem3_premises m with
+  | Error errs ->
+      Error ("Theorem 3 premises violated: " ^ String.concat "; " errs)
+  | Ok () -> (
+      let pipelined = Pipeline.rewrite m in
+      let pm = pipelined.Pipeline.model in
+      let polling =
+        List.map
+          (fun (c : Timing.t) ->
+            let q = (c.deadline + 1) / 2 in
+            (c, q))
+          pm.Model.constraints
+      in
+      match
+        Rt_graph.Intmath.lcm_list (List.map (fun (_, q) -> q) polling)
+      with
+      | exception Rt_graph.Intmath.Overflow ->
+          Error "hyperperiod overflows the native integer range"
+      | hyperperiod ->
+          if hyperperiod > max_hyperperiod then
+            Error
+              (Printf.sprintf "hyperperiod %d exceeds the cap %d" hyperperiod
+                 max_hyperperiod)
+          else begin
+            let jobs =
+              List.concat_map
+                (fun ((c : Timing.t), q) ->
+                  Edf_cyclic.jobs_of_polling ~horizon:hyperperiod ~name:c.name
+                    ~graph:c.graph ~period:q ~rel_deadline:q)
+                polling
+            in
+            match Edf_cyclic.build pm.Model.comm ~horizon:hyperperiod jobs with
+            | Error f ->
+                (* Cannot happen when the premises hold: utilization <= 1
+                   with implicit deadlines and unit-weight operations. *)
+                Error
+                  (Printf.sprintf
+                     "internal: EDF failed on job %s at %d (%s) despite the \
+                      premises"
+                     f.failed_job f.at_time f.reason)
+            | Ok sched ->
+                let verdicts = Latency.verify pm sched in
+                if not (Latency.all_ok verdicts) then
+                  Error "internal: constructed schedule failed verification"
+                else
+                  Ok
+                    {
+                      pipelined;
+                      schedule = sched;
+                      polling_periods =
+                        List.map (fun ((c : Timing.t), q) -> (c.name, q)) polling;
+                      verdicts;
+                    }
+          end)

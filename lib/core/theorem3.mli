@@ -1,0 +1,44 @@
+(** Constructive scheduler for the paper's sufficient condition
+    (Theorem 3).
+
+    If (i) [Σ w_i/d_i <= 1/2], (ii) [⌈d_i/2⌉ >= w_i], and (iii) all
+    functional elements can be pipelined, a feasible static schedule
+    always exists.  The construction implemented here:
+
+    {ol
+    {- software-pipeline the model so that every operation has unit
+       weight;}
+    {- turn every constraint [(C_i, p_i, d_i)] into a polling periodic
+       task executing [C_i] with period and relative deadline
+       [q_i = ⌈d_i/2⌉] — premise (ii) gives [q_i >= w_i], and premise
+       (i) gives [Σ w_i/q_i <= 2 Σ w_i/d_i <= 1];}
+    {- dispatch the polling jobs with EDF over the hyperperiod
+       [lcm q_i]; utilization [<= 1] with implicit deadlines makes EDF
+       succeed, so every job [k] of constraint [i] finishes by
+       [(k+1) q_i].}}
+
+    The result satisfies every latency bound: consecutive executions of
+    [C_i] have [f_{k+1} <= r_k + 2 q_i <= s_k + d_i + 1] and
+    [f_0 <= q_i <= d_i], so every window of [d_i] slots contains a
+    complete execution — for asynchronous constraints this covers every
+    possible invocation instant, and for periodic ones a fortiori every
+    invocation at [k p_i]. *)
+
+type result = {
+  pipelined : Pipeline.t;  (** The rewritten model actually scheduled. *)
+  schedule : Schedule.t;  (** One hyperperiod of the static schedule. *)
+  polling_periods : (string * int) list;
+      (** Constraint name -> chosen polling period [q_i]. *)
+  verdicts : Latency.verdict list;
+      (** Verification of the rewritten model against the schedule. *)
+}
+
+val schedule : ?max_hyperperiod:int -> Model.t -> (result, string) Stdlib.result
+(** [schedule m] checks the three premises and runs the construction.
+    [Error] carries the violated premises, a hyperperiod overflow
+    (default cap 1_000_000 slots), or — never observed, asserted
+    against — an EDF failure.  On success the verdicts are all
+    satisfied. *)
+
+val premises_hold : Model.t -> bool
+(** Convenience wrapper around [Model.theorem3_premises]. *)

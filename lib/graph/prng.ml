@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 step; the constants are the reference ones from Steele,
+   Lea & Flood (2014). *)
+let next64 g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g = Int64.to_int (Int64.shift_right_logical (next64 g) 2)
+
+let int g n =
+  assert (n > 0);
+  next g mod n
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  let u = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  x *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let chance g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int g (List.length xs))
+
+let split g = { state = next64 g }

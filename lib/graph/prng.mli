@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component of this repository (workload generators,
+    adversarial arrival sequences, property tests' auxiliary data) draws
+    from this generator so that experiments and tests are exactly
+    reproducible from a seed.  We deliberately do not use [Stdlib.Random]
+    to keep the sequence stable across OCaml versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next : t -> int
+(** [next g] returns a uniformly distributed non-negative [int]
+    (62 useful bits) and advances the state. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place (Fisher–Yates). *)
+
+val pick : t -> 'a list -> 'a
+(** [pick g xs] is a uniformly chosen element of the non-empty list
+    [xs]. *)
+
+val split : t -> t
+(** [split g] derives a statistically independent generator and advances
+    [g]; used to give sub-tasks private streams. *)

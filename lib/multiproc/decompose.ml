@@ -1,0 +1,121 @@
+open Rt_core
+
+type piece =
+  | Segment of { processor : int; ops : int list; work : int }
+  | Message of { src : int; dst : int; cost : int }
+
+type windowed = { piece : piece; start_off : int; end_off : int }
+
+type plan = { constraint_name : string; period : int; pieces : windowed list }
+
+let piece_time = function
+  | Segment s -> s.work
+  | Message m -> m.cost
+
+type strategy = Proportional | Front_loaded | Back_loaded
+
+let decompose ?(strategy = Proportional) (m : Model.t) (part : Partition.t)
+    ~msg_cost =
+  if msg_cost < 0 then invalid_arg "Decompose.decompose: negative msg_cost";
+  let split_constraint (c : Timing.t) =
+    (* Effective period/deadline: polling transformation for async. *)
+    let period, deadline =
+      match c.kind with
+      | Timing.Periodic -> (c.period, c.deadline)
+      | Timing.Asynchronous ->
+          let q = (c.deadline + 1) / 2 in
+          (q, q)
+    in
+    let ops = Task_graph.straight_line c.graph in
+    (* Cut into same-processor segments with messages at boundaries. *)
+    let rec segments acc current current_proc = function
+      | [] ->
+          let acc =
+            match current with
+            | [] -> acc
+            | ops ->
+                Segment
+                  {
+                    processor = current_proc;
+                    ops = List.rev ops;
+                    work =
+                      List.fold_left
+                        (fun s e -> s + Comm_graph.weight m.comm e)
+                        0 ops;
+                  }
+                :: acc
+          in
+          List.rev acc
+      | e :: rest ->
+          let proc = part.Partition.assignment.(e) in
+          if current = [] then segments acc [ e ] proc rest
+          else if proc = current_proc then segments acc (e :: current) proc rest
+          else begin
+            let seg =
+              Segment
+                {
+                  processor = current_proc;
+                  ops = List.rev current;
+                  work =
+                    List.fold_left
+                      (fun s x -> s + Comm_graph.weight m.comm x)
+                      0 current;
+                }
+            in
+            let msg =
+              Message { src = List.hd current; dst = e; cost = msg_cost }
+            in
+            segments (msg :: seg :: acc) [ e ] proc rest
+          end
+    in
+    let pieces = segments [] [] (-1) ops in
+    let need = List.fold_left (fun s p -> s + piece_time p) 0 pieces in
+    if need > deadline then
+      Error
+        (Printf.sprintf
+           "constraint %s: computation+transmission time %d exceeds its \
+            effective deadline %d on this partition"
+           c.name need deadline)
+    else begin
+      (* Distribute the slack per the chosen strategy; the last window
+         always ends exactly at the deadline so the chain tiles
+         [0, deadline]. *)
+      let slack = deadline - need in
+      let n_pieces = List.length pieces in
+      let share_of i t =
+        match strategy with
+        | Proportional ->
+            if need > 0 then slack * t / need else slack / max 1 n_pieces
+        | Front_loaded -> if i = 0 then slack else 0
+        | Back_loaded -> 0
+      in
+      let windowed, _, _ =
+        List.fold_left
+          (fun (acc, off, i) p ->
+            let t = piece_time p in
+            let share = share_of i t in
+            let share = if i = n_pieces - 1 then deadline - off - t else share in
+            let w = { piece = p; start_off = off; end_off = off + t + share } in
+            (w :: acc, off + t + share, i + 1))
+          ([], 0, 0) pieces
+      in
+      Ok { constraint_name = c.name; period; pieces = List.rev windowed }
+    end
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+        match split_constraint c with
+        | Ok plan -> go (plan :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] m.constraints
+
+let total_bus_demand plans =
+  List.fold_left
+    (fun acc plan ->
+      acc
+      + List.fold_left
+          (fun s w -> match w.piece with Message m -> s + m.cost | _ -> s)
+          0 plan.pieces)
+    0 plans

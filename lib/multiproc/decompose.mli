@@ -1,0 +1,68 @@
+(** Decomposition of a global synthesis problem into per-processor
+    sub-problems plus a network-scheduling problem.
+
+    Every timing constraint is linearized (a topological sort of its
+    task graph, as in the paper's straight-line implementation) and cut
+    into maximal {e segments} of consecutive operations placed on the
+    same processor; each processor boundary contributes one {e message}
+    on the shared bus.  The constraint's end-to-end deadline is split
+    into per-segment/per-message windows: each piece gets its own
+    computation (or transmission) time plus a proportional share of the
+    slack.  Meeting every window implies meeting the end-to-end
+    deadline, by construction.
+
+    Asynchronous constraints are first converted to polling periodic
+    work with period and deadline [⌈(d+1)/2⌉] (the Theorem-3
+    transformation), which preserves their latency bounds. *)
+
+type piece =
+  | Segment of {
+      processor : int;
+      ops : int list;  (** Element ids, in execution order. *)
+      work : int;  (** Summed weight. *)
+    }
+  | Message of {
+      src : int;  (** Producing element. *)
+      dst : int;  (** Consuming element. *)
+      cost : int;  (** Bus transmission time. *)
+    }
+
+type windowed = {
+  piece : piece;
+  start_off : int;  (** Window start, relative to the invocation. *)
+  end_off : int;  (** Window end (exclusive), relative to invocation. *)
+}
+
+type plan = {
+  constraint_name : string;
+  period : int;  (** Polling period for transformed async constraints. *)
+  pieces : windowed list;  (** In precedence order; windows chain. *)
+}
+
+type strategy =
+  | Proportional
+      (** Slack distributed proportionally to each piece's time — the
+          default. *)
+  | Front_loaded
+      (** All slack to the first piece: later pieces run back-to-back,
+          which helps when a downstream processor is the bottleneck. *)
+  | Back_loaded
+      (** All slack to the last piece: upstream pieces are squeezed,
+          which helps when the first processor is the bottleneck. *)
+
+val decompose :
+  ?strategy:strategy ->
+  Rt_core.Model.t ->
+  Partition.t ->
+  msg_cost:int ->
+  (plan list, string) result
+(** [decompose m part ~msg_cost] splits every constraint.  Fails when a
+    constraint's computation plus transmission time exceeds its
+    (possibly polling-transformed) deadline, naming the constraint.
+    [strategy] (default {!Proportional}) chooses how end-to-end slack is
+    allotted to the window chain; the windows always tile
+    [\[0, deadline\]]. *)
+
+val total_bus_demand : plan list -> int
+(** Summed message cost per hyperperiod... per single invocation of each
+    plan (diagnostic). *)

@@ -1,0 +1,221 @@
+open Rt_core
+
+type result = {
+  partition : Partition.t;
+  plans : Decompose.plan list;
+  hyperperiod : int;
+  processor_schedules : Schedule.t array;
+  bus : Netsched.bus_schedule;
+  proc_loads : float array;
+  bus_load : float;
+  cut : int;
+}
+
+let rec synthesize ?(n_procs = 2) ?(msg_cost = 1) ?(max_hyperperiod = 1_000_000)
+    (m : Model.t) =
+  match
+    List.find_opt
+      (fun (c : Timing.t) ->
+        Timing.is_periodic c && (c.deadline > c.period || c.offset <> 0))
+      m.constraints
+  with
+  | Some c ->
+      Error
+        (Printf.sprintf
+           "constraint %s has deadline > period or a nonzero offset; \
+            unsupported by the multiprocessor decomposer"
+           c.name)
+  | None -> (
+      let partition =
+        Partition.refine m.comm (Partition.greedy m.comm ~n_procs)
+      in
+      attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod
+        [ Decompose.Proportional; Decompose.Back_loaded; Decompose.Front_loaded ])
+
+and attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod = function
+  | [] -> Error "no window-allotment strategy produced a feasible system"
+  | strategy :: rest -> (
+      let retry e =
+        match
+          attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod
+            rest
+        with
+        | Ok r -> Ok r
+        | Error _ -> Error e
+      in
+      match Decompose.decompose ~strategy m partition ~msg_cost with
+      | Error e -> retry e
+      | Ok plans -> (
+          let periods = List.map (fun p -> p.Decompose.period) plans in
+          match Rt_graph.Intmath.lcm_list periods with
+          | exception Rt_graph.Intmath.Overflow ->
+              retry "hyperperiod overflows"
+          | hyperperiod when hyperperiod > max_hyperperiod ->
+              retry
+                (Printf.sprintf "hyperperiod %d exceeds the cap %d" hyperperiod
+                   max_hyperperiod)
+          | hyperperiod -> (
+              (* Per-processor EDF jobs: one job per segment window per
+                 invocation; bus items likewise for messages. *)
+              let proc_jobs = Array.make n_procs [] in
+              let bus_items = ref [] in
+              List.iter
+                (fun (plan : Decompose.plan) ->
+                  let rec invocations t =
+                    if t >= hyperperiod then ()
+                    else begin
+                      List.iteri
+                        (fun i (w : Decompose.windowed) ->
+                          match w.piece with
+                          | Decompose.Segment s ->
+                              let job =
+                                {
+                                  Edf_cyclic.job_name =
+                                    Printf.sprintf "%s@%d/%d"
+                                      plan.constraint_name t i;
+                                  (* No precedence edges needed: the EDF
+                                     dispatcher executes a job's operations
+                                     in node order, which already is the
+                                     segment's topological order (edges
+                                     between arbitrary consecutive ops
+                                     need not exist in the communication
+                                     graph). *)
+                                  graph =
+                                    Task_graph.create
+                                      ~nodes:(Array.of_list s.ops) ~edges:[];
+                                  release = t + w.start_off;
+                                  abs_deadline = t + w.end_off;
+                                }
+                              in
+                              proc_jobs.(s.processor) <-
+                                job :: proc_jobs.(s.processor)
+                          | Decompose.Message msg ->
+                              if msg.cost > 0 then
+                                bus_items :=
+                                  {
+                                    Netsched.item_name =
+                                      Printf.sprintf "%s@%d/%d"
+                                        plan.constraint_name t i;
+                                    release = t + w.start_off;
+                                    abs_deadline = t + w.end_off;
+                                    cost = msg.cost;
+                                  }
+                                  :: !bus_items)
+                        plan.pieces;
+                      invocations (t + plan.period)
+                    end
+                  in
+                  invocations 0)
+                plans;
+              let schedules = Array.make n_procs None in
+              let fail = ref None in
+              for proc = 0 to n_procs - 1 do
+                if !fail = None then
+                  match
+                    Edf_cyclic.build m.comm ~horizon:hyperperiod
+                      (List.rev proc_jobs.(proc))
+                  with
+                  | Ok s -> schedules.(proc) <- Some s
+                  | Error f ->
+                      fail :=
+                        Some
+                          (Printf.sprintf "processor %d: job %s failed at %d (%s)"
+                             proc f.Edf_cyclic.failed_job f.Edf_cyclic.at_time
+                             f.Edf_cyclic.reason)
+              done;
+              match !fail with
+              | Some e -> retry e
+              | None -> (
+                  match Netsched.schedule ~horizon:hyperperiod !bus_items with
+                  | Error e -> retry ("bus: " ^ e)
+                  | Ok bus ->
+                      let processor_schedules =
+                        Array.map
+                          (function Some s -> s | None -> assert false)
+                          schedules
+                      in
+                      let proc_loads =
+                        Array.map Schedule.load processor_schedules
+                      in
+                      Ok
+                        {
+                          partition;
+                          plans;
+                          hyperperiod;
+                          processor_schedules;
+                          bus;
+                          proc_loads;
+                          bus_load =
+                            Netsched.utilization ~horizon:hyperperiod
+                              !bus_items;
+                          cut =
+                            List.length (Partition.cut_edges m.comm partition);
+                        }))))
+
+let verify (m : Model.t) r =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let hyper = r.hyperperiod in
+  List.iter
+    (fun (plan : Decompose.plan) ->
+      let rec invocations t =
+        if t >= hyper then ()
+        else begin
+          List.iteri
+            (fun i (w : Decompose.windowed) ->
+              let w0 = t + w.Decompose.start_off
+              and w1 = t + w.Decompose.end_off in
+              match w.Decompose.piece with
+              | Decompose.Segment s ->
+                  let sched = r.processor_schedules.(s.processor) in
+                  (* Ops in order: advance a cursor collecting each
+                     op's weight worth of slots inside the window. *)
+                  let cursor = ref w0 in
+                  List.iter
+                    (fun e ->
+                      let needed = ref (Comm_graph.weight m.comm e) in
+                      while !needed > 0 && !cursor < w1 do
+                        (* Schedule.slot wraps round-robin, matching the
+                           cyclic trace. *)
+                        (if Schedule.slot sched !cursor = Schedule.Run e then
+                           decr needed);
+                        incr cursor
+                      done;
+                      if !needed > 0 then
+                        err
+                          "%s@%d piece %d: op %s not completed inside                            window [%d,%d) on processor %d"
+                          plan.Decompose.constraint_name t i
+                          (Comm_graph.element m.comm e).Element.name w0 w1
+                          s.processor)
+                    s.ops
+              | Decompose.Message msg ->
+                  if msg.cost > 0 then begin
+                    let name =
+                      Printf.sprintf "%s@%d/%d" plan.Decompose.constraint_name
+                        t i
+                    in
+                    let count = ref 0 in
+                    for slot = w0 to min (w1 - 1) (Array.length r.bus - 1) do
+                      if r.bus.(slot) = Some name then incr count
+                    done;
+                    if !count < msg.cost then
+                      err
+                        "%s: message %s only %d/%d slots inside window                          [%d,%d)"
+                        plan.Decompose.constraint_name name !count
+                        msg.cost w0 w1
+                  end)
+            plan.Decompose.pieces;
+          invocations (t + plan.Decompose.period)
+        end
+      in
+      invocations 0)
+    r.plans;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+let pp_result (m : Model.t) fmt r =
+  Format.fprintf fmt "@[<v>partition: %a@,hyperperiod: %d, cut edges: %d@,"
+    (Partition.pp m.comm) r.partition r.hyperperiod r.cut;
+  Array.iteri
+    (fun i l -> Format.fprintf fmt "processor %d load: %.3f@," i l)
+    r.proc_loads;
+  Format.fprintf fmt "bus load: %.3f@,@]" r.bus_load

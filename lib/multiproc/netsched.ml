@@ -1,0 +1,61 @@
+type item = { item_name : string; release : int; abs_deadline : int; cost : int }
+
+type bus_schedule = string option array
+
+type live = { spec : item; mutable remaining : int }
+
+let schedule ~horizon items =
+  let lives =
+    List.map (fun i -> { spec = i; remaining = i.cost }) items
+    |> List.sort (fun a b ->
+           compare
+             (a.spec.abs_deadline, a.spec.release, a.spec.item_name)
+             (b.spec.abs_deadline, b.spec.release, b.spec.item_name))
+    |> Array.of_list
+  in
+  let slots = Array.make horizon None in
+  let failed = ref None in
+  for t = 0 to horizon - 1 do
+    if !failed = None then begin
+      Array.iter
+        (fun l ->
+          if l.remaining > 0 && l.spec.release <= t && l.spec.abs_deadline <= t
+          then if !failed = None then failed := Some l.spec.item_name)
+        lives;
+      if !failed = None then begin
+        let ready =
+          Array.fold_left
+            (fun acc l ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if l.remaining > 0 && l.spec.release <= t then Some l
+                  else None)
+            None lives
+        in
+        match ready with
+        | None -> ()
+        | Some l ->
+            slots.(t) <- Some l.spec.item_name;
+            l.remaining <- l.remaining - 1
+      end
+    end
+  done;
+  match !failed with
+  | Some name -> Error (Printf.sprintf "message %s missed its deadline" name)
+  | None -> (
+      match
+        Array.fold_left
+          (fun acc l ->
+            match acc with
+            | Some _ -> acc
+            | None -> if l.remaining > 0 then Some l.spec.item_name else None)
+          None lives
+      with
+      | Some name ->
+          Error (Printf.sprintf "message %s not transmitted within the horizon" name)
+      | None -> Ok slots)
+
+let utilization ~horizon items =
+  float_of_int (List.fold_left (fun acc i -> acc + i.cost) 0 items)
+  /. float_of_int horizon

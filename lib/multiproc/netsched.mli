@@ -1,0 +1,24 @@
+(** Scheduling of the communication network (a shared bus).
+
+    The "similar-looking problem" of the paper: transmissions are unit-
+    slot preemptible work items with releases and deadlines, dispatched
+    EDF on a single bus.  Optimality of EDF on one resource makes this
+    decision exact for the given windows. *)
+
+type item = {
+  item_name : string;
+  release : int;
+  abs_deadline : int;
+  cost : int;  (** Bus slots needed. *)
+}
+
+type bus_schedule = string option array
+(** Slot -> transmitting item name ([None] = bus idle). *)
+
+val schedule : horizon:int -> item list -> (bus_schedule, string) result
+(** [schedule ~horizon items] dispatches all items EDF-preemptively;
+    fails naming the first item to miss its deadline.  Deterministic
+    tie-breaks. *)
+
+val utilization : horizon:int -> item list -> float
+(** Total cost over horizon. *)

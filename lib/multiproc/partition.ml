@@ -1,0 +1,95 @@
+open Rt_core
+
+type t = { n_procs : int; assignment : int array }
+
+let single g = { n_procs = 1; assignment = Array.make (Comm_graph.n_elements g) 0 }
+
+let loads g t =
+  let l = Array.make t.n_procs 0 in
+  Array.iteri
+    (fun e proc -> l.(proc) <- l.(proc) + Comm_graph.weight g e)
+    t.assignment;
+  l
+
+let cut_edges g t =
+  Rt_graph.Digraph.edges (Comm_graph.graph g)
+  |> List.filter (fun (u, v) -> t.assignment.(u) <> t.assignment.(v))
+
+let max_load g t = Array.fold_left max 0 (loads g t)
+
+let greedy g ~n_procs =
+  if n_procs < 1 then invalid_arg "Partition.greedy";
+  let n = Comm_graph.n_elements g in
+  let assignment = Array.make n (-1) in
+  let load = Array.make n_procs 0 in
+  let order =
+    List.init n Fun.id
+    |> List.sort (fun a b ->
+           compare
+             (- Comm_graph.weight g a, a)
+             (- Comm_graph.weight g b, b))
+  in
+  let digraph = Comm_graph.graph g in
+  List.iter
+    (fun e ->
+      let affinity proc =
+        let count rel =
+          List.length (List.filter (fun x -> assignment.(x) = proc) rel)
+        in
+        count (Rt_graph.Digraph.succ digraph e)
+        + count (Rt_graph.Digraph.pred digraph e)
+      in
+      let best = ref 0 in
+      for proc = 1 to n_procs - 1 do
+        let score p = (load.(p) - affinity p, p) in
+        if score proc < score !best then best := proc
+      done;
+      assignment.(e) <- !best;
+      load.(!best) <- load.(!best) + Comm_graph.weight g e)
+    order;
+  { n_procs; assignment }
+
+let refine g t =
+  let assignment = Array.copy t.assignment in
+  let t' = { t with assignment } in
+  let digraph = Comm_graph.graph g in
+  let cut_count a =
+    List.length
+      (List.filter
+         (fun (u, v) -> a.(u) <> a.(v))
+         (Rt_graph.Digraph.edges digraph))
+  in
+  let bound = max_load g t in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for e = 0 to Comm_graph.n_elements g - 1 do
+      let here = assignment.(e) in
+      let current_cut = cut_count assignment in
+      for proc = 0 to t.n_procs - 1 do
+        if proc <> assignment.(e) then begin
+          let old = assignment.(e) in
+          assignment.(e) <- proc;
+          let new_cut = cut_count assignment in
+          let ls = loads g t' in
+          if new_cut < current_cut && Array.for_all (fun l -> l <= bound) ls
+          then improved := true
+          else assignment.(e) <- old
+        end
+      done;
+      ignore here
+    done
+  done;
+  t'
+
+let pp g fmt t =
+  for proc = 0 to t.n_procs - 1 do
+    let members =
+      List.filter
+        (fun e -> t.assignment.(e) = proc)
+        (List.init (Comm_graph.n_elements g) Fun.id)
+      |> List.map (fun e -> (Comm_graph.element g e).Element.name)
+    in
+    Format.fprintf fmt "p%d: {%s}%s" proc (String.concat " " members)
+      (if proc < t.n_procs - 1 then " " else "")
+  done

@@ -1,0 +1,41 @@
+(** Assignment of functional elements to processors.
+
+    The paper notes that the graph-based model was formulated "such that
+    for a multiprocessor architecture, the synthesis problem can be
+    decomposed into a set of single processor synthesis problems and a
+    similar-looking problem for scheduling the communication network".
+    The first step of that decomposition is placing the functional
+    elements; data transmissions whose endpoints land on different
+    processors become network messages. *)
+
+type t = {
+  n_procs : int;
+  assignment : int array;  (** Element id -> processor in [0..n_procs-1]. *)
+}
+
+val single : Rt_core.Comm_graph.t -> t
+(** Everything on processor 0. *)
+
+val greedy : Rt_core.Comm_graph.t -> n_procs:int -> t
+(** Longest-processing-time placement with communication affinity:
+    elements are placed heaviest-first on the processor minimizing
+    [load - affinity], where affinity counts communication-graph
+    neighbours already resident.  Deterministic. *)
+
+val refine : Rt_core.Comm_graph.t -> t -> t
+(** One hill-climbing pass: move single elements between processors when
+    that strictly reduces the number of cut edges without pushing any
+    processor's load above the current maximum.  Idempotent when no such
+    move exists. *)
+
+val loads : Rt_core.Comm_graph.t -> t -> int array
+(** Summed element weight per processor. *)
+
+val cut_edges : Rt_core.Comm_graph.t -> t -> (int * int) list
+(** Communication edges whose endpoints are on different processors. *)
+
+val max_load : Rt_core.Comm_graph.t -> t -> int
+(** Largest per-processor load. *)
+
+val pp : Rt_core.Comm_graph.t -> Format.formatter -> t -> unit
+(** Render as ["p0: {f_x f_s} p1: {f_y}"]. *)

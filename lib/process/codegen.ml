@@ -1,0 +1,35 @@
+open Rt_core
+
+type step = Call of int | Enter of int | Leave of int
+
+type program = { process_name : string; steps : step list; wcet : int }
+
+let of_constraint (m : Model.t) ~monitors (c : Timing.t) =
+  let guarded e = List.exists (fun mon -> mon.Monitor.element = e) monitors in
+  let steps =
+    Task_graph.straight_line c.graph
+    |> List.concat_map (fun e ->
+           if guarded e then [ Enter e; Call e; Leave e ] else [ Call e ])
+  in
+  {
+    process_name = c.name;
+    steps;
+    wcet = Timing.computation_time m.comm c;
+  }
+
+let render (m : Model.t) prog =
+  let name e = (Comm_graph.element m.Model.comm e).Element.name in
+  let body =
+    prog.steps
+    |> List.map (function
+         | Call e -> Printf.sprintf "%s();" (name e)
+         | Enter e -> Printf.sprintf "enter(%s);" (name e)
+         | Leave e -> Printf.sprintf "leave(%s);" (name e))
+    |> String.concat " "
+  in
+  Printf.sprintf "process %s { %s }" prog.process_name body
+
+let call_count prog e =
+  List.fold_left
+    (fun acc s -> match s with Call x when x = e -> acc + 1 | _ -> acc)
+    0 prog.steps

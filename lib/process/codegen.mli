@@ -1,0 +1,36 @@
+(** Straight-line program synthesis: the paper's naive mapping.
+
+    "A straightforward way to implement an instance of our graph-based
+    model is to map each periodic/asynchronous timing constraint (C,p,d)
+    into a periodic/asynchronous (i.e., demand driven) process T' where
+    the body of T' consists of a straight-line program which is any
+    topological sort of the operations in the task graph C."
+
+    The emitted program interleaves monitor entry/exit around shared
+    operations so the pipeline-ordering discipline is preserved. *)
+
+type step =
+  | Call of int  (** Execute a functional element. *)
+  | Enter of int  (** Acquire the monitor guarding an element. *)
+  | Leave of int  (** Release it. *)
+
+type program = {
+  process_name : string;
+  steps : step list;  (** The straight-line body. *)
+  wcet : int;  (** Total computation time (monitor ops are free). *)
+}
+
+val of_constraint :
+  Rt_core.Model.t -> monitors:Monitor.t list -> Rt_core.Timing.t -> program
+(** [of_constraint m ~monitors c] emits the straight-line program of
+    constraint [c]: a topological sort of its task graph, with
+    [Enter]/[Leave] wrapped around every operation whose element is
+    guarded by one of [monitors]. *)
+
+val render : Rt_core.Model.t -> program -> string
+(** Pretty source-like rendering, e.g.
+    ["process px { f_x(); enter(f_s); f_s(); leave(f_s); f_k(); }"]. *)
+
+val call_count : program -> int -> int
+(** [call_count prog e] counts [Call e] steps — used to measure the
+    redundant work the process model cannot avoid sharing. *)

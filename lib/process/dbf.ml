@@ -1,0 +1,49 @@
+let dbf (proc : Process.t) t =
+  if t < proc.d then 0 else (((t - proc.d) / proc.p) + 1) * proc.c
+
+let total_demand procs t =
+  List.fold_left (fun acc proc -> acc + dbf proc t) 0 procs
+
+let check_points procs =
+  match procs with
+  | [] -> []
+  | _ ->
+      let u = Process.total_utilization procs in
+      let max_d =
+        List.fold_left (fun acc (p : Process.t) -> max acc p.d) 0 procs
+      in
+      let hyper_bound =
+        match Process.hyperperiod procs with
+        | h -> h + max_d
+        | exception Rt_graph.Intmath.Overflow -> max_int
+      in
+      let busy_bound =
+        if u >= 1.0 then max_int
+        else
+          let num =
+            List.fold_left
+              (fun acc (p : Process.t) ->
+                acc
+                +. (float_of_int (max 0 (p.p - p.d)) *. Process.utilization p))
+              0.0 procs
+          in
+          max max_d (int_of_float (ceil (num /. (1.0 -. u))))
+      in
+      let bound = min hyper_bound busy_bound in
+      let points = ref [] in
+      List.iter
+        (fun (p : Process.t) ->
+          let t = ref p.d in
+          while !t <= bound do
+            points := !t :: !points;
+            t := !t + p.p
+          done)
+        procs;
+      List.sort_uniq Int.compare !points
+
+let first_overload procs =
+  if Process.total_utilization procs > 1.0 +. 1e-12 then Some 0
+  else
+    List.find_opt (fun t -> total_demand procs t > t) (check_points procs)
+
+let edf_feasible procs = first_overload procs = None

@@ -1,0 +1,35 @@
+(** Demand-bound functions and the processor-demand criterion for EDF.
+
+    For a periodic/sporadic process [(c, p, d)] released synchronously,
+    the demand bound [dbf(t)] is the work that must complete inside any
+    interval of length [t]:
+    [dbf(t) = max(0, floor((t - d)/p) + 1) * c].
+    EDF schedules a constrained-deadline set on one processor iff
+    [Σ dbf_i(t) <= t] for every [t >= 0]; it suffices to check the
+    absolute-deadline points up to a finite bound (Baruah, Rosier &
+    Howell; the machinery [MOK 83]'s schedulers build on). *)
+
+val dbf : Process.t -> int -> int
+(** [dbf proc t] is the demand of one process in an interval of length
+    [t >= 0]. *)
+
+val total_demand : Process.t list -> int -> int
+(** Summed demand at [t]. *)
+
+val check_points : Process.t list -> int list
+(** The deadline points that must be checked: all
+    [k * p_i + d_i <= bound], where [bound] is the smaller of the
+    hyperperiod-based bound [lcm(p_i) + max d_i] and the busy-period
+    bound [U/(1-U) * max(p_i - d_i)] when [U < 1]; sorted
+    ascending. *)
+
+val edf_feasible : Process.t list -> bool
+(** The processor-demand criterion: [U <= 1] and
+    [Σ dbf_i(t) <= t] at every check point.  Exact for independent
+    preemptable processes on one processor — sporadic processes are
+    covered because the synchronous-release pattern is their worst
+    case. *)
+
+val first_overload : Process.t list -> int option
+(** The earliest check point at which demand exceeds supply, if any
+    (diagnostic counterpart of {!edf_feasible}). *)

@@ -1,0 +1,51 @@
+type assignment = Rate_monotonic | Deadline_monotonic
+
+let priorities a procs =
+  let key (p : Process.t) =
+    match a with
+    | Rate_monotonic -> (p.p, p.name)
+    | Deadline_monotonic -> (p.d, p.name)
+  in
+  List.sort (fun x y -> compare (key x) (key y)) procs
+
+let response_time ?(blocking = fun _ -> 0) a procs (proc : Process.t) =
+  let sorted = priorities a procs in
+  let rec higher acc = function
+    | [] -> List.rev acc
+    | (p : Process.t) :: rest ->
+        if p.name = proc.name then List.rev acc else higher (p :: acc) rest
+  in
+  let hp = higher [] sorted in
+  let b = blocking proc in
+  let interference r =
+    List.fold_left
+      (fun acc (p : Process.t) ->
+        acc + (Rt_graph.Intmath.ceil_div r p.p * p.c))
+      0 hp
+  in
+  let rec iterate r =
+    if r > proc.d then None
+    else
+      let r' = proc.c + b + interference r in
+      if r' = r then Some r else iterate r'
+  in
+  iterate (proc.c + b)
+
+let schedulable ?blocking a procs =
+  List.for_all
+    (fun (p : Process.t) ->
+      match response_time ?blocking a procs p with
+      | Some r -> r <= p.d
+      | None -> false)
+    procs
+
+let liu_layland_bound n =
+  if n < 1 then invalid_arg "Fixed_priority.liu_layland_bound";
+  float_of_int n *. ((2.0 ** (1.0 /. float_of_int n)) -. 1.0)
+
+let utilization_test procs =
+  match procs with
+  | [] -> true
+  | _ ->
+      Process.total_utilization procs
+      <= liu_layland_bound (List.length procs) +. 1e-12

@@ -1,0 +1,36 @@
+(** Fixed-priority scheduling: rate/deadline-monotonic assignment and
+    exact response-time analysis, with blocking terms for monitor-based
+    mutual exclusion (the naive implementation the paper describes
+    creates "a monitor for each functional element that occurs in two or
+    more timing constraints"). *)
+
+type assignment = Rate_monotonic | Deadline_monotonic
+
+val priorities : assignment -> Process.t list -> Process.t list
+(** [priorities a procs] returns the processes sorted highest priority
+    first (smaller period — RM — or smaller deadline — DM; ties by
+    name). *)
+
+val response_time :
+  ?blocking:(Process.t -> int) -> assignment -> Process.t list -> Process.t ->
+  int option
+(** [response_time a procs proc] is the exact worst-case response time
+    of [proc] under the given priority assignment with synchronous
+    release: the least fixed point of
+    [R = c + B + Σ_{hp} ceil(R / p_j) c_j], where [B] is the blocking
+    bound supplied by [blocking] (default 0).  [None] if the iteration
+    diverges past the deadline-feasibility horizon (the process is then
+    unschedulable). *)
+
+val schedulable :
+  ?blocking:(Process.t -> int) -> assignment -> Process.t list -> bool
+(** Every process's response time exists and is [<= d]. *)
+
+val liu_layland_bound : int -> float
+(** [liu_layland_bound n] is [n (2^{1/n} - 1)] — the classic sufficient
+    utilization bound for RM with implicit deadlines; tends to
+    [ln 2 ≈ 0.693]. *)
+
+val utilization_test : Process.t list -> bool
+(** The Liu & Layland sufficient test ([U <= n(2^{1/n}-1)], implicit
+    deadlines assumed). *)

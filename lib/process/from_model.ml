@@ -1,0 +1,71 @@
+open Rt_core
+
+type translation = {
+  processes : Process.t list;
+  programs : Codegen.program list;
+  monitors : Monitor.t list;
+}
+
+let translate ?(pipelined = false) (m : Model.t) =
+  let monitors = Monitor.of_model ~pipelined m in
+  let processes =
+    List.map
+      (fun (c : Timing.t) ->
+        Process.make ~name:c.name
+          ~c:(Timing.computation_time m.comm c)
+          ~p:c.period ~d:c.deadline
+          ~kind:
+            (match c.kind with
+            | Timing.Periodic -> Process.Periodic_process
+            | Timing.Asynchronous -> Process.Sporadic_process))
+      m.constraints
+  in
+  let programs =
+    List.map (fun c -> Codegen.of_constraint m ~monitors c) m.constraints
+  in
+  { processes; programs; monitors }
+
+let edf_schedulable tr =
+  match Sporadic.transform_set tr.processes with
+  | None -> false
+  | Some polled -> Dbf.edf_feasible polled
+
+let fixed_priority_schedulable
+    ?(assignment = Fixed_priority.Deadline_monotonic) tr =
+  match Sporadic.transform_set tr.processes with
+  | None -> false
+  | Some polled ->
+      let blocking (p : Process.t) =
+        (* Polling processes keep the original name plus a suffix; match
+           on the prefix so monitor users resolve. *)
+        let base =
+          match String.index_opt p.name '_' with
+          | _ -> (
+              match String.length p.name >= 5
+                    && String.sub p.name (String.length p.name - 5) 5 = "_poll"
+              with
+              | true -> String.sub p.name 0 (String.length p.name - 5)
+              | false -> p.name)
+        in
+        Monitor.blocking_bound tr.monitors ~process:base
+      in
+      Fixed_priority.schedulable ~blocking assignment polled
+
+let redundant_work (m : Model.t) tr =
+  ignore tr;
+  let merged, _report = Merge.apply m in
+  let hyper =
+    try Model.hyperperiod m with Rt_graph.Intmath.Overflow -> 0
+  in
+  if hyper = 0 then 0
+  else begin
+    let work_per_hyper (model : Model.t) =
+      List.fold_left
+        (fun acc (c : Timing.t) ->
+          if Timing.is_periodic c then
+            acc + (hyper / c.period * Timing.computation_time model.comm c)
+          else acc)
+        0 model.Model.constraints
+    in
+    work_per_hyper m - work_per_hyper merged
+  end

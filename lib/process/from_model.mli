@@ -1,0 +1,38 @@
+(** The naive translation of a graph-based model into a process set —
+    the paper's baseline, against which latency scheduling's
+    shared-operation advantage is measured.
+
+    Each timing constraint becomes one process with the constraint's
+    full computation time; operations common to several constraints are
+    executed redundantly ("in the process model, there are two distinct
+    calls to f_S and so the redundant work cannot be avoided"). *)
+
+type translation = {
+  processes : Process.t list;  (** One per constraint, declaration order. *)
+  programs : Codegen.program list;  (** Matching straight-line bodies. *)
+  monitors : Monitor.t list;  (** Monitors for the shared elements. *)
+}
+
+val translate : ?pipelined:bool -> Rt_core.Model.t -> translation
+(** [translate m] performs the naive mapping.  [pipelined] (default
+    [false]) shrinks monitor critical sections as by software
+    pipelining; it does not change process computation times. *)
+
+val edf_schedulable : translation -> bool
+(** Processor-demand test on the process set after transforming
+    sporadic processes into polling processes
+    ([Sporadic.transform_set]); [false] also when a sporadic process
+    cannot be transformed.  Blocking is ignored (EDF with unit-grain
+    pipelining). *)
+
+val fixed_priority_schedulable :
+  ?assignment:Fixed_priority.assignment -> translation -> bool
+(** Response-time analysis (default deadline-monotonic) on the polled
+    process set, including the monitor blocking bounds. *)
+
+val redundant_work : Rt_core.Model.t -> translation -> int
+(** Computation time per hyperperiod spent on redundant executions of
+    shared elements, compared against executing each shared element once
+    per period group — the quantity the merging experiment (E5)
+    reports.  Concretely: [Σ_processes wcet_per_hyperperiod] minus the
+    same sum with merged same-period constraints. *)

@@ -1,0 +1,34 @@
+open Rt_core
+
+type t = {
+  element : int;
+  element_name : string;
+  users : string list;
+  critical_section : int;
+}
+
+let of_model ?(pipelined = false) (m : Model.t) =
+  Model.elements_shared m
+  |> List.map (fun (e, users) ->
+         let elem = Comm_graph.element m.comm e in
+         let cs =
+           if pipelined && elem.Element.pipelinable then 1
+           else elem.Element.weight
+         in
+         {
+           element = e;
+           element_name = elem.Element.name;
+           users;
+           critical_section = cs;
+         })
+
+let blocking_bound monitors ~process =
+  List.fold_left
+    (fun acc mon ->
+      if List.mem process mon.users && List.length mon.users >= 2 then
+        max acc mon.critical_section
+      else acc)
+    0 monitors
+
+let max_critical_section monitors =
+  List.fold_left (fun acc mon -> max acc mon.critical_section) 0 monitors

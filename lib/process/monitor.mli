@@ -1,0 +1,34 @@
+(** Monitors for shared functional elements, and their blocking costs.
+
+    In the naive process-based implementation, "we create a monitor
+    [HOAR 74] for each functional element that occurs in two or more
+    timing constraints"; a process executing such an element holds its
+    monitor for the element's whole computation time, so any
+    higher-priority process sharing it can be blocked for up to that
+    long.  Software pipelining shrinks the critical section to one time
+    unit.  This module computes the monitor set of a model and the
+    per-process blocking bounds used by the fixed-priority analysis
+    (one blocking term, as under the priority-ceiling discipline). *)
+
+type t = {
+  element : int;  (** The guarded functional element. *)
+  element_name : string;
+  users : string list;  (** Constraints/processes sharing it. *)
+  critical_section : int;
+      (** Length of the critical section: the element's weight, or 1 if
+          software pipelining is applied. *)
+}
+
+val of_model : ?pipelined:bool -> Rt_core.Model.t -> t list
+(** [of_model m] is one monitor per element used by two or more
+    constraints of [m].  [pipelined] (default [false]) shrinks critical
+    sections of pipelinable elements to one unit. *)
+
+val blocking_bound : t list -> process:string -> int
+(** [blocking_bound monitors ~process] is the worst single critical
+    section among monitors shared by [process] and at least one other
+    user — the blocking term a priority-ceiling protocol would impose
+    (0 if the process shares nothing). *)
+
+val max_critical_section : t list -> int
+(** The longest critical section over all monitors (0 when none). *)

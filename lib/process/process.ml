@@ -1,0 +1,28 @@
+type kind = Periodic_process | Sporadic_process
+
+type t = { name : string; c : int; p : int; d : int; kind : kind }
+
+let make ~name ~c ~p ~d ~kind =
+  if name = "" then invalid_arg "Process.make: empty name";
+  if c <= 0 then invalid_arg "Process.make: computation time must be positive";
+  if p <= 0 then invalid_arg "Process.make: period must be positive";
+  if d <= 0 then invalid_arg "Process.make: deadline must be positive";
+  { name; c; p; d; kind }
+
+let utilization t = float_of_int t.c /. float_of_int t.p
+
+let density t = float_of_int t.c /. float_of_int (min t.p t.d)
+
+let total_utilization ts = List.fold_left (fun acc t -> acc +. utilization t) 0.0 ts
+
+let implicit_deadline t = t.d = t.p
+
+let constrained_deadline t = t.d <= t.p
+
+let hyperperiod ts = Rt_graph.Intmath.lcm_list (List.map (fun t -> t.p) ts)
+
+let pp fmt t =
+  Format.fprintf fmt "%s(c=%d p=%d d=%d %s)" t.name t.c t.p t.d
+    (match t.kind with
+    | Periodic_process -> "periodic"
+    | Sporadic_process -> "sporadic")

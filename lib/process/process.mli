@@ -1,0 +1,47 @@
+(** Processes: the units of the process-based models the paper compares
+    against.
+
+    "Critical timing constraints are specified by permitting a process
+    to have a deadline and/or repetition period attribute."  A process
+    here is the classic real-time task abstraction of [MOK 83]: a
+    computation-time bound [c], a period (or minimum separation) [p] and
+    a relative deadline [d]. *)
+
+type kind =
+  | Periodic_process  (** Released at [0, p, 2p, ...]. *)
+  | Sporadic_process  (** Released on demand, at least [p] apart. *)
+
+type t = private {
+  name : string;
+  c : int;  (** Worst-case computation time; [> 0]. *)
+  p : int;  (** Period / minimum separation; [> 0]. *)
+  d : int;  (** Relative deadline; [> 0]. *)
+  kind : kind;
+}
+
+val make : name:string -> c:int -> p:int -> d:int -> kind:kind -> t
+(** Constructor with validation ([c, p, d > 0] and [c <= d] is {e not}
+    required — infeasible processes are representable so the tests can
+    reject them). *)
+
+val utilization : t -> float
+(** [c /. p]. *)
+
+val density : t -> float
+(** [c /. min p d]. *)
+
+val total_utilization : t list -> float
+(** Summed utilization. *)
+
+val implicit_deadline : t -> bool
+(** [d = p]. *)
+
+val constrained_deadline : t -> bool
+(** [d <= p]. *)
+
+val hyperperiod : t list -> int
+(** LCM of the periods.  Raises [Rt_graph.Intmath.Overflow] when too
+    large. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering. *)

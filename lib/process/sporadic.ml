@@ -1,0 +1,23 @@
+let to_periodic (proc : Process.t) =
+  match proc.kind with
+  | Process.Periodic_process -> Some proc
+  | Process.Sporadic_process ->
+      if proc.d < proc.c then None
+      else
+        let p' = min proc.p (proc.d - proc.c + 1) in
+        Some
+          (Process.make ~name:(proc.name ^ "_poll") ~c:proc.c ~p:p' ~d:proc.c
+             ~kind:Process.Periodic_process)
+
+let transform_set procs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest -> (
+        match to_periodic p with
+        | Some p' -> go (p' :: acc) rest
+        | None -> None)
+  in
+  go [] procs
+
+let covers ~(original : Process.t) ~(polled : Process.t) =
+  polled.p - 1 + polled.d <= original.d

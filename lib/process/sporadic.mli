@@ -1,0 +1,24 @@
+(** Sporadic-process transformations from [MOK 83].
+
+    A sporadic process [(c, p, d)] may be replaced by a periodic polling
+    process that is guaranteed to serve any arrival within the original
+    deadline; Mok's transformation uses period
+    [p' = min(p, d - c + 1)] and relative deadline [d' = c]: a request
+    arriving at any instant is picked up by the next polling release,
+    which starts at most [p' - 1] late and completes within [d'] of its
+    release, hence within [(p' - 1) + c <= d] of the arrival. *)
+
+val to_periodic : Process.t -> Process.t option
+(** [to_periodic proc] applies the transformation to a sporadic process;
+    [None] when [d < c] (the sporadic process can never meet its
+    deadline).  Periodic processes are returned unchanged. *)
+
+val transform_set : Process.t list -> Process.t list option
+(** Apply {!to_periodic} to every process; [None] if any is
+    untransformable. *)
+
+val covers : original:Process.t -> polled:Process.t -> bool
+(** Soundness predicate used by the tests:
+    [polled.p - 1 + polled.d <= original.d] — the worst-case arrival-to-
+    completion time under the polling process meets the original
+    deadline. *)

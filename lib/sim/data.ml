@@ -1,0 +1,96 @@
+open Rt_core
+
+type config = {
+  interps : (string * (now:int -> float array -> float)) list;
+  assertions : (string * string * (float -> bool)) list;
+}
+
+type transmission = { time : int; source : string; sink : string; value : float }
+
+type violation = { transmission : transmission; index : int }
+
+type result = {
+  transmissions : transmission list;
+  violations : violation list;
+  final_edge_values : ((string * string) * float) list;
+  outputs : (int * string * float) list;
+}
+
+let run (m : Model.t) sched config ~steps =
+  let g = m.comm in
+  let digraph = Comm_graph.graph g in
+  let name e = (Comm_graph.element g e).Element.name in
+  let id_of n =
+    try Comm_graph.id_of_name g n
+    with Not_found -> invalid_arg ("Data.run: unknown element " ^ n)
+  in
+  let interp_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (n, f) -> Hashtbl.replace interp_tbl (id_of n) f)
+    config.interps;
+  let default_interp ~now:_ inputs = Array.fold_left ( +. ) 0.0 inputs in
+  let assertions =
+    List.mapi
+      (fun i (src, dst, pred) ->
+        let u = id_of src and v = id_of dst in
+        if not (Comm_graph.has_edge g u v) then
+          invalid_arg
+            (Printf.sprintf "Data.run: no communication edge %s -> %s" src dst);
+        (i, u, v, pred))
+      config.assertions
+  in
+  (* Latest value on each communication edge. *)
+  let edge_value : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let n = Comm_graph.n_elements g in
+  let progress = Array.make n 0 in
+  let transmissions = ref [] in
+  let violations = ref [] in
+  let outputs = ref [] in
+  for t = 0 to steps - 1 do
+    match Schedule.slot sched t with
+    | Schedule.Idle -> ()
+    | Schedule.Run e ->
+        progress.(e) <- progress.(e) + 1;
+        if progress.(e) >= Comm_graph.weight g e then begin
+          progress.(e) <- 0;
+          let inputs =
+            Rt_graph.Digraph.pred digraph e
+            |> List.map (fun u ->
+                   Option.value ~default:0.0 (Hashtbl.find_opt edge_value (u, e)))
+            |> Array.of_list
+          in
+          let interp =
+            Option.value ~default:default_interp
+              (Hashtbl.find_opt interp_tbl e)
+          in
+          let value = interp ~now:(t + 1) inputs in
+          let succs = Rt_graph.Digraph.succ digraph e in
+          if succs = [] then outputs := (t + 1, name e, value) :: !outputs
+          else
+            List.iter
+              (fun v ->
+                Hashtbl.replace edge_value (e, v) value;
+                let tr =
+                  { time = t + 1; source = name e; sink = name v; value }
+                in
+                transmissions := tr :: !transmissions;
+                List.iter
+                  (fun (i, u, w, pred) ->
+                    if u = e && w = v && not (pred value) then
+                      violations := { transmission = tr; index = i } :: !violations)
+                  assertions)
+              succs
+        end
+  done;
+  let final_edge_values =
+    Hashtbl.fold
+      (fun (u, v) value acc -> ((name u, name v), value) :: acc)
+      edge_value []
+    |> List.sort compare
+  in
+  {
+    transmissions = List.rev !transmissions;
+    violations = List.rev !violations;
+    final_edge_values;
+    outputs = List.rev !outputs;
+  }

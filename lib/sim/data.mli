@@ -1,0 +1,52 @@
+(** Value-carrying simulation: execute a static schedule with real data
+    flowing along the communication edges.
+
+    This implements the research direction sketched in the paper's
+    conclusion: "we can pose the problems of maintaining the logical
+    integrity of real-time systems in terms of relations on the data
+    values that are being passed along the edges of the communication
+    graph of our model".  Edge {e assertions} are exactly such
+    relations; the simulator checks them on every transmission.
+
+    Semantics: each functional element has an interpretation, a function
+    of the latest values on its incoming communication edges (ordered by
+    source element id) and of the completion time.  When an execution of
+    the element completes (its [weight]-th slot), the interpretation
+    fires and the result is transmitted along all outgoing edges.
+    Elements without incoming edges are {e sources}: their
+    interpretation receives the empty array and typically samples an
+    external signal indexed by time.  Edge values start at 0.0. *)
+
+type config = {
+  interps : (string * (now:int -> float array -> float)) list;
+      (** Element name -> interpretation; elements without one compute
+          the sum of their inputs. *)
+  assertions : (string * string * (float -> bool)) list;
+      (** (source, sink, predicate): a relation on every value
+          transmitted along that communication edge. *)
+}
+
+type transmission = {
+  time : int;  (** Completion time of the producing execution. *)
+  source : string;
+  sink : string;
+  value : float;
+}
+
+type violation = { transmission : transmission; index : int }
+(** A failed assertion; [index] points into [config.assertions]. *)
+
+type result = {
+  transmissions : transmission list;  (** Chronological. *)
+  violations : violation list;  (** Chronological. *)
+  final_edge_values : ((string * string) * float) list;
+  outputs : (int * string * float) list;
+      (** Values produced by sink elements (no outgoing edges), with
+          completion times — the system's observable output signal. *)
+}
+
+val run :
+  Rt_core.Model.t -> Rt_core.Schedule.t -> config -> steps:int -> result
+(** [run m sched config ~steps] executes [steps] slots of the round-
+    robin trace.  Raises [Invalid_argument] if [config] names unknown
+    elements or edges. *)

@@ -1,0 +1,81 @@
+(* Binary min-heap over (time, seq); seq breaks ties by insertion order. *)
+
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty q = q.len = 0
+
+let size q = q.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.data.(i) q.data.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && less q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.len && less q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q ~time value =
+  if q.len = Array.length q.data then begin
+    let cap = max 16 (2 * Array.length q.data) in
+    let bigger =
+      Array.make cap { time = 0; seq = 0; value }
+    in
+    Array.blit q.data 0 bigger 0 q.len;
+    q.data <- bigger
+  end;
+  q.data.(q.len) <- { time; seq = q.next_seq; value };
+  q.next_seq <- q.next_seq + 1;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let peek q =
+  if q.len = 0 then None else Some (q.data.(0).time, q.data.(0).value)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      sift_down q 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let pop_until q t =
+  let rec go acc =
+    match peek q with
+    | Some (time, _) when time <= t -> (
+        match pop q with Some e -> go (e :: acc) | None -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let clear q = q.len <- 0

@@ -1,0 +1,31 @@
+(** A mutable binary min-heap keyed by integer time, the discrete-event
+    backbone of the simulators.  Ties are served in insertion order so
+    simulations are deterministic. *)
+
+type 'a t
+(** A queue of events carrying values of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+(** Whether no event is pending. *)
+
+val size : 'a t -> int
+(** Number of pending events. *)
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time v] schedules [v] at [time]. *)
+
+val peek : 'a t -> (int * 'a) option
+(** The earliest event, without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event ([None] when empty). *)
+
+val pop_until : 'a t -> int -> (int * 'a) list
+(** [pop_until q t] removes and returns, in order, every event with time
+    [<= t]. *)
+
+val clear : 'a t -> unit
+(** Drop all pending events. *)

@@ -1,0 +1,25 @@
+type interp = now:int -> float array -> float
+
+type window = { from : int; until : int }
+
+let in_window w now = now >= w.from && now < w.until
+
+let stuck_at w v f ~now inputs = if in_window w now then v else f ~now inputs
+
+let offset_by w delta f ~now inputs =
+  let x = f ~now inputs in
+  if in_window w now then x +. delta else x
+
+let spike ~at v f ~now inputs = if now = at then v else f ~now inputs
+
+let dropout w f =
+  let last = ref 0.0 in
+  fun ~now inputs ->
+    if in_window w now then !last
+    else begin
+      let x = f ~now inputs in
+      last := x;
+      x
+    end
+
+let chain injectors f = List.fold_left (fun acc inj -> inj acc) f injectors

@@ -1,0 +1,35 @@
+(** Fault injection for value-carrying simulations.
+
+    Wrappers around element interpretations that corrupt their output
+    during chosen intervals — the experimental side of the paper's
+    fault-tolerance direction: inject a fault, let the edge assertions
+    localize it, and check that the architecture (voters, limiters)
+    masks it.  All injectors are deterministic. *)
+
+type interp = now:int -> float array -> float
+(** The interpretation type of [Data.config]. *)
+
+type window = { from : int; until : int }
+(** Fault active during completion times [from <= now < until]. *)
+
+val stuck_at : window -> float -> interp -> interp
+(** [stuck_at w v f] outputs the constant [v] inside the window and
+    behaves as [f] outside. *)
+
+val offset_by : window -> float -> interp -> interp
+(** [offset_by w delta f] adds a bias [delta] inside the window
+    (sensor drift). *)
+
+val spike : at:int -> float -> interp -> interp
+(** [spike ~at v f] replaces the single completion at time [>= at]
+    closest to [at] — concretely, every completion with
+    [now = at] — by [v] (a transient glitch).  Combine with the
+    schedule to know when completions happen. *)
+
+val dropout : window -> interp -> interp
+(** [dropout w f] freezes the output at the last pre-window value
+    inside the window (a stale-sensor fault); before any value was
+    produced it outputs 0. *)
+
+val chain : (interp -> interp) list -> interp -> interp
+(** [chain [i1; i2; ...] f] composes injectors left to right. *)

@@ -1,0 +1,292 @@
+open Rt_core
+module P = Rt_process
+
+type protocol = No_protocol | Inheritance | Ceiling
+
+type config = { protocol : protocol; assignment : P.Fixed_priority.assignment }
+
+let default_config =
+  { protocol = Inheritance; assignment = P.Fixed_priority.Deadline_monotonic }
+
+type job_outcome = {
+  process : string;
+  release : int;
+  finish : int option;
+  abs_deadline : int;
+  met : bool;
+  blocked_slots : int;
+}
+
+type result = {
+  jobs : job_outcome list;
+  misses : int;
+  max_blocking : (string * int) list;
+  deadlocked : bool;
+}
+
+(* A job executes a list of micro-steps; Tick consumes one slot,
+   Acquire/Release are instantaneous and processed when reached. *)
+type micro = Tick | Acquire of int | Release of int
+
+type live = {
+  uid : int;  (* unique per job; names repeat across releases *)
+  name : string;
+  base_rank : int; (* smaller = higher priority *)
+  release : int;
+  abs_deadline : int;
+  steps : micro array;
+  mutable pc : int;
+  mutable finished_at : int option;
+  mutable blocked_slots : int;
+  mutable waiting_for : int option; (* monitor id *)
+}
+
+let expand (prog : P.Codegen.program) weight_of =
+  prog.P.Codegen.steps
+  |> List.concat_map (function
+       | P.Codegen.Call e -> List.init (weight_of e) (fun _ -> Tick)
+       | P.Codegen.Enter e -> [ Acquire e ]
+       | P.Codegen.Leave e -> [ Release e ])
+  |> Array.of_list
+
+let simulate ?(config = default_config) ?(arrivals = [])
+    (m : Model.t) (tr : P.From_model.translation) ~horizon =
+  let weight_of e = Comm_graph.weight m.comm e in
+  let rank_of =
+    let order = P.Fixed_priority.priorities config.assignment tr.processes in
+    fun name ->
+      let rec idx i = function
+        | [] -> i
+        | (p : P.Process.t) :: rest ->
+            if p.name = name then i else idx (i + 1) rest
+      in
+      idx 0 order
+  in
+  let program_of name =
+    List.find
+      (fun (pr : P.Codegen.program) -> pr.process_name = name)
+      tr.programs
+  in
+  let releases_of (p : P.Process.t) =
+    match p.kind with
+    | P.Process.Periodic_process ->
+        let rec go t acc =
+          if t >= horizon then List.rev acc else go (t + p.p) (t :: acc)
+        in
+        go 0 []
+    | P.Process.Sporadic_process -> (
+        match List.assoc_opt p.name arrivals with
+        | Some ts -> List.filter (fun t -> t < horizon) ts
+        | None ->
+            let rec go t acc =
+              if t >= horizon then List.rev acc else go (t + p.p) (t :: acc)
+            in
+            go 0 [])
+  in
+  let next_uid = ref 0 in
+  let lives =
+    List.concat_map
+      (fun (p : P.Process.t) ->
+        let steps = expand (program_of p.name) weight_of in
+        List.map
+          (fun t ->
+            incr next_uid;
+            {
+              uid = !next_uid;
+              name = p.name;
+              base_rank = rank_of p.name;
+              release = t;
+              abs_deadline = t + p.d;
+              steps;
+              pc = 0;
+              finished_at = None;
+              blocked_slots = 0;
+              waiting_for = None;
+            })
+          (releases_of p))
+      tr.processes
+    |> List.sort (fun a b ->
+           compare (a.release, a.base_rank, a.name) (b.release, b.base_rank, b.name))
+    |> Array.of_list
+  in
+  (* Monitor ownership: monitor element id -> owning live job. *)
+  let owner : (int, live) Hashtbl.t = Hashtbl.create 8 in
+  let finished l = l.finished_at <> None in
+  let ready now l = l.release <= now && not (finished l) in
+  (* Process instantaneous steps for job l at time [now]; returns true
+     if the job can consume a slot now (its next step is Tick), false
+     if it is blocked on a monitor or has finished. *)
+  (* Priority ceiling of a monitor: the best (smallest) base rank among
+     the processes whose programs ever enter it. *)
+  let ceiling_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (prog : P.Codegen.program) ->
+        let rank = rank_of prog.process_name in
+        List.iter
+          (function
+            | P.Codegen.Enter e ->
+                (match Hashtbl.find_opt tbl e with
+                | Some r when r <= rank -> ()
+                | _ -> Hashtbl.replace tbl e rank)
+            | P.Codegen.Call _ | P.Codegen.Leave _ -> ())
+          prog.P.Codegen.steps)
+      tr.programs;
+    fun mid -> Option.value ~default:max_int (Hashtbl.find_opt tbl mid)
+  in
+  (* PCP admission: a job may enter a monitor only if its base rank is
+     strictly better than the ceiling of every monitor held by others. *)
+  let pcp_admits l =
+    match config.protocol with
+    | Ceiling ->
+        Hashtbl.fold
+          (fun mid holder acc ->
+            acc && (holder == l || l.base_rank < ceiling_of mid))
+          owner true
+    | No_protocol | Inheritance -> true
+  in
+  let rec settle now l =
+    if l.pc >= Array.length l.steps then begin
+      if l.finished_at = None then l.finished_at <- Some now;
+      false
+    end
+    else
+      match l.steps.(l.pc) with
+      | Tick -> true
+      | Acquire mid -> (
+          match Hashtbl.find_opt owner mid with
+          | Some holder when holder != l ->
+              l.waiting_for <- Some mid;
+              false
+          | _ ->
+              if pcp_admits l then begin
+                Hashtbl.replace owner mid l;
+                l.waiting_for <- None;
+                l.pc <- l.pc + 1;
+                settle now l
+              end
+              else begin
+                (* Blocked by the ceiling: record the monitor so that
+                   inheritance can lift the blocking holder. *)
+                l.waiting_for <- Some mid;
+                false
+              end)
+      | Release mid ->
+          (match Hashtbl.find_opt owner mid with
+          | Some holder when holder == l -> Hashtbl.remove owner mid
+          | _ -> ());
+          l.pc <- l.pc + 1;
+          settle now l
+  in
+  (* Effective rank with priority inheritance: a holder inherits the
+     best rank among jobs transitively blocked on monitors it holds. *)
+  let effective_rank now l =
+    if config.protocol = No_protocol then l.base_rank
+    else begin
+      let best = ref l.base_rank in
+      (* Propagate blocked jobs' ranks to holders until a fixpoint over
+         the (small) job set. *)
+      let changed = ref true in
+      let inherited : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter (fun j -> Hashtbl.replace inherited j.uid j.base_rank) lives;
+      while !changed do
+        changed := false;
+        Array.iter
+          (fun j ->
+            if ready now j then
+              match j.waiting_for with
+              | Some mid -> (
+                  let lift h =
+                    let jr = Hashtbl.find inherited j.uid in
+                    let hr = Hashtbl.find inherited h.uid in
+                    if jr < hr then begin
+                      Hashtbl.replace inherited h.uid jr;
+                      changed := true
+                    end
+                  in
+                  match Hashtbl.find_opt owner mid with
+                  | Some h -> lift h
+                  | None ->
+                      (* Ceiling-blocked: lift every other holder whose
+                         monitor's ceiling is blocking j. *)
+                      if config.protocol = Ceiling then
+                        Hashtbl.iter
+                          (fun m h ->
+                            if h != j && j.base_rank >= ceiling_of m then
+                              lift h)
+                          owner)
+              | None -> ())
+          lives
+      done;
+      best := min !best (Hashtbl.find inherited l.uid);
+      !best
+    end
+  in
+  let deadlocked = ref false in
+  for now = 0 to horizon - 1 do
+    (* Settle instantaneous steps (acquisitions may cascade as monitors
+       free up). *)
+    let ready_jobs = Array.to_list lives |> List.filter (fun l -> ready now l) in
+    let runnable = List.filter (fun l -> settle now l) ready_jobs in
+    if
+      runnable = [] && ready_jobs <> []
+      && List.for_all (fun l -> l.waiting_for <> None) ready_jobs
+    then deadlocked := true;
+    (* Choose the best effective-priority runnable job. *)
+    let chosen =
+      List.fold_left
+        (fun acc l ->
+          match acc with
+          | None -> Some l
+          | Some b ->
+              let kl = (effective_rank now l, l.release, l.name) in
+              let kb = (effective_rank now b, b.release, b.name) in
+              if kl < kb then Some l else acc)
+        None runnable
+    in
+    (match chosen with
+    | None -> ()
+    | Some l ->
+        (* Account blocking: every ready unfinished job with a better
+           base rank than the one running is suffering inversion. *)
+        Array.iter
+          (fun j ->
+            if ready now j && j != l && j.base_rank < l.base_rank then
+              j.blocked_slots <- j.blocked_slots + 1)
+          lives;
+        assert (l.steps.(l.pc) = Tick);
+        l.pc <- l.pc + 1;
+        (* Completion exactly at the end of the last tick. *)
+        ignore (settle (now + 1) l))
+  done;
+  let outcomes =
+    Array.to_list lives
+    |> List.map (fun l ->
+           let met =
+             match l.finished_at with
+             | Some f -> f <= l.abs_deadline
+             | None -> l.abs_deadline > horizon
+           in
+           {
+             process = l.name;
+             release = l.release;
+             finish = l.finished_at;
+             abs_deadline = l.abs_deadline;
+             met;
+             blocked_slots = l.blocked_slots;
+           })
+  in
+  let max_blocking =
+    List.fold_left
+      (fun acc o ->
+        let cur = Option.value ~default:0 (List.assoc_opt o.process acc) in
+        (o.process, max cur o.blocked_slots) :: List.remove_assoc o.process acc)
+      [] outcomes
+    |> List.sort compare
+  in
+  {
+    jobs = outcomes;
+    misses = List.length (List.filter (fun o -> not o.met) outcomes);
+    max_blocking;
+    deadlocked = !deadlocked;
+  }

@@ -1,0 +1,73 @@
+(** Fixed-priority simulation of the naive process-based implementation
+    with monitors, including priority inversion and (optionally)
+    priority inheritance.
+
+    The paper's straightforward mapping creates "a monitor for each
+    functional element that occurs in two or more timing constraints".
+    This simulator executes the straight-line programs emitted by
+    [Rt_process.Codegen] — [Enter]/[Call]/[Leave] step lists — under
+    preemptive fixed priorities, so the cost of those monitors
+    (blocking, inversion) can be observed rather than only bounded
+    analytically, and the benefit of software pipelining (shorter
+    critical sections) measured directly. *)
+
+type protocol =
+  | No_protocol
+      (** Plain monitors: classic unbounded priority inversion, and
+          deadlock when critical sections nest in opposite orders. *)
+  | Inheritance
+      (** Priority inheritance: a holder runs at the highest priority
+          among the jobs it (transitively) blocks.  Bounds inversion by
+          one critical section per monitor, but nested sections can
+          still deadlock. *)
+  | Ceiling
+      (** Priority ceiling (PCP): a job may enter a monitor only when
+          its priority is strictly higher than the ceilings of all
+          monitors held by {e other} jobs; holders additionally inherit
+          as under {!Inheritance}.  Deadlock-free and at most one
+          blocking interval per job. *)
+
+type config = {
+  protocol : protocol;
+  assignment : Rt_process.Fixed_priority.assignment;
+}
+
+val default_config : config
+(** Deadline-monotonic with {!Inheritance}. *)
+
+type job_outcome = {
+  process : string;
+  release : int;
+  finish : int option;
+  abs_deadline : int;
+  met : bool;
+  blocked_slots : int;
+      (** Slots where the job was ready with the highest base priority
+          yet did not run (inversion / blocking). *)
+}
+
+type result = {
+  jobs : job_outcome list;
+  misses : int;
+  max_blocking : (string * int) list;
+      (** Per process, the worst blocking observed over its jobs. *)
+  deadlocked : bool;
+      (** True when the simulation reached a state where released
+          unfinished jobs exist but none could run because every one of
+          them waits on a monitor held by another waiter — possible
+          under {!No_protocol} and {!Inheritance} with nested sections,
+          impossible under {!Ceiling}. *)
+}
+
+val simulate :
+  ?config:config ->
+  ?arrivals:(string * int list) list ->
+  Rt_core.Model.t ->
+  Rt_process.From_model.translation ->
+  horizon:int ->
+  result
+(** [simulate m tr ~horizon] releases each periodic process at
+    [0, p, ...] and each sporadic process at its [arrivals] (default:
+    maximal rate), executes the translation's programs and reports
+    per-job outcomes.  Monitor acquisition is at [Enter] steps; a held
+    monitor blocks other entrants until the matching [Leave]. *)

@@ -1,0 +1,162 @@
+type policy =
+  | Edf
+  | Fixed of Rt_process.Fixed_priority.assignment
+  | Llf
+  | Kernelized of int
+
+type job_result = {
+  process : string;
+  release : int;
+  finish : int option;
+  abs_deadline : int;
+  met : bool;
+}
+
+type result = {
+  jobs : job_result list;
+  misses : int;
+  idle : int;
+  preemptions : int;
+}
+
+type live = {
+  process : Rt_process.Process.t;
+  release : int;
+  abs_deadline : int;
+  prio_rank : int; (* for fixed-priority policies *)
+  mutable remaining : int;
+  mutable finished_at : int option;
+}
+
+let simulate ?arrivals policy procs ~horizon =
+  let arrivals = Option.value ~default:[] arrivals in
+  let releases_of (p : Rt_process.Process.t) =
+    match p.kind with
+    | Rt_process.Process.Periodic_process ->
+        let rec go t acc =
+          if t >= horizon then List.rev acc else go (t + p.p) (t :: acc)
+        in
+        go 0 []
+    | Rt_process.Process.Sporadic_process -> (
+        match List.assoc_opt p.name arrivals with
+        | Some times ->
+            if not (Arrivals.legal ~separation:p.p times) then
+              invalid_arg
+                ("Proc_sim.simulate: illegal arrival sequence for " ^ p.name);
+            List.filter (fun t -> t < horizon) times
+        | None -> Arrivals.max_rate ~horizon ~separation:p.p)
+  in
+  (match policy with
+  | Kernelized q when q < 1 ->
+      invalid_arg "Proc_sim.simulate: quantum must be >= 1"
+  | _ -> ());
+  let rank =
+    let order =
+      match policy with
+      | Fixed a -> Rt_process.Fixed_priority.priorities a procs
+      | Edf | Llf | Kernelized _ -> procs
+    in
+    fun (p : Rt_process.Process.t) ->
+      let rec idx i = function
+        | [] -> i
+        | (q : Rt_process.Process.t) :: rest -> if q.name = p.name then i else idx (i + 1) rest
+      in
+      idx 0 order
+  in
+  let jobs =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun t ->
+            {
+              process = p;
+              release = t;
+              abs_deadline = t + p.Rt_process.Process.d;
+              prio_rank = rank p;
+              remaining = p.Rt_process.Process.c;
+              finished_at = None;
+            })
+          (releases_of p))
+      procs
+  in
+  let jobs =
+    List.sort (fun a b -> compare (a.release, a.process.Rt_process.Process.name) (b.release, b.process.Rt_process.Process.name)) jobs
+  in
+  let arr = Array.of_list jobs in
+  let idle = ref 0 in
+  let preemptions = ref 0 in
+  let last_running = ref None in
+  for t = 0 to horizon - 1 do
+    let key j =
+      match policy with
+      | Edf | Kernelized _ ->
+          (j.abs_deadline, j.release, j.process.Rt_process.Process.name)
+      | Fixed _ -> (j.prio_rank, j.release, j.process.Rt_process.Process.name)
+      | Llf -> (j.abs_deadline - t - j.remaining, j.release, j.process.Rt_process.Process.name)
+    in
+    let best = ref None in
+    Array.iter
+      (fun j ->
+        if j.release <= t && j.remaining > 0 then
+          match !best with
+          | None -> best := Some j
+          | Some b -> if key j < key b then best := Some j)
+      arr;
+    (* Kernelized dispatching: between quantum boundaries the previous
+       job keeps the processor as long as it has work. *)
+    (match policy with
+    | Kernelized q when t mod q <> 0 -> (
+        match !last_running with
+        | Some prev when prev.remaining > 0 -> best := Some prev
+        | _ -> ())
+    | _ -> ());
+    (match !best with
+    | None ->
+        incr idle;
+        last_running := None
+    | Some j ->
+        (match !last_running with
+        | Some prev when prev != j && prev.remaining > 0 -> incr preemptions
+        | _ -> ());
+        j.remaining <- j.remaining - 1;
+        if j.remaining = 0 then begin
+          j.finished_at <- Some (t + 1);
+          last_running := None
+        end
+        else last_running := Some j)
+  done;
+  let results =
+    Array.to_list arr
+    |> List.map (fun j ->
+           let met =
+             match j.finished_at with
+             | Some f -> f <= j.abs_deadline
+             | None -> j.abs_deadline > horizon
+           in
+           {
+             process = j.process.Rt_process.Process.name;
+             release = j.release;
+             finish = j.finished_at;
+             abs_deadline = j.abs_deadline;
+             met;
+           })
+  in
+  {
+    jobs = results;
+    misses = List.length (List.filter (fun r -> not r.met) results);
+    idle = !idle;
+    preemptions = !preemptions;
+  }
+
+let schedulable_by_simulation policy procs =
+  match procs with
+  | [] -> true
+  | _ -> (
+      match Rt_process.Process.hyperperiod procs with
+      | exception Rt_graph.Intmath.Overflow -> false
+      | h ->
+          let max_d =
+            List.fold_left (fun acc (p : Rt_process.Process.t) -> max acc p.d) 0 procs
+          in
+          let r = simulate policy procs ~horizon:(h + max_d) in
+          r.misses = 0)

@@ -1,0 +1,55 @@
+(** Preemptive single-processor simulation of process sets under EDF,
+    fixed-priority, or least-laxity-first dispatching.
+
+    Complements the analytical tests in [rt_process]: the acceptance-
+    ratio experiment (E6) uses the simulator as ground truth over one
+    hyperperiod with synchronous release (the critical instant for all
+    three policies on independent periodic processes). *)
+
+type policy =
+  | Edf  (** Earliest absolute deadline first. *)
+  | Fixed of Rt_process.Fixed_priority.assignment
+      (** Static priorities (rate- or deadline-monotonic). *)
+  | Llf  (** Least laxity first (dynamic, unit-grain re-evaluation). *)
+  | Kernelized of int
+      (** [MOK 83]'s kernelized monitor: EDF, but the dispatcher may
+          only switch jobs at quantum boundaries of size [q >= 1].
+          Picking [q] at least as large as the longest critical section
+          lets monitors be elided entirely — a running job cannot be
+          preempted mid-section — at the price of up to [q - 1] slots of
+          blocking for urgent arrivals. *)
+
+type job_result = {
+  process : string;
+  release : int;
+  finish : int option;  (** [None] when unfinished at the horizon. *)
+  abs_deadline : int;
+  met : bool;
+}
+
+type result = {
+  jobs : job_result list;  (** Release order. *)
+  misses : int;
+  idle : int;  (** Idle slots over the horizon. *)
+  preemptions : int;  (** Times a running job was displaced. *)
+}
+
+val simulate :
+  ?arrivals:(string * int list) list ->
+  policy ->
+  Rt_process.Process.t list ->
+  horizon:int ->
+  result
+(** [simulate policy procs ~horizon] dispatches all jobs released before
+    [horizon] and reports per-job outcomes.  Jobs still running at the
+    horizon count as misses if their deadline is [<= horizon], otherwise
+    they are reported unfinished but not counted.  Periodic processes
+    release at [0, p, ...]; sporadic ones at the instants given in
+    [arrivals] (default: their maximal rate).  Deterministic tie-breaks
+    (policy key, then release, then name). *)
+
+val schedulable_by_simulation : policy -> Rt_process.Process.t list -> bool
+(** Simulate over one hyperperiod plus the largest deadline with
+    synchronous release and report absence of misses.  Exact for EDF
+    and fixed priorities on periodic sets with constrained deadlines;
+    for LLF it is the standard empirical check. *)

@@ -1,0 +1,99 @@
+open Rt_core
+
+type invocation = {
+  constraint_name : string;
+  arrival : int;
+  completion : int option;
+  response : int option;
+  met : bool;
+}
+
+type report = {
+  invocations : invocation list;
+  misses : int;
+  worst_response : (string * int) list;
+}
+
+let run (m : Model.t) sched ~horizon ~arrivals =
+  List.iter
+    (fun (name, times) ->
+      let c =
+        try Model.find m name
+        with Not_found ->
+          invalid_arg ("Runtime.run: unknown constraint " ^ name)
+      in
+      if not (Timing.is_asynchronous c) then
+        invalid_arg ("Runtime.run: arrivals given for periodic constraint " ^ name);
+      if not (Arrivals.legal ~separation:c.period times) then
+        invalid_arg ("Runtime.run: illegal arrival sequence for " ^ name);
+      if List.exists (fun t -> t >= horizon) times then
+        invalid_arg ("Runtime.run: arrival beyond horizon for " ^ name))
+    arrivals;
+  (* Margin so that executions answering late arrivals are observable. *)
+  let margin =
+    List.fold_left
+      (fun acc (c : Timing.t) ->
+        max acc
+          ((Timing.computation_time m.comm c + Task_graph.size c.graph + 3)
+          * Schedule.length sched))
+      0 m.constraints
+  in
+  let trace = Trace.of_schedule m.comm sched ~horizon:(horizon + margin) in
+  let invocation_of (c : Timing.t) t =
+    let completion = Latency.next_completion m.comm c.graph trace ~from:t in
+    let response = Option.map (fun f -> f - t) completion in
+    {
+      constraint_name = c.name;
+      arrival = t;
+      completion;
+      response;
+      met = (match response with Some r -> r <= c.deadline | None -> false);
+    }
+  in
+  let async_invocations =
+    List.concat_map
+      (fun (name, times) ->
+        let c = Model.find m name in
+        List.map (invocation_of c) times)
+      arrivals
+  in
+  let periodic_invocations =
+    List.concat_map
+      (fun (c : Timing.t) ->
+        let rec go t acc =
+          if t >= horizon then List.rev acc
+          else go (t + c.period) (invocation_of c t :: acc)
+        in
+        go c.offset [])
+      (Model.periodic m)
+  in
+  let invocations =
+    List.sort
+      (fun a b ->
+        compare (a.arrival, a.constraint_name) (b.arrival, b.constraint_name))
+      (async_invocations @ periodic_invocations)
+  in
+  let misses = List.length (List.filter (fun i -> not i.met) invocations) in
+  let worst_response =
+    List.fold_left
+      (fun acc i ->
+        match i.response with
+        | None -> acc
+        | Some r ->
+            let cur =
+              Option.value ~default:0 (List.assoc_opt i.constraint_name acc)
+            in
+            (i.constraint_name, max cur r)
+            :: List.remove_assoc i.constraint_name acc)
+      [] invocations
+    |> List.sort compare
+  in
+  { invocations; misses; worst_response }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>invocations: %d, misses: %d@,"
+    (List.length r.invocations) r.misses;
+  List.iter
+    (fun (name, w) -> Format.fprintf fmt "worst response %s: %d@," name w)
+    r.worst_response;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,67 @@
+type summary = {
+  constraint_name : string;
+  invocations : int;
+  completed : int;
+  min_response : int;
+  max_response : int;
+  mean_response : float;
+  jitter : int;
+  misses : int;
+}
+
+let summarize (r : Runtime.report) =
+  let by_name : (string, Runtime.invocation list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (i : Runtime.invocation) ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt by_name i.constraint_name)
+      in
+      Hashtbl.replace by_name i.constraint_name (i :: cur))
+    r.Runtime.invocations;
+  Hashtbl.fold
+    (fun name invs acc ->
+      let responses =
+        List.filter_map (fun (i : Runtime.invocation) -> i.response) invs
+      in
+      let completed = List.length responses in
+      let misses =
+        List.length (List.filter (fun (i : Runtime.invocation) -> not i.met) invs)
+      in
+      let min_r = List.fold_left min max_int responses in
+      let max_r = List.fold_left max 0 responses in
+      let mean =
+        if completed = 0 then 0.0
+        else
+          float_of_int (List.fold_left ( + ) 0 responses)
+          /. float_of_int completed
+      in
+      {
+        constraint_name = name;
+        invocations = List.length invs;
+        completed;
+        min_response = (if completed = 0 then 0 else min_r);
+        max_response = max_r;
+        mean_response = mean;
+        jitter = (if completed = 0 then 0 else max_r - min_r);
+        misses;
+      }
+      :: acc)
+    by_name []
+  |> List.sort (fun a b -> String.compare a.constraint_name b.constraint_name)
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%s: %d invocations, resp %d..%d (mean %.1f, jitter %d), %d misses"
+    s.constraint_name s.invocations s.min_response s.max_response
+    s.mean_response s.jitter s.misses
+
+let worst_jitter summaries =
+  List.fold_left
+    (fun acc s ->
+      if s.completed = 0 then acc
+      else
+        match acc with
+        | Some (_, j) when j >= s.jitter -> acc
+        | _ -> Some (s.constraint_name, s.jitter))
+    None summaries

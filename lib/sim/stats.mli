@@ -1,0 +1,29 @@
+(** Response-time statistics over runtime replays.
+
+    Control engineers care about more than deadline misses: output
+    {e jitter} — variation in completion instants — degrades control
+    quality even when every deadline is met.  This module aggregates
+    per-constraint response distributions from a {!Runtime.report}. *)
+
+type summary = {
+  constraint_name : string;
+  invocations : int;
+  completed : int;
+  min_response : int;
+  max_response : int;
+  mean_response : float;
+  jitter : int;  (** [max_response - min_response]. *)
+  misses : int;
+}
+
+val summarize : Runtime.report -> summary list
+(** [summarize r] aggregates per constraint, ordered by name.
+    Constraints with no completed invocation report zero responses and
+    count all their invocations as misses. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One line: ["pz: 12 invocations, resp 3..15 (mean 8.2, jitter 12), 0 misses"]. *)
+
+val worst_jitter : summary list -> (string * int) option
+(** The constraint with the largest jitter, if any invocation
+    completed. *)

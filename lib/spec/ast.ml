@@ -1,0 +1,30 @@
+type element_decl = {
+  el_name : string;
+  el_weight : int;
+  el_pipelinable : bool;
+}
+
+type edge_decl = { ed_src : string; ed_dst : string }
+
+type constraint_kind = K_periodic | K_asynchronous
+
+type constraint_decl = {
+  co_name : string;
+  co_kind : constraint_kind;
+  co_period : int;
+  co_deadline : int;
+  co_offset : int;
+  co_chains : string list list;
+}
+
+type assert_decl = { as_src : string; as_dst : string; as_lo : int; as_hi : int }
+
+type system = {
+  sy_name : string;
+  sy_elements : element_decl list;
+  sy_edges : edge_decl list;
+  sy_asserts : assert_decl list;
+  sy_constraints : constraint_decl list;
+}
+
+let equal_system (a : system) (b : system) = a = b

@@ -1,0 +1,70 @@
+(** Abstract syntax of the requirements-specification language.
+
+    The paper stresses that "the requirements specification language
+    employed by the end user is of only secondary importance in so far
+    as it permits a precise translation of user requirements into an
+    instance of our graph-based model".  This is such a language — a
+    small textual notation for communication graphs and timing
+    constraints, standing in for CONSORT's graphical front end.
+
+    Concrete syntax (see the parser for the grammar):
+
+    {v
+    system "control" {
+      element f_x weight 1 pipelinable;
+      element f_s weight 2 pipelinable;
+      element io  weight 3 atomic;      # atomic = not pipelinable
+      edge f_x -> f_s;
+      constraint px periodic period 10 deadline 10 {
+        f_x -> f_s -> f_k;
+      }
+      constraint pz asynchronous separation 50 deadline 15 {
+        f_z -> f_s;
+      }
+    }
+    v} *)
+
+type element_decl = {
+  el_name : string;
+  el_weight : int;
+  el_pipelinable : bool;
+}
+
+type edge_decl = { ed_src : string; ed_dst : string }
+
+type constraint_kind = K_periodic | K_asynchronous
+
+type constraint_decl = {
+  co_name : string;
+  co_kind : constraint_kind;
+  co_period : int;  (** [period] for periodic, [separation] for async. *)
+  co_deadline : int;
+  co_offset : int;  (** Release offset; 0 when not written. *)
+  co_chains : string list list;
+      (** Each chain [a -> b -> c] contributes nodes and consecutive
+          edges; a task graph is the union of its chains (each element
+          names one node, so an element may appear in several chains to
+          build DAG shapes). *)
+}
+
+type assert_decl = {
+  as_src : string;  (** Producing element. *)
+  as_dst : string;  (** Consuming element. *)
+  as_lo : int;  (** Inclusive lower bound on transmitted values. *)
+  as_hi : int;  (** Inclusive upper bound. *)
+}
+(** A logical-integrity relation on a communication edge — the paper's
+    "relations on the data values that are being passed along the
+    edges", checked by the value-carrying simulator. *)
+
+type system = {
+  sy_name : string;
+  sy_elements : element_decl list;
+  sy_edges : edge_decl list;
+  sy_asserts : assert_decl list;
+  sy_constraints : constraint_decl list;
+}
+
+val equal_system : system -> system -> bool
+(** Structural equality up to list order of declarations being
+    significant (declarations are ordered). *)

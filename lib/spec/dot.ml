@@ -1,0 +1,64 @@
+open Rt_core
+
+let element_label (m : Model.t) e =
+  let el = Comm_graph.element m.comm e in
+  Printf.sprintf "%s (%d)" el.Element.name el.Element.weight
+
+let comm_nodes buf (m : Model.t) ~prefix =
+  List.iter
+    (fun (e : Element.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%d [label=\"%s (%d)\"%s];\n" prefix e.id e.name
+           e.weight
+           (if e.pipelinable then "" else " shape=box")))
+    (Comm_graph.elements m.comm)
+
+let comm_graph ?(name = "communication") (m : Model.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  comm_nodes buf m ~prefix:"e";
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  e%d -> e%d;\n" u v))
+    (Rt_graph.Digraph.edges (Comm_graph.graph m.comm));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let task_graph_body buf (m : Model.t) (c : Timing.t) ~prefix =
+  for v = 0 to Task_graph.size c.graph - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %s%d [label=\"%s\"];\n" prefix v
+         (element_label m (Task_graph.element_of_node c.graph v)))
+  done;
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf (Printf.sprintf "  %s%d -> %s%d;\n" prefix u prefix v))
+    (Task_graph.edges c.graph)
+
+let task_graph (m : Model.t) (c : Timing.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" c.name);
+  task_graph_body buf m c ~prefix:"n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let full ?(name = "model") (m : Model.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  subgraph cluster_comm {\n  label=\"communication graph\";\n";
+  comm_nodes buf m ~prefix:"e";
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  e%d -> e%d;\n" u v))
+    (Rt_graph.Digraph.edges (Comm_graph.graph m.comm));
+  Buffer.add_string buf "  }\n";
+  List.iteri
+    (fun i (c : Timing.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_c%d {\n  label=\"%s (%s p=%d d=%d)\";\n"
+           i c.name
+           (Timing.kind_to_string c.kind)
+           c.period c.deadline);
+      task_graph_body buf m c ~prefix:(Printf.sprintf "c%d_" i);
+      Buffer.add_string buf "  }\n")
+    m.constraints;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Graphviz export of models — the stand-in for CONSORT's graphical
+    view of controller structures. *)
+
+val comm_graph : ?name:string -> Rt_core.Model.t -> string
+(** DOT source for the communication graph: elements labelled
+    ["name (w)"], non-pipelinable elements drawn as boxes. *)
+
+val task_graph : Rt_core.Model.t -> Rt_core.Timing.t -> string
+(** DOT source for one constraint's task graph, nodes labelled with the
+    element each executes. *)
+
+val full : ?name:string -> Rt_core.Model.t -> string
+(** One DOT document with the communication graph and each task graph
+    as clusters. *)

@@ -1,0 +1,30 @@
+(** Elaboration: AST -> graph-based model.
+
+    This is the "precise translation of user requirements into an
+    instance of our graph-based model" step.  Each constraint's task
+    graph is assembled from its chains: every element named in some
+    chain becomes one node, and consecutive chain members contribute
+    precedence edges (so DAG shapes are written as several overlapping
+    chains).  All semantic validation — unknown elements, edges without
+    matching communication paths, cyclic task graphs, duplicate names —
+    is reported with the constraint it occurred in. *)
+
+val elaborate : Ast.system -> (Rt_core.Model.t, string list) result
+(** [elaborate sys] builds and validates the model; [Error] collects
+    every diagnostic. *)
+
+val elaborate_exn : Ast.system -> Rt_core.Model.t
+(** Raising variant ([Invalid_argument] with joined diagnostics). *)
+
+val load : string -> (Rt_core.Model.t, string list) result
+(** [load src] parses and elaborates in one step (assert declarations
+    are validated and dropped). *)
+
+val load_with_assertions :
+  string ->
+  (Rt_core.Model.t * (string * string * float * float) list, string list)
+  result
+(** [load_with_assertions src] additionally returns the edge assertions
+    [(src, dst, lo, hi)] declared in the specification, each validated
+    against the communication graph; feed them to the value-carrying
+    simulator ([Rt_sim.Data]) as range predicates. *)

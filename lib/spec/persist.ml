@@ -1,0 +1,71 @@
+open Rt_core
+
+let header = "# rtsyn plan v1"
+
+let separator = "--- model ---"
+
+let save_string (m : Model.t) sched =
+  let verdicts = Latency.verify m sched in
+  if not (Latency.all_ok verdicts) then
+    invalid_arg "Persist.save_string: schedule does not verify against the model";
+  Printf.sprintf "%s\nschedule: %s\n%s\n%s" header
+    (Schedule.to_string m.Model.comm sched)
+    separator (Printer.print m)
+
+let load_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when String.trim first = header -> (
+      let rec split_schedule acc = function
+        | [] -> Error "missing model section"
+        | line :: more when String.trim line = separator ->
+            Ok (List.rev acc, String.concat "\n" more)
+        | line :: more -> split_schedule (line :: acc) more
+      in
+      match split_schedule [] rest with
+      | Error e -> Error e
+      | Ok (head_lines, model_src) -> (
+          let sched_line =
+            List.find_opt
+              (fun l ->
+                String.length l >= 9 && String.sub l 0 9 = "schedule:")
+              head_lines
+          in
+          match sched_line with
+          | None -> Error "missing 'schedule:' line"
+          | Some line -> (
+              match Elaborate.load model_src with
+              | Error errs -> Error (String.concat "; " errs)
+              | Ok m -> (
+                  match
+                    Schedule.of_string m.Model.comm
+                      (String.sub line 9 (String.length line - 9))
+                  with
+                  | Error e -> Error e
+                  | Ok sched ->
+                      (match Schedule.validate m.Model.comm sched with
+                      | Error errs ->
+                          Error ("ill-formed schedule: " ^ String.concat "; " errs)
+                      | Ok () ->
+                          if Latency.all_ok (Latency.verify m sched) then
+                            Ok (m, sched)
+                          else
+                            Error
+                              "plan rejected: schedule no longer verifies \
+                               against the model")))))
+  | _ -> Error (Printf.sprintf "missing %S header" header)
+
+let save_file path m sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save_string m sched))
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          load_string (really_input_string ic (in_channel_length ic)))

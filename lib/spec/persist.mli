@@ -1,0 +1,37 @@
+(** Persistence of synthesized plans.
+
+    The methodology's deployment story is: synthesize off-line, then
+    ship the static schedule to the target where a trivial round-robin
+    dispatcher replays it.  This module defines that shipping format —
+    a plain text file holding the (possibly rewritten) model as
+    specification source plus the schedule as an element-name string —
+    and the loader the "target" uses, which re-verifies the schedule
+    against the model before accepting it (never trust a table you did
+    not check).
+
+    Format:
+
+    {v
+    # rtsyn plan v1
+    schedule: f_x f_s#1 f_s#2 . f_k
+    --- model ---
+    system "..." { ... }
+    v} *)
+
+val save_string : Rt_core.Model.t -> Rt_core.Schedule.t -> string
+(** [save_string m l] renders the plan file contents.  Raises
+    [Invalid_argument] if the model is not expressible in the spec
+    language (duplicate element occurrences in a task graph) or if the
+    schedule fails verification against [m]. *)
+
+val load_string :
+  string -> (Rt_core.Model.t * Rt_core.Schedule.t, string) result
+(** [load_string s] parses, elaborates, rebuilds the schedule, and
+    re-verifies it; a plan that no longer verifies is rejected. *)
+
+val save_file : string -> Rt_core.Model.t -> Rt_core.Schedule.t -> unit
+(** [save_file path m l] writes {!save_string} to [path]. *)
+
+val load_file :
+  string -> (Rt_core.Model.t * Rt_core.Schedule.t, string) result
+(** [load_file path] reads and {!load_string}s. *)

@@ -1,0 +1,74 @@
+open Rt_core
+
+let print_constraint (m : Model.t) (c : Timing.t) =
+  let ename e = (Comm_graph.element m.comm e).Element.name in
+  List.iter
+    (fun e ->
+      if Task_graph.occurrences c.graph e > 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Printer: constraint %s uses element %s more than once, which \
+              the spec language cannot express"
+             c.name (ename e)))
+    (Task_graph.elements_used c.graph);
+  let node_elem v = Task_graph.element_of_node c.graph v in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "  constraint %s %s %d deadline %d%s {\n" c.name
+       (match c.kind with
+       | Timing.Periodic -> "periodic period"
+       | Timing.Asynchronous -> "asynchronous separation")
+       c.period c.deadline
+       (if c.offset > 0 then Printf.sprintf " offset %d" c.offset else ""));
+  (* Isolated nodes as singleton chains, every edge as a two-chain. *)
+  let edges = Task_graph.edges c.graph in
+  let connected = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace connected u ();
+      Hashtbl.replace connected v ())
+    edges;
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem connected v) then
+        Buffer.add_string buf
+          (Printf.sprintf "    %s;\n" (ename (node_elem v))))
+    (List.init (Task_graph.size c.graph) Fun.id);
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s -> %s;\n" (ename (node_elem u))
+           (ename (node_elem v))))
+    edges;
+  Buffer.add_string buf "  }";
+  Buffer.contents buf
+
+let print ?(name = "system") ?(assertions = []) (m : Model.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "system \"%s\" {\n" name);
+  List.iter
+    (fun (e : Element.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  element %s weight %d %s;\n" e.name e.weight
+           (if e.pipelinable then "pipelinable" else "atomic")))
+    (Comm_graph.elements m.comm);
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  edge %s -> %s;\n"
+           (Comm_graph.element m.comm u).Element.name
+           (Comm_graph.element m.comm v).Element.name))
+    (Rt_graph.Digraph.edges (Comm_graph.graph m.comm));
+  List.iter
+    (fun (src, dst, lo, hi) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assert %s -> %s in [%d, %d];\n" src dst
+           (int_of_float lo) (int_of_float hi)))
+    assertions;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (print_constraint m c);
+      Buffer.add_char buf '\n')
+    m.constraints;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

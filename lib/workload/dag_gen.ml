@@ -1,0 +1,49 @@
+module Prng = Rt_graph.Prng
+module Digraph = Rt_graph.Digraph
+
+let layered g ~layers ~width ~p_edge =
+  if layers < 1 || width < 1 then invalid_arg "Dag_gen.layered";
+  let sizes = Array.init layers (fun _ -> Prng.int_in g 1 width) in
+  let offsets = Array.make layers 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i s ->
+      offsets.(i) <- !total;
+      total := !total + s)
+    sizes;
+  let edges = ref [] in
+  for i = 0 to layers - 2 do
+    for a = 0 to sizes.(i) - 1 do
+      let u = offsets.(i) + a in
+      let forced = Prng.int g sizes.(i + 1) in
+      for b = 0 to sizes.(i + 1) - 1 do
+        let v = offsets.(i + 1) + b in
+        if b = forced || Prng.chance g p_edge then edges := (u, v) :: !edges
+      done
+    done
+  done;
+  Digraph.create ~n:!total ~edges:!edges
+
+let erdos_renyi g ~n ~p_edge =
+  if n < 0 then invalid_arg "Dag_gen.erdos_renyi";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.chance g p_edge then edges := (i, j) :: !edges
+    done
+  done;
+  Digraph.create ~n ~edges:!edges
+
+let random_chain g ~min_len ~max_len =
+  if min_len < 1 || max_len < min_len then invalid_arg "Dag_gen.random_chain";
+  let n = Prng.int_in g min_len max_len in
+  Digraph.create ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+
+let fork_join _g ~branches =
+  if branches < 1 then invalid_arg "Dag_gen.fork_join";
+  let n = branches + 2 in
+  let edges =
+    List.init branches (fun i -> (0, i + 1))
+    @ List.init branches (fun i -> (i + 1, n - 1))
+  in
+  Digraph.create ~n ~edges

@@ -1,0 +1,30 @@
+(** Random directed-acyclic-graph generators for workload synthesis.
+
+    All generators are deterministic functions of the supplied
+    {!Rt_graph.Prng.t} state. *)
+
+val layered :
+  Rt_graph.Prng.t ->
+  layers:int ->
+  width:int ->
+  p_edge:float ->
+  Rt_graph.Digraph.t
+(** [layered g ~layers ~width ~p_edge] builds a layered DAG: each layer
+    has between 1 and [width] nodes; every node in layer [i] gains an
+    edge to each node of layer [i+1] independently with probability
+    [p_edge], plus one mandatory edge so no node is isolated from the
+    next layer.  Layered DAGs model signal-flow pipelines
+    (sensor -> filter -> control -> actuator). *)
+
+val erdos_renyi :
+  Rt_graph.Prng.t -> n:int -> p_edge:float -> Rt_graph.Digraph.t
+(** [erdos_renyi g ~n ~p_edge] includes each forward edge [(i, j)],
+    [i < j], independently with probability [p_edge]; always acyclic by
+    construction. *)
+
+val random_chain : Rt_graph.Prng.t -> min_len:int -> max_len:int -> Rt_graph.Digraph.t
+(** A simple path whose length is uniform in [\[min_len, max_len\]]. *)
+
+val fork_join : Rt_graph.Prng.t -> branches:int -> Rt_graph.Digraph.t
+(** A fork–join diamond: one source fanning out to [branches] parallel
+    nodes that all join into one sink ([branches >= 1]). *)

@@ -1,0 +1,269 @@
+module Prng = Rt_graph.Prng
+open Rt_core
+
+let uunifast g ~n ~total =
+  if n < 1 then invalid_arg "Model_gen.uunifast";
+  let shares = Array.make n 0.0 in
+  let sum = ref total in
+  for i = 0 to n - 2 do
+    let r = Prng.float g 1.0 in
+    let next = !sum *. (r ** (1.0 /. float_of_int (n - 1 - i))) in
+    shares.(i) <- !sum -. next;
+    sum := next
+  done;
+  shares.(n - 1) <- !sum;
+  shares
+
+let ceil_ratio w r = max w (int_of_float (ceil (float_of_int w /. r)))
+
+let single_op_model ?(max_deadline = 64) g ~n_constraints ~max_weight
+    ~target_ratio_sum =
+  if n_constraints < 1 || max_weight < 1 || max_deadline < max_weight then
+    invalid_arg "Model_gen.single_op_model";
+  let shares = uunifast g ~n:n_constraints ~total:target_ratio_sum in
+  let weights =
+    Array.init n_constraints (fun _ -> Prng.int_in g 1 max_weight)
+  in
+  let elements =
+    List.init n_constraints (fun i ->
+        (Printf.sprintf "op%d" i, weights.(i), false))
+  in
+  let comm = Comm_graph.create ~elements ~edges:[] in
+  let constraints =
+    List.init n_constraints (fun i ->
+        let d = min max_deadline (ceil_ratio weights.(i) shares.(i)) in
+        Timing.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~graph:(Task_graph.singleton i)
+          ~period:d ~deadline:d ~kind:Timing.Asynchronous)
+  in
+  Model.make ~comm ~constraints
+
+let theorem3_model g ~n_constraints ~max_weight =
+  if n_constraints < 1 || max_weight < 1 then
+    invalid_arg "Model_gen.theorem3_model";
+  let shares = uunifast g ~n:n_constraints ~total:0.45 in
+  let elements = ref [] in
+  let edges = ref [] in
+  let next_elem = ref 0 in
+  let constraints =
+    List.init n_constraints (fun i ->
+        let len = Prng.int_in g 1 3 in
+        let ids =
+          List.init len (fun _ ->
+              let id = !next_elem in
+              incr next_elem;
+              elements :=
+                (Printf.sprintf "e%d" id, Prng.int_in g 1 max_weight, true)
+                :: !elements;
+              id)
+        in
+        let rec chain_edges = function
+          | a :: (b :: _ as rest) ->
+              (Printf.sprintf "e%d" a, Printf.sprintf "e%d" b)
+              :: chain_edges rest
+          | _ -> []
+        in
+        edges := chain_edges ids @ !edges;
+        (i, ids))
+  in
+  let comm =
+    Comm_graph.create ~elements:(List.rev !elements) ~edges:!edges
+  in
+  let constraints =
+    List.map
+      (fun (i, ids) ->
+        let graph = Task_graph.of_chain ids in
+        let w = Task_graph.computation_time comm graph in
+        (* Round the deadline UP to a power of two: premise (i) only
+           improves, and the polling periods q = d/2 stay harmonic so
+           the hyperperiod of the constructed schedule remains small. *)
+        let d = max (2 * w) (ceil_ratio w shares.(i)) in
+        let d = if d <= 1 then 2 else 2 * Rt_graph.Intmath.pow2_floor (d - 1) in
+        Timing.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~graph ~period:d ~deadline:d ~kind:Timing.Asynchronous)
+      constraints
+  in
+  Model.make ~comm ~constraints
+
+let periodic_chain_model g ~n_constraints ~utilization ~periods =
+  if n_constraints < 1 || periods = [] then
+    invalid_arg "Model_gen.periodic_chain_model";
+  let shares = uunifast g ~n:n_constraints ~total:utilization in
+  let elements = ref [] in
+  let edges = ref [] in
+  let next_elem = ref 0 in
+  let constraints =
+    List.init n_constraints (fun i ->
+        let p = Prng.pick g periods in
+        let total_w = max 1 (int_of_float (Float.round (shares.(i) *. float_of_int p))) in
+        let total_w = min total_w p in
+        let len = min (Prng.int_in g 1 3) total_w in
+        (* Split total_w into len positive parts. *)
+        let parts = Array.make len 1 in
+        let remaining = ref (total_w - len) in
+        while !remaining > 0 do
+          let j = Prng.int g len in
+          parts.(j) <- parts.(j) + 1;
+          decr remaining
+        done;
+        let ids =
+          Array.to_list
+            (Array.map
+               (fun w ->
+                 let id = !next_elem in
+                 incr next_elem;
+                 elements := (Printf.sprintf "e%d" id, w, true) :: !elements;
+                 id)
+               parts)
+        in
+        let rec chain_edges = function
+          | a :: (b :: _ as rest) ->
+              (Printf.sprintf "e%d" a, Printf.sprintf "e%d" b)
+              :: chain_edges rest
+          | _ -> []
+        in
+        edges := chain_edges ids @ !edges;
+        (i, ids, p))
+  in
+  let comm = Comm_graph.create ~elements:(List.rev !elements) ~edges:!edges in
+  let constraints =
+    List.map
+      (fun (i, ids, p) ->
+        Timing.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~graph:(Task_graph.of_chain ids) ~period:p ~deadline:p
+          ~kind:Timing.Periodic)
+      constraints
+  in
+  Model.make ~comm ~constraints
+
+let shared_block_model _g ~n_pairs ~shared_weight ~private_weight ~period =
+  if n_pairs < 1 || shared_weight < 1 || private_weight < 1 || period < 1 then
+    invalid_arg "Model_gen.shared_block_model";
+  let elements =
+    List.concat
+      (List.init n_pairs (fun k ->
+           [
+             (Printf.sprintf "a%d" k, private_weight, true);
+             (Printf.sprintf "b%d" k, private_weight, true);
+             (Printf.sprintf "s%d" k, shared_weight, true);
+           ]))
+  in
+  let edges =
+    List.concat
+      (List.init n_pairs (fun k ->
+           [
+             (Printf.sprintf "a%d" k, Printf.sprintf "s%d" k);
+             (Printf.sprintf "b%d" k, Printf.sprintf "s%d" k);
+           ]))
+  in
+  let comm = Comm_graph.create ~elements ~edges in
+  let constraints =
+    List.concat
+      (List.init n_pairs (fun k ->
+           let a = Comm_graph.id_of_name comm (Printf.sprintf "a%d" k) in
+           let b = Comm_graph.id_of_name comm (Printf.sprintf "b%d" k) in
+           let s = Comm_graph.id_of_name comm (Printf.sprintf "s%d" k) in
+           [
+             Timing.make
+               ~name:(Printf.sprintf "pA%d" k)
+               ~graph:(Task_graph.of_chain [ a; s ])
+               ~period ~deadline:period ~kind:Timing.Periodic;
+             Timing.make
+               ~name:(Printf.sprintf "pB%d" k)
+               ~graph:(Task_graph.of_chain [ b; s ])
+               ~period ~deadline:period ~kind:Timing.Periodic;
+           ]))
+  in
+  Model.make ~comm ~constraints
+
+let dag_model g ~n_constraints ~utilization ~periods =
+  if n_constraints < 1 || periods = [] then invalid_arg "Model_gen.dag_model";
+  let shares = uunifast g ~n:n_constraints ~total:utilization in
+  let elements = ref [] in
+  let edges = ref [] in
+  let next_elem = ref 0 in
+  let fresh () =
+    let id = !next_elem in
+    incr next_elem;
+    elements := (Printf.sprintf "d%d" id, 1, true) :: !elements;
+    id
+  in
+  let specs =
+    List.init n_constraints (fun i ->
+        let p = Prng.pick g periods in
+        let budget =
+          max 1 (int_of_float (Float.round (shares.(i) *. float_of_int p)))
+        in
+        let budget = min budget (min p 7) in
+        (* Build a small layered DAG with [budget] unit nodes: a source
+           layer, an optional middle layer, and a sink. *)
+        let nodes = Array.init budget (fun _ -> fresh ()) in
+        let tg_edges = ref [] in
+        (if budget >= 2 then begin
+           (* Last node is the join/sink; others feed it directly or
+              through a chain, at random. *)
+           let sink = budget - 1 in
+           for v = 0 to budget - 2 do
+             if v > 0 && Prng.chance g 0.4 then
+               tg_edges := (v - 1, v) :: !tg_edges
+             else ();
+             tg_edges := (v, sink) :: !tg_edges
+           done
+         end);
+        let tg_edges = List.sort_uniq compare !tg_edges in
+        (* Mirror the task-graph edges in the communication graph. *)
+        List.iter
+          (fun (u, v) ->
+            edges :=
+              ( Printf.sprintf "d%d" nodes.(u),
+                Printf.sprintf "d%d" nodes.(v) )
+              :: !edges)
+          tg_edges;
+        (i, nodes, tg_edges, p))
+  in
+  let comm = Comm_graph.create ~elements:(List.rev !elements) ~edges:!edges in
+  let constraints =
+    List.map
+      (fun (i, nodes, tg_edges, p) ->
+        Timing.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~graph:(Task_graph.create ~nodes ~edges:tg_edges)
+          ~period:p ~deadline:p ~kind:Timing.Periodic)
+      specs
+  in
+  Model.make ~comm ~constraints
+
+let unit_chain_model g ~n_constraints ~n_elements ~max_deadline =
+  if n_constraints < 1 || n_elements < 3 || max_deadline < 3 then
+    invalid_arg "Model_gen.unit_chain_model";
+  let elements =
+    List.init n_elements (fun i -> (Printf.sprintf "e%d" i, 1, true))
+  in
+  (* Complete communication graph so that any ordered pair of distinct
+     elements is a legal task-graph edge. *)
+  let edges =
+    List.concat
+      (List.init n_elements (fun i ->
+           List.filter_map
+             (fun j ->
+               if i = j then None
+               else Some (Printf.sprintf "e%d" i, Printf.sprintf "e%d" j))
+             (List.init n_elements Fun.id)))
+  in
+  let comm = Comm_graph.create ~elements ~edges in
+  let constraints =
+    List.init n_constraints (fun i ->
+        let len = if Prng.bool g then 1 else 3 in
+        let pool = Array.init n_elements Fun.id in
+        Prng.shuffle g pool;
+        let ids = Array.to_list (Array.sub pool 0 len) in
+        let d = Prng.int_in g (max 3 len) max_deadline in
+        Timing.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~graph:(Task_graph.of_chain ids) ~period:d ~deadline:d
+          ~kind:Timing.Asynchronous)
+  in
+  Model.make ~comm ~constraints

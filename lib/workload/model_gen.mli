@@ -1,0 +1,88 @@
+(** Random graph-based-model generators.
+
+    Used by the property tests and by the experiment harness to sweep
+    parameter spaces (utilization bands, constraint counts, deadline
+    tightness).  All generators are deterministic in the PRNG state. *)
+
+val uunifast : Rt_graph.Prng.t -> n:int -> total:float -> float array
+(** [uunifast g ~n ~total] splits a total utilization into [n]
+    unbiased uniform shares (the UUniFast algorithm of Bini & Buttazzo);
+    each share is positive and they sum to [total]. *)
+
+val single_op_model :
+  ?max_deadline:int ->
+  Rt_graph.Prng.t ->
+  n_constraints:int ->
+  max_weight:int ->
+  target_ratio_sum:float ->
+  Rt_core.Model.t
+(** [single_op_model g ~n_constraints ~max_weight ~target_ratio_sum]
+    builds a model in which every asynchronous constraint is a single
+    (non-pipelinable) operation of weight in [\[1, max_weight\]]; the
+    deadlines are chosen so that [Σ w_i/d_i] is approximately
+    [target_ratio_sum], capped at [max_deadline] (default 64) so the
+    simulation game's state space stays tractable.  The elements are pairwise distinct.  Used to
+    exercise the Theorem-1 simulation game at varying criticality. *)
+
+val theorem3_model :
+  Rt_graph.Prng.t ->
+  n_constraints:int ->
+  max_weight:int ->
+  Rt_core.Model.t
+(** [theorem3_model g ~n_constraints ~max_weight] builds a random model
+    guaranteed to satisfy all three premises of Theorem 3 (pipelinable
+    elements, [⌈d_i/2⌉ >= w_i], [Σ w_i/d_i <= 1/2]), with chain task
+    graphs of 1–3 operations. *)
+
+val periodic_chain_model :
+  Rt_graph.Prng.t ->
+  n_constraints:int ->
+  utilization:float ->
+  periods:int list ->
+  Rt_core.Model.t
+(** [periodic_chain_model g ~n_constraints ~utilization ~periods] builds
+    a periodic-only model: each constraint is a chain of 1–3 fresh
+    unit-weight... (weights are sized to hit the per-constraint
+    utilization share from {!uunifast}); periods are drawn from
+    [periods] and deadlines equal periods.  Suitable for the EDF / RM
+    acceptance-ratio experiments and the cyclic constructor. *)
+
+val shared_block_model :
+  Rt_graph.Prng.t ->
+  n_pairs:int ->
+  shared_weight:int ->
+  private_weight:int ->
+  period:int ->
+  Rt_core.Model.t
+(** [shared_block_model g ~n_pairs ~shared_weight ~private_weight
+    ~period] builds [n_pairs] pairs of same-period periodic constraints;
+    the two members of a pair share a common downstream element (of
+    weight [shared_weight]) fed by private preprocessing elements — the
+    [f_s]-sharing pattern of the paper's example, used by the merging
+    experiment (E5). *)
+
+val dag_model :
+  Rt_graph.Prng.t ->
+  n_constraints:int ->
+  utilization:float ->
+  periods:int list ->
+  Rt_core.Model.t
+(** [dag_model g ~n_constraints ~utilization ~periods] builds periodic
+    constraints whose task graphs are random layered DAGs (2–3 layers,
+    fork/join shapes) over fresh elements; the communication graph is
+    exactly the union of the task graphs' edges.  Weights are unit so
+    the constraint's computation time equals its node count; node
+    counts are sized from the UUniFast utilization share.  Exercises
+    the non-chain paths of the containment search. *)
+
+val unit_chain_model :
+  Rt_graph.Prng.t ->
+  n_constraints:int ->
+  n_elements:int ->
+  max_deadline:int ->
+  Rt_core.Model.t
+(** [unit_chain_model g ~n_constraints ~n_elements ~max_deadline] builds
+    asynchronous constraints whose task graphs are chains of length 1 or
+    3 over a pool of [n_elements] unit-weight elements (Theorem 2 case
+    (i) shape), with deadlines in [\[3, max_deadline\]]; chains only use
+    element pairs connected in a generated communication graph. *)

@@ -1,0 +1,185 @@
+module Prng = Rt_graph.Prng
+open Rt_core
+
+(* ------------------------------------------------------------------ *)
+(* 3-PARTITION                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let three_partition_solve items ~b =
+  let n = Array.length items in
+  if n mod 3 <> 0 then None
+  else if Array.fold_left ( + ) 0 items <> n / 3 * b then None
+  else begin
+    let used = Array.make n false in
+    let rec first_free i = if i >= n then n else if used.(i) then first_free (i + 1) else i in
+    (* Always anchor each triple at the first unused item: canonical
+       form that avoids permuting triples. *)
+    let rec solve acc remaining =
+      if remaining = 0 then Some (List.rev acc)
+      else begin
+        let i = first_free 0 in
+        used.(i) <- true;
+        let result = ref None in
+        (try
+           for j = i + 1 to n - 1 do
+             if !result = None && (not used.(j)) && items.(i) + items.(j) < b
+             then begin
+               used.(j) <- true;
+               for k = j + 1 to n - 1 do
+                 if
+                   !result = None && (not used.(k))
+                   && items.(i) + items.(j) + items.(k) = b
+                 then begin
+                   used.(k) <- true;
+                   (match solve ([ i; j; k ] :: acc) (remaining - 1) with
+                   | Some r -> result := Some r; raise Exit
+                   | None -> ());
+                   used.(k) <- false
+                 end
+               done;
+               used.(j) <- false
+             end
+           done
+         with Exit -> ());
+        used.(i) <- false;
+        !result
+      end
+    in
+    solve [] (n / 3)
+  end
+
+let three_partition_yes g ~m ~b =
+  if b < 13 then invalid_arg "Npc.three_partition_yes: b must be >= 13";
+  let lo = (b / 4) + 1 and hi = ((b - 1) / 2) in
+  (* Draw a and c freely, fix the middle item; retry until all three lie
+     strictly inside (b/4, b/2). *)
+  let rec triple () =
+    let a = Prng.int_in g lo hi in
+    let c = Prng.int_in g lo hi in
+    let mid = b - a - c in
+    if mid > b / 4 && 2 * mid < b then [| a; mid; c |] else triple ()
+  in
+  let items = Array.concat (List.init m (fun _ -> triple ())) in
+  Prng.shuffle g items;
+  items
+
+let sep_name = "sep"
+
+let item_name j = Printf.sprintf "item%d" j
+
+let reduction_deadlines items ~b =
+  let m = Array.length items / 3 in
+  let d_sep = (3 * b) - 1 in
+  let d_item = (2 * m * b) + ((b + 1) / 2) in
+  (d_sep, d_item)
+
+let reduction_model items ~b =
+  let n = Array.length items in
+  if n mod 3 <> 0 || n = 0 then
+    invalid_arg "Npc.reduction_model: item count must be a positive multiple of 3";
+  let d_sep, d_item = reduction_deadlines items ~b in
+  let elements =
+    (sep_name, b, false)
+    :: List.init n (fun j -> (item_name j, items.(j), false))
+  in
+  let comm = Comm_graph.create ~elements ~edges:[] in
+  let constraints =
+    Timing.make ~name:"sep"
+      ~graph:(Task_graph.singleton (Comm_graph.id_of_name comm sep_name))
+      ~period:d_sep ~deadline:d_sep ~kind:Timing.Asynchronous
+    :: List.init n (fun j ->
+           Timing.make
+             ~name:(Printf.sprintf "it%d" j)
+             ~graph:
+               (Task_graph.singleton (Comm_graph.id_of_name comm (item_name j)))
+             ~period:d_item ~deadline:d_item ~kind:Timing.Asynchronous)
+  in
+  Model.make ~comm ~constraints
+
+let witness_schedule items ~b triples =
+  let model = reduction_model items ~b in
+  let comm = model.Model.comm in
+  let sep_id = Comm_graph.id_of_name comm sep_name in
+  let block id w = List.init w (fun _ -> Schedule.Run id) in
+  let slots =
+    List.concat_map
+      (fun triple ->
+        block sep_id b
+        @ List.concat_map
+            (fun j -> block (Comm_graph.id_of_name comm (item_name j)) items.(j))
+            triple)
+      triples
+  in
+  (model, Schedule.of_slots slots)
+
+(* ------------------------------------------------------------------ *)
+(* CYCLIC ORDERING                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let triple_ok perm_pos (a, bb, c) =
+  (* (a,b,c) is clockwise iff, reading positions cyclically from a, b
+     comes before c. *)
+  let pa = perm_pos.(a) and pb = perm_pos.(bb) and pc = perm_pos.(c) in
+  let n = Array.length perm_pos in
+  let rel x = (x - pa + n) mod n in
+  rel pb < rel pc && rel pb > 0 && rel pc > 0
+
+let cyclic_ordering_solve ~n triples =
+  if n < 1 then None
+  else if
+    List.exists
+      (fun (a, b, c) ->
+        a < 0 || b < 0 || c < 0 || a >= n || b >= n || c >= n || a = b
+        || b = c || a = c)
+      triples
+  then None
+  else begin
+    (* Fix element 0 at position 0 (cyclic symmetry) and try all
+       permutations of the rest. *)
+    let perm = Array.init n Fun.id in
+    let pos = Array.init n Fun.id in
+    let check () = List.for_all (triple_ok pos) triples in
+    let rec go i =
+      if i = n then if check () then Some (Array.copy perm) else None
+      else begin
+        let result = ref None in
+        (try
+           for j = i to n - 1 do
+             if !result = None then begin
+               let swap a bidx =
+                 let tmp = perm.(a) in
+                 perm.(a) <- perm.(bidx);
+                 perm.(bidx) <- tmp;
+                 pos.(perm.(a)) <- a;
+                 pos.(perm.(bidx)) <- bidx
+               in
+               swap i j;
+               (match go (i + 1) with
+               | Some r ->
+                   result := Some r;
+                   raise Exit
+               | None -> ());
+               swap i j
+             end
+           done
+         with Exit -> ());
+        !result
+      end
+    in
+    go 1
+  end
+
+let cyclic_ordering_yes g ~n ~n_triples =
+  if n < 3 then invalid_arg "Npc.cyclic_ordering_yes: need n >= 3";
+  List.init n_triples (fun _ ->
+      (* Pick three distinct positions in increasing order under the
+         identity cyclic order, then rotate randomly: the triple stays
+         clockwise-consistent. *)
+      let pool = Array.init n Fun.id in
+      Prng.shuffle g pool;
+      let sel = Array.sub pool 0 3 in
+      Array.sort Int.compare sel;
+      match Prng.int g 3 with
+      | 0 -> (sel.(0), sel.(1), sel.(2))
+      | 1 -> (sel.(1), sel.(2), sel.(0))
+      | _ -> (sel.(2), sel.(0), sel.(1)))

@@ -1,0 +1,67 @@
+(** The two strongly NP-complete source problems of Theorem 2, their
+    exact solvers, and the reductions into latency-scheduling instances.
+
+    Theorem 2 proves strong NP-hardness of feasible-static-schedule
+    existence "by reduction from 3-partition and cyclic ordering
+    [GAR & JOH 79]" for two restricted instance classes.  This module
+    supplies:
+
+    - reference implementations of both source problems (brute-force
+      solvers, used in tests and to label generated instances);
+    - generators for yes-instances of both;
+    - a reduction from 3-PARTITION into the single-operation,
+      all-but-one-deadlines-equal class (Theorem 2 case (ii) shape):
+      yes-instances map to feasible scheduling instances (witnessed by
+      an explicitly constructed schedule); the instances are used as
+      the hard family for the exact-solver scaling experiment (E3);
+    - a generator of unit-weight chain instances (Theorem 2 case (i)
+      shape) at controlled density for the enumeration solver. *)
+
+val three_partition_solve : int array -> b:int -> int list list option
+(** [three_partition_solve items ~b] decides 3-PARTITION exactly:
+    partition the [3m] items into [m] triples each summing to [b]
+    (items need not respect the [b/4 < a < b/2] convention here).
+    Returns the triples (as item indices) or [None].  Exponential-time
+    backtracking. *)
+
+val three_partition_yes :
+  Rt_graph.Prng.t -> m:int -> b:int -> int array
+(** [three_partition_yes g ~m ~b] generates a yes-instance: [3m] items,
+    produced as [m] random triples each summing to [b], with every item
+    in the open interval [(b/4, b/2)] (requires [b >= 13] so the
+    interval holds three integers). *)
+
+val reduction_model : int array -> b:int -> Rt_core.Model.t
+(** [reduction_model items ~b] maps a 3-PARTITION instance with [3m]
+    items to a latency-scheduling model:
+    - a {e separator} operation [sep] of weight [b] with deadline
+      [3b - 1], forcing a full separator block in every window and
+      hence at most [b] non-separator slots between consecutive blocks;
+    - one operation per item [j] of weight [items.(j)], all with the
+      common deadline [2 m b + ⌈b/2⌉].
+    All operations are single-node task graphs on non-pipelinable
+    elements, and all but one deadline coincide — exactly the restricted
+    class of Theorem 2 case (ii).  If the instance is a yes-instance,
+    the canonical frame schedule (separator, then one triple per frame)
+    is feasible; see {!witness_schedule}. *)
+
+val witness_schedule :
+  int array -> b:int -> int list list -> Rt_core.Model.t * Rt_core.Schedule.t
+(** [witness_schedule items ~b triples] builds the reduction model and
+    the canonical schedule realizing a 3-PARTITION solution: the cycle
+    [sep | triple_1 | sep | triple_2 | ... ] of length [2 m b].  The
+    schedule satisfies every constraint of the model (asserted in the
+    test suite via [Latency.verify]). *)
+
+val cyclic_ordering_solve :
+  n:int -> (int * int * int) list -> int array option
+(** [cyclic_ordering_solve ~n triples] decides CYCLIC ORDERING: is there
+    a cyclic arrangement of [0 .. n-1] such that every triple [(a,b,c)]
+    appears in clockwise order [a, b, c]?  Returns a witness permutation
+    (a linearization of the cyclic order starting at element 0) or
+    [None].  Exponential-time search over permutations. *)
+
+val cyclic_ordering_yes :
+  Rt_graph.Prng.t -> n:int -> n_triples:int -> (int * int * int) list
+(** [cyclic_ordering_yes g ~n ~n_triples] generates a yes-instance by
+    sampling triples consistent with the identity cyclic order. *)

@@ -1,0 +1,103 @@
+open Rt_core
+
+type example_params = {
+  c_x : int;
+  c_y : int;
+  c_z : int;
+  c_s : int;
+  c_k : int;
+  p_x : int;
+  p_y : int;
+  p_z : int;
+  d_x : int;
+  d_y : int;
+  d_z : int;
+  pipelinable : bool;
+}
+
+let default_params =
+  {
+    c_x = 1;
+    c_y = 1;
+    c_z = 1;
+    c_s = 2;
+    c_k = 1;
+    p_x = 10;
+    p_y = 20;
+    p_z = 50;
+    d_x = 10;
+    d_y = 20;
+    d_z = 15;
+    pipelinable = true;
+  }
+
+let control_system ps =
+  let pl = ps.pipelinable in
+  let comm =
+    Comm_graph.create
+      ~elements:
+        [
+          ("f_x", ps.c_x, pl);
+          ("f_y", ps.c_y, pl);
+          ("f_z", ps.c_z, pl);
+          ("f_s", ps.c_s, pl);
+          ("f_k", ps.c_k, pl);
+        ]
+      ~edges:
+        [
+          ("f_x", "f_s");
+          ("f_y", "f_s");
+          ("f_z", "f_s");
+          ("f_s", "f_k");
+          ("f_k", "f_s");
+        ]
+  in
+  let id = Comm_graph.id_of_name comm in
+  let chain names = Task_graph.of_chain (List.map id names) in
+  let constraints =
+    [
+      Timing.make ~name:"px"
+        ~graph:(chain [ "f_x"; "f_s"; "f_k" ])
+        ~period:ps.p_x ~deadline:ps.d_x ~kind:Timing.Periodic;
+      Timing.make ~name:"py"
+        ~graph:(chain [ "f_y"; "f_s"; "f_k" ])
+        ~period:ps.p_y ~deadline:ps.d_y ~kind:Timing.Periodic;
+      Timing.make ~name:"pz"
+        ~graph:(chain [ "f_z"; "f_s" ])
+        ~period:ps.p_z ~deadline:ps.d_z ~kind:Timing.Asynchronous;
+    ]
+  in
+  Model.make ~comm ~constraints
+
+let control_system_equal_rates ps =
+  control_system { ps with p_y = ps.p_x; d_y = ps.d_x }
+
+let tiny_two_ops =
+  let comm =
+    Comm_graph.create
+      ~elements:[ ("a", 1, true); ("b", 1, true) ]
+      ~edges:[]
+  in
+  Model.make ~comm
+    ~constraints:
+      [
+        Timing.make ~name:"ca" ~graph:(Task_graph.singleton 0) ~period:2
+          ~deadline:2 ~kind:Timing.Asynchronous;
+        Timing.make ~name:"cb" ~graph:(Task_graph.singleton 1) ~period:4
+          ~deadline:4 ~kind:Timing.Asynchronous;
+      ]
+
+let infeasible_pair =
+  let comm =
+    Comm_graph.create
+      ~elements:[ ("a", 1, true); ("b", 1, true) ]
+      ~edges:[]
+  in
+  Model.make ~comm
+    ~constraints:
+      [
+        Timing.make ~name:"ca" ~graph:(Task_graph.singleton 0) ~period:1
+          ~deadline:1 ~kind:Timing.Asynchronous;
+        Timing.make ~name:"cb" ~graph:(Task_graph.singleton 1) ~period:1
+          ~deadline:1 ~kind:Timing.Asynchronous;
+      ]

@@ -1,0 +1,56 @@
+(** Canonical named instances, chief among them the paper's example
+    control system (Figures 1 and 2).
+
+    The example has three inputs [x, y, z] and one output [u]; five
+    functional elements [f_x, f_y, f_z, f_s, f_k]; [f_s] computes the
+    output [u] from the preprocessed inputs and the internal state [v],
+    which [f_k] recomputes from [u] (a feedback edge, making the
+    communication graph cyclic).  The design objectives are two periodic
+    constraints (sampling [x] at [1/p_x], [y] at [1/p_y]) and one
+    asynchronous constraint (the operator toggle [z], which must be
+    reflected in [u] within [d_z] time units). *)
+
+type example_params = {
+  c_x : int;  (** Computation time of [f_x]. *)
+  c_y : int;  (** Computation time of [f_y]. *)
+  c_z : int;  (** Computation time of [f_z]. *)
+  c_s : int;  (** Computation time of [f_s]. *)
+  c_k : int;  (** Computation time of [f_k]. *)
+  p_x : int;  (** Sampling period of input [x]. *)
+  p_y : int;  (** Sampling period of input [y]. *)
+  p_z : int;  (** Minimum separation of [z] transitions. *)
+  d_x : int;  (** Deadline of the [x] constraint. *)
+  d_y : int;  (** Deadline of the [y] constraint. *)
+  d_z : int;  (** Latency bound on reflecting a [z] transition in [u]. *)
+  pipelinable : bool;  (** Whether the elements may be software-pipelined. *)
+}
+(** Parameters of the example; the paper leaves the numbers symbolic. *)
+
+val default_params : example_params
+(** A representative instantiation: [c_x = c_y = c_z = c_k = 1],
+    [c_s = 2], [p_x = d_x = 10], [p_y = d_y = 20], [p_z = 50],
+    [d_z = 15], pipelinable. *)
+
+val control_system : example_params -> Rt_core.Model.t
+(** [control_system ps] is the graph-based model of Figure 2:
+    communication graph [f_x -> f_s], [f_y -> f_s], [f_z -> f_s],
+    [f_s -> f_k], [f_k -> f_s]; constraints
+    [px = (f_x -> f_s -> f_k, p_x, d_x)] periodic,
+    [py = (f_y -> f_s -> f_k, p_y, d_y)] periodic,
+    [pz = (f_z -> f_s, p_z, d_z)] asynchronous. *)
+
+val control_system_equal_rates : example_params -> Rt_core.Model.t
+(** Same system with [p_y] forced equal to [p_x] — the configuration
+    under which the paper observes that "there is no reason why [f_S]
+    should be executed twice per period", exercised by the merging
+    experiment. *)
+
+val tiny_two_ops : Rt_core.Model.t
+(** Two asynchronous unit operations with deadlines 2 and 4 — the
+    smallest non-trivial latency-scheduling instance; the alternating
+    schedule [a b a .] is feasible. *)
+
+val infeasible_pair : Rt_core.Model.t
+(** Two asynchronous unit operations that both demand completion in
+    every 1-slot window — provably infeasible; used to exercise
+    [Exact.solve_single_ops]'s [Infeasible] verdict. *)

@@ -1,0 +1,362 @@
+(* Tests for the model layer: Element, Comm_graph, Task_graph, Timing,
+   Model — the formal objects of the paper's Section "A Graph-Based
+   Model for the Hard-Real-Time Environment". *)
+
+open Rt_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let simple_comm () =
+  Comm_graph.create
+    ~elements:[ ("a", 1, true); ("b", 2, true); ("c", 3, false) ]
+    ~edges:[ ("a", "b"); ("b", "c"); ("c", "a") ]
+
+(* ------------------------------------------------------------------ *)
+(* Element                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_element_make () =
+  let e = Element.make ~id:0 ~name:"f" ~weight:3 ~pipelinable:true in
+  checki "weight" 3 e.Element.weight;
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Element.make: negative weight") (fun () ->
+      ignore (Element.make ~id:0 ~name:"f" ~weight:(-1) ~pipelinable:true));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Element.make: empty name") (fun () ->
+      ignore (Element.make ~id:0 ~name:"" ~weight:1 ~pipelinable:true))
+
+let test_element_pp () =
+  let e = Element.make ~id:0 ~name:"f" ~weight:3 ~pipelinable:false in
+  Alcotest.check Alcotest.string "pp atomic" "f/3~"
+    (Format.asprintf "%a" Element.pp e)
+
+(* ------------------------------------------------------------------ *)
+(* Comm_graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_comm_lookup () =
+  let g = simple_comm () in
+  checki "n_elements" 3 (Comm_graph.n_elements g);
+  checki "id by name" 1 (Comm_graph.id_of_name g "b");
+  checki "weight" 2 (Comm_graph.weight g 1);
+  checkb "pipelinable" true (Comm_graph.pipelinable g 0);
+  checkb "atomic" false (Comm_graph.pipelinable g 2);
+  checkb "find_opt hit" true (Comm_graph.find_opt g "c" <> None);
+  checkb "find_opt miss" true (Comm_graph.find_opt g "zz" = None);
+  checki "total_weight" 6 (Comm_graph.total_weight g)
+
+let test_comm_edges () =
+  let g = simple_comm () in
+  checkb "edge a->b" true (Comm_graph.has_edge g 0 1);
+  checkb "no edge b->a" false (Comm_graph.has_edge g 1 0);
+  (* Communication graphs may be cyclic (the paper's feedback loop). *)
+  checkb "cyclic allowed" false
+    (Rt_graph.Digraph.is_acyclic (Comm_graph.graph g))
+
+let test_comm_duplicate_name () =
+  Alcotest.check_raises "duplicate element"
+    (Invalid_argument "Comm_graph: duplicate element name a") (fun () ->
+      ignore
+        (Comm_graph.create
+           ~elements:[ ("a", 1, true); ("a", 2, true) ]
+           ~edges:[]))
+
+let test_comm_unknown_edge () =
+  Alcotest.check_raises "edge to unknown element"
+    (Invalid_argument "Comm_graph: edge names unknown element z") (fun () ->
+      ignore
+        (Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[ ("a", "z") ]))
+
+let test_comm_with_elements () =
+  let g = simple_comm () in
+  let g' = Comm_graph.with_elements g [ ("d", 4, true) ] [ ("c", "d") ] in
+  checki "extended size" 4 (Comm_graph.n_elements g');
+  checkb "old edge kept" true
+    (Comm_graph.has_edge g'
+       (Comm_graph.id_of_name g' "a")
+       (Comm_graph.id_of_name g' "b"));
+  checkb "new edge present" true
+    (Comm_graph.has_edge g'
+       (Comm_graph.id_of_name g' "c")
+       (Comm_graph.id_of_name g' "d"))
+
+let test_all_pipelinable () =
+  checkb "mixed" false (Comm_graph.all_pipelinable (simple_comm ()));
+  let g = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
+  checkb "all" true (Comm_graph.all_pipelinable g)
+
+(* ------------------------------------------------------------------ *)
+(* Task_graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_graph_chain () =
+  let tg = Task_graph.of_chain [ 0; 1; 2 ] in
+  checki "size" 3 (Task_graph.size tg);
+  checkb "is chain" true (Task_graph.is_chain tg);
+  Alcotest.check (Alcotest.list Alcotest.int) "straight line" [ 0; 1; 2 ]
+    (Task_graph.straight_line tg);
+  Alcotest.check (Alcotest.list Alcotest.int) "elements used" [ 0; 1; 2 ]
+    (Task_graph.elements_used tg)
+
+let test_task_graph_cycle_rejected () =
+  Alcotest.check_raises "cyclic precedence"
+    (Invalid_argument "Task_graph.create: precedence relation is cyclic")
+    (fun () ->
+      ignore (Task_graph.create ~nodes:[| 0; 1 |] ~edges:[ (0, 1); (1, 0) ]))
+
+let test_task_graph_duplicates () =
+  (* Two nodes may map to the same element. *)
+  let tg = Task_graph.create ~nodes:[| 0; 0; 1 |] ~edges:[ (0, 2); (2, 1) ] in
+  checki "occurrences of 0" 2 (Task_graph.occurrences tg 0);
+  checki "occurrences of 1" 1 (Task_graph.occurrences tg 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "dedup elements" [ 0; 1 ]
+    (Task_graph.elements_used tg)
+
+let test_computation_time_and_critical_path () =
+  let g = simple_comm () in
+  let tg = Task_graph.of_chain [ 0; 1; 2 ] in
+  checki "computation time is weight sum" 6 (Task_graph.computation_time g tg);
+  checki "chain critical path = total" 6 (Task_graph.critical_path g tg);
+  (* Fork: 0 -> {1, 2}; critical path takes the heavier branch. *)
+  let fj = Task_graph.create ~nodes:[| 0; 1; 2 |] ~edges:[ (0, 1); (0, 2) ] in
+  checki "fork computation time" 6 (Task_graph.computation_time g fj);
+  checki "fork critical path" 4 (Task_graph.critical_path g fj)
+
+let test_compatibility () =
+  let g = simple_comm () in
+  checkb "chain a->b->c compatible" true
+    (Task_graph.compatible g (Task_graph.of_chain [ 0; 1; 2 ]) = Ok ());
+  (match Task_graph.compatible g (Task_graph.of_chain [ 1; 0 ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "b->a has no communication edge");
+  match Task_graph.compatible g (Task_graph.singleton 7) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown element must be rejected"
+
+let test_disjoint_union () =
+  let a = Task_graph.of_chain [ 0; 1 ] in
+  let b = Task_graph.of_chain [ 2 ] in
+  let u, ma, mb = Task_graph.disjoint_union a b in
+  checki "union size" 3 (Task_graph.size u);
+  checki "a's first node" 0 ma.(0);
+  checki "b's node shifted" 2 mb.(0);
+  checki "edges preserved" 1 (List.length (Task_graph.edges u))
+
+let test_map_elements () =
+  let tg = Task_graph.of_chain [ 0; 1 ] in
+  let tg' = Task_graph.map_elements tg ~f:(fun e -> e + 10) in
+  checki "mapped element" 10 (Task_graph.element_of_node tg' 0);
+  checki "edges unchanged" 1 (List.length (Task_graph.edges tg'))
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_validation () =
+  let tg = Task_graph.singleton 0 in
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Timing.make: period must be positive") (fun () ->
+      ignore
+        (Timing.make ~name:"c" ~graph:tg ~period:0 ~deadline:1
+           ~kind:Timing.Periodic));
+  Alcotest.check_raises "zero deadline"
+    (Invalid_argument "Timing.make: deadline must be positive") (fun () ->
+      ignore
+        (Timing.make ~name:"c" ~graph:tg ~period:1 ~deadline:0
+           ~kind:Timing.Periodic))
+
+let test_timing_offset () =
+  let tg = Task_graph.singleton 0 in
+  let c =
+    Timing.make ~name:"c" ~graph:tg ~period:10 ~deadline:5 ~kind:Timing.Periodic
+  in
+  checki "default offset" 0 c.Timing.offset;
+  let c' = Timing.with_offset c 3 in
+  checki "offset applied" 3 c'.Timing.offset;
+  checkb "original untouched" true (c.Timing.offset = 0);
+  Alcotest.check_raises "offset >= period"
+    (Invalid_argument "Timing.with_offset: offset must lie in [0, period)")
+    (fun () -> ignore (Timing.with_offset c 10));
+  let a =
+    Timing.make ~name:"a" ~graph:tg ~period:10 ~deadline:5
+      ~kind:Timing.Asynchronous
+  in
+  Alcotest.check_raises "async offsets rejected"
+    (Invalid_argument "Timing.with_offset: offsets apply to periodic constraints")
+    (fun () -> ignore (Timing.with_offset a 3))
+
+let test_timing_metrics () =
+  let g = simple_comm () in
+  let c =
+    Timing.make ~name:"c"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:10 ~deadline:5 ~kind:Timing.Asynchronous
+  in
+  checki "computation time" 3 (Timing.computation_time g c);
+  Alcotest.check (Alcotest.float 1e-9) "utilization" 0.3
+    (Timing.utilization g c);
+  Alcotest.check (Alcotest.float 1e-9) "density" 0.6 (Timing.density g c);
+  checkb "async" true (Timing.is_asynchronous c);
+  checkb "not periodic" false (Timing.is_periodic c)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let example = Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+
+let test_model_partitions () =
+  checki "two periodic" 2 (List.length (Model.periodic example));
+  checki "one asynchronous" 1 (List.length (Model.asynchronous example));
+  checkb "find works" true ((Model.find example "pz").Timing.name = "pz");
+  Alcotest.check_raises "find unknown" Not_found (fun () ->
+      ignore (Model.find example "nope"))
+
+let test_model_validation_errors () =
+  let comm = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
+  let dup =
+    [
+      Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:2
+        ~deadline:2 ~kind:Timing.Periodic;
+      Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:3
+        ~deadline:3 ~kind:Timing.Periodic;
+    ]
+  in
+  (match Model.validate ~comm ~constraints:dup with
+  | Error [ msg ] ->
+      checkb "duplicate name reported" true
+        (msg = "duplicate constraint name c")
+  | _ -> Alcotest.fail "expected exactly one error");
+  let incompatible =
+    [
+      Timing.make ~name:"c"
+        ~graph:(Task_graph.of_chain [ 0; 0 ])
+        ~period:2 ~deadline:2 ~kind:Timing.Periodic;
+    ]
+  in
+  match Model.validate ~comm ~constraints:incompatible with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "self-chain without comm edge must fail"
+
+let test_model_rejects_weight_zero () =
+  let comm = Comm_graph.create ~elements:[ ("a", 0, true) ] ~edges:[] in
+  match
+    Model.validate ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:2
+            ~deadline:2 ~kind:Timing.Periodic;
+        ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "weight-0 element in a task graph must be rejected"
+
+let test_model_metrics () =
+  (* px: (1+2+1)/10 = 0.4, py: 4/20 = 0.2, pz: 3/50 = 0.06 *)
+  Alcotest.check (Alcotest.float 1e-9) "utilization" 0.66
+    (Model.utilization example);
+  checki "hyperperiod" 20 (Model.hyperperiod example)
+
+let test_model_shared_elements () =
+  let shared = Model.elements_shared example in
+  let names =
+    List.map
+      (fun (e, users) ->
+        ((Comm_graph.element example.Model.comm e).Element.name, users))
+      shared
+  in
+  checkb "f_s shared by all three" true
+    (List.mem_assoc "f_s" names
+    && List.assoc "f_s" names = [ "px"; "py"; "pz" ]);
+  checkb "f_k shared by two" true
+    (List.mem_assoc "f_k" names && List.assoc "f_k" names = [ "px"; "py" ]);
+  checkb "f_x not shared" false (List.mem_assoc "f_x" names)
+
+let test_theorem3_premises () =
+  (* The default example violates (i): 4/10 + 4/20 + 3/15 = 0.8 > 0.5 *)
+  checkb "default example violates premises" false
+    (match Model.theorem3_premises example with Ok () -> true | _ -> false);
+  let relaxed =
+    Rt_workload.Suite.control_system
+      {
+        Rt_workload.Suite.default_params with
+        p_x = 40;
+        d_x = 40;
+        p_y = 80;
+        d_y = 80;
+        d_z = 60;
+      }
+  in
+  checkb "relaxed example satisfies premises" true
+    (match Model.theorem3_premises relaxed with Ok () -> true | _ -> false);
+  let atomic =
+    Rt_workload.Suite.control_system
+      {
+        Rt_workload.Suite.default_params with
+        p_x = 40;
+        d_x = 40;
+        p_y = 80;
+        d_y = 80;
+        d_z = 60;
+        pipelinable = false;
+      }
+  in
+  match Model.theorem3_premises atomic with
+  | Error msgs ->
+      checkb "premise (iii) reported" true
+        (List.exists
+           (fun m -> String.length m >= 5 && String.sub m 0 5 = "(iii)")
+           msgs)
+  | Ok () -> Alcotest.fail "atomic elements must violate premise (iii)"
+
+let () =
+  Alcotest.run "rt_core-model"
+    [
+      ( "element",
+        [
+          Alcotest.test_case "make" `Quick test_element_make;
+          Alcotest.test_case "pp" `Quick test_element_pp;
+        ] );
+      ( "comm_graph",
+        [
+          Alcotest.test_case "lookup" `Quick test_comm_lookup;
+          Alcotest.test_case "edges" `Quick test_comm_edges;
+          Alcotest.test_case "duplicate name" `Quick test_comm_duplicate_name;
+          Alcotest.test_case "unknown edge" `Quick test_comm_unknown_edge;
+          Alcotest.test_case "with_elements" `Quick test_comm_with_elements;
+          Alcotest.test_case "all_pipelinable" `Quick test_all_pipelinable;
+        ] );
+      ( "task_graph",
+        [
+          Alcotest.test_case "chain" `Quick test_task_graph_chain;
+          Alcotest.test_case "cycle rejected" `Quick
+            test_task_graph_cycle_rejected;
+          Alcotest.test_case "duplicate elements" `Quick
+            test_task_graph_duplicates;
+          Alcotest.test_case "computation time / critical path" `Quick
+            test_computation_time_and_critical_path;
+          Alcotest.test_case "compatibility" `Quick test_compatibility;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "map elements" `Quick test_map_elements;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "validation" `Quick test_timing_validation;
+          Alcotest.test_case "offset" `Quick test_timing_offset;
+          Alcotest.test_case "metrics" `Quick test_timing_metrics;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "partitions" `Quick test_model_partitions;
+          Alcotest.test_case "validation errors" `Quick
+            test_model_validation_errors;
+          Alcotest.test_case "weight-0 rejected" `Quick
+            test_model_rejects_weight_zero;
+          Alcotest.test_case "metrics" `Quick test_model_metrics;
+          Alcotest.test_case "shared elements" `Quick
+            test_model_shared_elements;
+          Alcotest.test_case "theorem-3 premises" `Quick
+            test_theorem3_premises;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the process-based baseline: Process, Dbf (EDF processor
+   demand), Fixed_priority (RM/DM response times), Sporadic
+   transformation, Monitor blocking, Codegen and From_model. *)
+
+open Rt_process
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let per name c p d = Process.make ~name ~c ~p ~d ~kind:Process.Periodic_process
+let spo name c p d = Process.make ~name ~c ~p ~d ~kind:Process.Sporadic_process
+
+(* ------------------------------------------------------------------ *)
+(* Process                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_process_metrics () =
+  let p = per "t" 2 10 5 in
+  checkf "utilization" 0.2 (Process.utilization p);
+  checkf "density" 0.4 (Process.density p);
+  checkb "constrained" true (Process.constrained_deadline p);
+  checkb "not implicit" false (Process.implicit_deadline p);
+  checki "hyperperiod" 20 (Process.hyperperiod [ per "a" 1 4 4; per "b" 1 10 10 ])
+
+let test_process_validation () =
+  Alcotest.check_raises "zero c"
+    (Invalid_argument "Process.make: computation time must be positive")
+    (fun () -> ignore (per "t" 0 10 10))
+
+(* ------------------------------------------------------------------ *)
+(* Dbf / EDF processor-demand criterion                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dbf_values () =
+  let p = per "t" 2 10 6 in
+  checki "before first deadline" 0 (Dbf.dbf p 5);
+  checki "at first deadline" 2 (Dbf.dbf p 6);
+  checki "after one period" 4 (Dbf.dbf p 16);
+  checki "total demand" 4 (Dbf.total_demand [ p; p ] 6)
+
+let test_edf_feasible_classic () =
+  (* Implicit deadlines, U = 1.0: EDF feasible. *)
+  checkb "U=1 implicit" true
+    (Dbf.edf_feasible [ per "a" 1 2 2; per "b" 2 4 4 ]);
+  (* U > 1: infeasible. *)
+  checkb "U>1" false (Dbf.edf_feasible [ per "a" 3 4 4; per "b" 2 4 4 ]);
+  (* Constrained deadlines can be infeasible below U=1. *)
+  checkb "tight deadlines" false
+    (Dbf.edf_feasible [ per "a" 2 10 2; per "b" 2 10 2 ])
+
+let test_edf_matches_simulation () =
+  (* The analytical verdict must agree with simulating EDF over the
+     hyperperiod (synchronous release is the worst case). *)
+  let g = Rt_graph.Prng.create 21 in
+  for _ = 1 to 40 do
+    let n = 1 + Rt_graph.Prng.int g 3 in
+    let procs =
+      List.init n (fun i ->
+          let p = List.nth [ 4; 6; 8; 12 ] (Rt_graph.Prng.int g 4) in
+          let c = 1 + Rt_graph.Prng.int g 3 in
+          let d = max c (p - Rt_graph.Prng.int g 3) in
+          per (Printf.sprintf "t%d" i) c p d)
+    in
+    let analytical = Dbf.edf_feasible procs in
+    let simulated =
+      Rt_sim.Proc_sim.schedulable_by_simulation Rt_sim.Proc_sim.Edf procs
+    in
+    if analytical <> simulated then
+      Alcotest.failf "disagreement on %s: dbf=%b sim=%b"
+        (String.concat ","
+           (List.map (Format.asprintf "%a" Process.pp) procs))
+        analytical simulated
+  done
+
+let test_first_overload_point () =
+  match Dbf.first_overload [ per "a" 2 10 2; per "b" 2 10 2 ] with
+  | Some t -> checki "overload at the common deadline" 2 t
+  | None -> Alcotest.fail "expected overload"
+
+(* ------------------------------------------------------------------ *)
+(* Fixed_priority                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_priority_order () =
+  let a = per "a" 1 10 4 and b = per "b" 1 4 8 in
+  (match Fixed_priority.priorities Fixed_priority.Rate_monotonic [ a; b ] with
+  | [ first; _ ] -> checkb "RM: smaller period first" true (first.Process.name = "b")
+  | _ -> Alcotest.fail "two processes expected");
+  match Fixed_priority.priorities Fixed_priority.Deadline_monotonic [ a; b ] with
+  | [ first; _ ] -> checkb "DM: smaller deadline first" true (first.Process.name = "a")
+  | _ -> Alcotest.fail "two processes expected"
+
+let test_response_time_textbook () =
+  (* Classic example: c/p = 1/4, 2/6, 3/12 under RM. *)
+  let t1 = per "t1" 1 4 4 and t2 = per "t2" 2 6 6 and t3 = per "t3" 3 12 12 in
+  let procs = [ t1; t2; t3 ] in
+  let rt p =
+    match Fixed_priority.response_time Fixed_priority.Rate_monotonic procs p with
+    | Some r -> r
+    | None -> -1
+  in
+  checki "R(t1)" 1 (rt t1);
+  checki "R(t2)" 3 (rt t2);
+  (* t3: R = 3 + ceil(R/4)*1 + ceil(R/6)*2; fixed point at 12? 
+     R0=3+1+2=6 -> 3+2+2=7 -> 3+2+4=9 -> 3+3+4=10 -> 3+3+4=10. *)
+  checki "R(t3)" 10 (rt t3);
+  checkb "schedulable" true
+    (Fixed_priority.schedulable Fixed_priority.Rate_monotonic procs)
+
+let test_response_time_with_blocking () =
+  let t1 = per "t1" 1 4 4 and t2 = per "t2" 2 8 8 in
+  let blocking p = if p.Process.name = "t1" then 2 else 0 in
+  (match
+     Fixed_priority.response_time ~blocking Fixed_priority.Rate_monotonic
+       [ t1; t2 ] t1
+   with
+  | Some r -> checki "blocked response" 3 r
+  | None -> Alcotest.fail "t1 should still fit");
+  checkb "still schedulable with blocking" true
+    (Fixed_priority.schedulable ~blocking Fixed_priority.Rate_monotonic
+       [ t1; t2 ])
+
+let test_response_time_unschedulable () =
+  let t1 = per "t1" 2 4 4 and t2 = per "t2" 3 5 5 in
+  checkb "over RM bound and actually unschedulable" false
+    (Fixed_priority.schedulable Fixed_priority.Rate_monotonic [ t1; t2 ])
+
+let test_liu_layland () =
+  checkf "n=1" 1.0 (Fixed_priority.liu_layland_bound 1);
+  checkb "n=2 ~ 0.828" true
+    (abs_float (Fixed_priority.liu_layland_bound 2 -. 0.8284271) < 1e-6);
+  checkb "monotone decreasing" true
+    (Fixed_priority.liu_layland_bound 10 < Fixed_priority.liu_layland_bound 2);
+  checkb "tends to ln 2" true
+    (Fixed_priority.liu_layland_bound 1000 > 0.6931
+    && Fixed_priority.liu_layland_bound 1000 < 0.694);
+  checkb "utilization test" true
+    (Fixed_priority.utilization_test [ per "a" 1 4 4; per "b" 1 5 5 ])
+
+let test_rm_vs_sim_agreement () =
+  (* Response-time analysis is exact for synchronous constrained-
+     deadline sets: cross-check against simulation. *)
+  let g = Rt_graph.Prng.create 8 in
+  for _ = 1 to 40 do
+    let n = 1 + Rt_graph.Prng.int g 3 in
+    let procs =
+      List.init n (fun i ->
+          let p = List.nth [ 4; 5; 8; 10; 20 ] (Rt_graph.Prng.int g 5) in
+          let c = 1 + Rt_graph.Prng.int g 3 in
+          per (Printf.sprintf "t%d" i) c p p)
+    in
+    let analytical =
+      Fixed_priority.schedulable Fixed_priority.Rate_monotonic procs
+    in
+    let simulated =
+      Rt_sim.Proc_sim.schedulable_by_simulation
+        (Rt_sim.Proc_sim.Fixed Fixed_priority.Rate_monotonic)
+        procs
+    in
+    if analytical <> simulated then
+      Alcotest.failf "RM disagreement on %s"
+        (String.concat "," (List.map (Format.asprintf "%a" Process.pp) procs))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sporadic                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sporadic_transformation () =
+  let s = spo "s" 2 20 9 in
+  match Sporadic.to_periodic s with
+  | None -> Alcotest.fail "transformable"
+  | Some p ->
+      checki "period min(p, d-c+1)" 8 p.Process.p;
+      checki "deadline c" 2 p.Process.d;
+      checkb "covers the original deadline" true
+        (Sporadic.covers ~original:s ~polled:p)
+
+let test_sporadic_impossible () =
+  checkb "d < c untransformable" true (Sporadic.to_periodic (spo "s" 5 9 3) = None);
+  checkb "set propagates failure" true
+    (Sporadic.transform_set [ per "a" 1 4 4; spo "s" 5 9 3 ] = None)
+
+let test_sporadic_periodic_passthrough () =
+  let p = per "a" 1 4 4 in
+  checkb "periodic unchanged" true (Sporadic.to_periodic p = Some p)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor / Codegen / From_model                                      *)
+(* ------------------------------------------------------------------ *)
+
+let example = Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+
+let test_monitors_of_example () =
+  let monitors = Monitor.of_model example in
+  let names = List.map (fun m -> m.Monitor.element_name) monitors in
+  checkb "f_s guarded" true (List.mem "f_s" names);
+  checkb "f_k guarded" true (List.mem "f_k" names);
+  checkb "f_x not guarded" false (List.mem "f_x" names);
+  let fs = List.find (fun m -> m.Monitor.element_name = "f_s") monitors in
+  checki "critical section = weight" 2 fs.Monitor.critical_section;
+  let pipelined = Monitor.of_model ~pipelined:true example in
+  let fs' = List.find (fun m -> m.Monitor.element_name = "f_s") pipelined in
+  checki "pipelining shrinks critical section" 1 fs'.Monitor.critical_section;
+  checki "blocking bound for px" 2
+    (Monitor.blocking_bound monitors ~process:"px");
+  checki "no blocking for outsider" 0
+    (Monitor.blocking_bound monitors ~process:"nobody");
+  checki "max critical section" 2 (Monitor.max_critical_section monitors)
+
+let test_codegen () =
+  let monitors = Monitor.of_model example in
+  let px = Rt_core.Model.find example "px" in
+  let prog = Codegen.of_constraint example ~monitors px in
+  checki "wcet" 4 prog.Codegen.wcet;
+  (* f_x unguarded; f_s and f_k guarded: call steps = 3, enters = 2. *)
+  checki "f_s called once" 1
+    (Codegen.call_count prog (Rt_core.Comm_graph.id_of_name example.Rt_core.Model.comm "f_s"));
+  let enters =
+    List.length
+      (List.filter
+         (function Codegen.Enter _ -> true | _ -> false)
+         prog.Codegen.steps)
+  in
+  checki "two guarded ops" 2 enters;
+  let rendered = Codegen.render example prog in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "renders monitor calls" true (contains rendered "enter(f_s);")
+
+let test_from_model_translation () =
+  let tr = From_model.translate example in
+  checki "three processes" 3 (List.length tr.From_model.processes);
+  let pz = List.find (fun p -> p.Process.name = "pz") tr.From_model.processes in
+  checkb "pz sporadic" true (pz.Process.kind = Process.Sporadic_process);
+  checki "pz wcet" 3 pz.Process.c;
+  checkb "example EDF-schedulable as processes" true
+    (From_model.edf_schedulable tr)
+
+let test_redundant_work () =
+  let shared =
+    Rt_workload.Suite.control_system_equal_rates
+      Rt_workload.Suite.default_params
+  in
+  let tr = From_model.translate shared in
+  (* Per hyperperiod (10): px and py both run f_s (2) and f_k (1):
+     merged saves 3 units. *)
+  checki "redundant work" 3 (From_model.redundant_work shared tr);
+  let distinct = From_model.translate example in
+  checki "no redundancy at distinct rates" 0
+    (From_model.redundant_work example distinct)
+
+let () =
+  Alcotest.run "rt_process"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "metrics" `Quick test_process_metrics;
+          Alcotest.test_case "validation" `Quick test_process_validation;
+        ] );
+      ( "dbf",
+        [
+          Alcotest.test_case "values" `Quick test_dbf_values;
+          Alcotest.test_case "classic verdicts" `Quick test_edf_feasible_classic;
+          Alcotest.test_case "matches simulation" `Slow
+            test_edf_matches_simulation;
+          Alcotest.test_case "first overload" `Quick test_first_overload_point;
+        ] );
+      ( "fixed_priority",
+        [
+          Alcotest.test_case "priority order" `Quick test_priority_order;
+          Alcotest.test_case "textbook response times" `Quick
+            test_response_time_textbook;
+          Alcotest.test_case "blocking" `Quick test_response_time_with_blocking;
+          Alcotest.test_case "unschedulable" `Quick
+            test_response_time_unschedulable;
+          Alcotest.test_case "liu-layland" `Quick test_liu_layland;
+          Alcotest.test_case "matches simulation" `Slow
+            test_rm_vs_sim_agreement;
+        ] );
+      ( "sporadic",
+        [
+          Alcotest.test_case "transformation" `Quick
+            test_sporadic_transformation;
+          Alcotest.test_case "impossible" `Quick test_sporadic_impossible;
+          Alcotest.test_case "periodic passthrough" `Quick
+            test_sporadic_periodic_passthrough;
+        ] );
+      ( "naive-implementation",
+        [
+          Alcotest.test_case "monitors" `Quick test_monitors_of_example;
+          Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "from_model" `Quick test_from_model_translation;
+          Alcotest.test_case "redundant work" `Quick test_redundant_work;
+        ] );
+    ]

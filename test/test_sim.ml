@@ -1,0 +1,489 @@
+(* Tests for the simulation layer: Event_queue, Arrivals, Runtime,
+   Proc_sim and the value-carrying Data simulator. *)
+
+open Rt_core
+module Eq = Rt_sim.Event_queue
+module Arr = Rt_sim.Arrivals
+module Rtm = Rt_sim.Runtime
+module Psim = Rt_sim.Proc_sim
+module Data = Rt_sim.Data
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let q = Eq.create () in
+  List.iter
+    (fun (t, v) -> Eq.push q ~time:t v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  checki "size" 5 (Eq.size q);
+  let order = ref [] in
+  let rec drain () =
+    match Eq.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.check (Alcotest.list Alcotest.string) "sorted by time"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let q = Eq.create () in
+  List.iter (fun v -> Eq.push q ~time:7 v) [ "x"; "y"; "z" ];
+  let a = Eq.pop q and b = Eq.pop q in
+  checkb "insertion order on ties" true (a = Some (7, "x") && b = Some (7, "y"))
+
+let test_heap_pop_until () =
+  let q = Eq.create () in
+  List.iter (fun t -> Eq.push q ~time:t t) [ 1; 2; 3; 4; 5 ];
+  let early = Eq.pop_until q 3 in
+  checki "three popped" 3 (List.length early);
+  checki "two remain" 2 (Eq.size q);
+  Eq.clear q;
+  checkb "cleared" true (Eq.is_empty q)
+
+let test_heap_growth () =
+  let q = Eq.create () in
+  for i = 999 downto 0 do
+    Eq.push q ~time:i i
+  done;
+  checki "1000 events" 1000 (Eq.size q);
+  checkb "min first" true (Eq.peek q = Some (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Arrivals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_arrivals_max_rate () =
+  Alcotest.check (Alcotest.list Alcotest.int) "max rate" [ 0; 5; 10 ]
+    (Arr.max_rate ~horizon:15 ~separation:5);
+  checkb "legal" true
+    (Arr.legal ~separation:5 (Arr.max_rate ~horizon:100 ~separation:5))
+
+let test_arrivals_legality () =
+  checkb "ok" true (Arr.legal ~separation:3 [ 0; 3; 7 ]);
+  checkb "too close" false (Arr.legal ~separation:3 [ 0; 2 ]);
+  checkb "negative" false (Arr.legal ~separation:3 [ -1; 5 ]);
+  checkb "empty ok" true (Arr.legal ~separation:3 [])
+
+let test_arrivals_random_legal () =
+  let g = Rt_graph.Prng.create 17 in
+  for _ = 1 to 50 do
+    let a = Arr.random g ~horizon:200 ~separation:7 ~density:0.8 in
+    checkb "random sequences legal" true (Arr.legal ~separation:7 a);
+    let b = Arr.adversarial_phases g ~horizon:200 ~separation:7 in
+    checkb "adversarial legal" true (Arr.legal ~separation:7 b)
+  done
+
+let test_arrivals_single () =
+  Alcotest.check (Alcotest.list Alcotest.int) "inside" [ 5 ]
+    (Arr.single ~at:5 ~horizon:10);
+  Alcotest.check (Alcotest.list Alcotest.int) "outside" []
+    (Arr.single ~at:15 ~horizon:10)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let comm2 =
+  Comm_graph.create
+    ~elements:[ ("u", 1, true); ("v", 1, true) ]
+    ~edges:[ ("u", "v") ]
+
+let simple_model =
+  Model.make ~comm:comm2
+    ~constraints:
+      [
+        Timing.make ~name:"per" ~graph:(Task_graph.singleton 0) ~period:4
+          ~deadline:4 ~kind:Timing.Periodic;
+        Timing.make ~name:"spor"
+          ~graph:(Task_graph.of_chain [ 0; 1 ])
+          ~period:6 ~deadline:8 ~kind:Timing.Asynchronous;
+      ]
+
+let simple_sched =
+  Schedule.of_slots
+    [ Schedule.Run 0; Schedule.Run 1; Schedule.Idle; Schedule.Idle ]
+
+let test_runtime_periodic_only () =
+  let r = Rtm.run simple_model simple_sched ~horizon:20 ~arrivals:[] in
+  checki "five invocations" 5 (List.length r.Rtm.invocations);
+  checki "no misses" 0 r.Rtm.misses;
+  checkb "worst response 1" true
+    (List.assoc "per" r.Rtm.worst_response = 1)
+
+let test_runtime_async_responses () =
+  let r =
+    Rtm.run simple_model simple_sched ~horizon:20
+      ~arrivals:[ ("spor", [ 0; 7 ]) ]
+  in
+  let spor_invs =
+    List.filter
+      (fun i -> i.Rtm.constraint_name = "spor")
+      r.Rtm.invocations
+  in
+  checki "two invocations" 2 (List.length spor_invs);
+  (* Arrival 0: u@0, v@1 -> completion 2, response 2.
+     Arrival 7: u@8, v@9 -> completion 10, response 3. *)
+  (match (List.nth spor_invs 0).Rtm.response with
+  | Some r0 -> checki "response at 0" 2 r0
+  | None -> Alcotest.fail "expected completion");
+  (match (List.nth spor_invs 1).Rtm.response with
+  | Some r1 -> checki "response at 7" 3 r1
+  | None -> Alcotest.fail "expected completion");
+  checki "no misses" 0 r.Rtm.misses
+
+let test_runtime_detects_misses () =
+  (* Tight deadline of 1 cannot be met by the chain u -> v. *)
+  let m =
+    Model.make ~comm:comm2
+      ~constraints:
+        [
+          Timing.make ~name:"tight"
+            ~graph:(Task_graph.of_chain [ 0; 1 ])
+            ~period:5 ~deadline:1 ~kind:Timing.Asynchronous;
+        ]
+  in
+  let r = Rtm.run m simple_sched ~horizon:20 ~arrivals:[ ("tight", [ 3 ]) ] in
+  checki "one miss" 1 r.Rtm.misses
+
+let test_runtime_rejects_bad_input () =
+  checkb "unknown constraint" true
+    (try
+       ignore (Rtm.run simple_model simple_sched ~horizon:10 ~arrivals:[ ("zz", [ 0 ]) ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "arrivals for periodic" true
+    (try
+       ignore (Rtm.run simple_model simple_sched ~horizon:10 ~arrivals:[ ("per", [ 0 ]) ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "separation violation" true
+    (try
+       ignore
+         (Rtm.run simple_model simple_sched ~horizon:10
+            ~arrivals:[ ("spor", [ 0; 1 ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Proc_sim                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let per name c p d =
+  Rt_process.Process.make ~name ~c ~p ~d ~kind:Rt_process.Process.Periodic_process
+
+let spo name c p d =
+  Rt_process.Process.make ~name ~c ~p ~d ~kind:Rt_process.Process.Sporadic_process
+
+let test_proc_sim_edf_meets () =
+  let r = Psim.simulate Psim.Edf [ per "a" 1 2 2; per "b" 2 4 4 ] ~horizon:8 in
+  checki "no misses at U=1" 0 r.Psim.misses;
+  checki "no idle at U=1" 0 r.Psim.idle
+
+let test_proc_sim_overload_misses () =
+  let r = Psim.simulate Psim.Edf [ per "a" 3 4 4; per "b" 2 4 4 ] ~horizon:8 in
+  checkb "misses under overload" true (r.Psim.misses > 0)
+
+let test_proc_sim_rm_priority_inversion () =
+  (* RM fails where EDF succeeds: classic U=1 pair. *)
+  let procs = [ per "a" 2 4 4; per "b" 4 8 8 ] in
+  let edf = Psim.simulate Psim.Edf procs ~horizon:8 in
+  let rm =
+    Psim.simulate (Psim.Fixed Rt_process.Fixed_priority.Rate_monotonic) procs
+      ~horizon:8
+  in
+  checki "EDF fine" 0 edf.Psim.misses;
+  checki "RM fine here too" 0 rm.Psim.misses;
+  (* A set schedulable by EDF but not RM: 1/3 + 2/4 + ... use
+     c/p = (1,3),(1,4),(2,5): U = 0.983 > RM bound and indeed RM
+     misses. *)
+  let hard = [ per "x" 1 3 3; per "y" 1 4 4; per "z" 2 5 5 ] in
+  let edf2 = Psim.schedulable_by_simulation Psim.Edf hard in
+  let rm2 =
+    Psim.schedulable_by_simulation
+      (Psim.Fixed Rt_process.Fixed_priority.Rate_monotonic)
+      hard
+  in
+  checkb "EDF schedules it" true edf2;
+  checkb "RM does not" false rm2
+
+let test_proc_sim_llf () =
+  let procs = [ per "a" 1 2 2; per "b" 2 4 4 ] in
+  checkb "LLF handles U=1" true (Psim.schedulable_by_simulation Psim.Llf procs)
+
+let test_proc_sim_sporadic_arrivals () =
+  let procs = [ spo "s" 2 5 5 ] in
+  let r =
+    Psim.simulate ~arrivals:[ ("s", [ 1; 9 ]) ] Psim.Edf procs ~horizon:15
+  in
+  checki "two jobs" 2 (List.length r.Psim.jobs);
+  checki "no misses" 0 r.Psim.misses;
+  let j0 = List.nth r.Psim.jobs 0 in
+  checkb "released at 1" true (j0.Psim.release = 1);
+  checkb "finished by 3" true (j0.Psim.finish = Some 3)
+
+let test_proc_sim_kernelized () =
+  (* q = 1 is plain EDF. *)
+  let procs = [ per "a" 1 2 2; per "b" 2 4 4 ] in
+  let edf = Psim.simulate Psim.Edf procs ~horizon:8 in
+  let k1 = Psim.simulate (Psim.Kernelized 1) procs ~horizon:8 in
+  checki "q=1 equals EDF misses" edf.Psim.misses k1.Psim.misses;
+  (* A large quantum delays urgent work: a long job grabs the processor
+     at a boundary and a tight job released just after must wait out
+     the quantum. *)
+  let tight = per "tight" 1 8 2 in
+  let long = per "long" 6 16 16 in
+  let arrivals_free =
+    Psim.simulate ~arrivals:[] Psim.Edf [ tight; long ] ~horizon:16
+  in
+  checki "EDF meets both" 0 arrivals_free.Psim.misses;
+  let spor_tight =
+    Rt_process.Process.make ~name:"tight" ~c:1 ~p:8 ~d:2
+      ~kind:Rt_process.Process.Sporadic_process
+  in
+  let kern =
+    Psim.simulate
+      ~arrivals:[ ("tight", [ 1; 9 ]) ]
+      (Psim.Kernelized 4) [ spor_tight; long ] ~horizon:16
+  in
+  (* tight released at 1 with d=2 must finish by 3, but long holds the
+     processor until the boundary at 4. *)
+  checkb "quantum blocking causes the miss" true (kern.Psim.misses > 0);
+  let edf2 =
+    Psim.simulate
+      ~arrivals:[ ("tight", [ 1; 9 ]) ]
+      Psim.Edf [ spor_tight; long ] ~horizon:16
+  in
+  checki "preemptive EDF meets it" 0 edf2.Psim.misses;
+  checkb "bad quantum rejected" true
+    (try
+       ignore (Psim.simulate (Psim.Kernelized 0) procs ~horizon:4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_proc_sim_preemption_count () =
+  (* b (long, loose) is preempted by a (short, tight). *)
+  let procs = [ per "a" 1 3 3; per "b" 4 9 9 ] in
+  let r = Psim.simulate Psim.Edf procs ~horizon:9 in
+  checkb "preemptions observed" true (r.Psim.preemptions > 0);
+  checki "no misses" 0 r.Psim.misses
+
+(* ------------------------------------------------------------------ *)
+(* Data (value-carrying simulation)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let data_comm =
+  Comm_graph.create
+    ~elements:[ ("src", 1, true); ("dbl", 1, true); ("out", 1, true) ]
+    ~edges:[ ("src", "dbl"); ("dbl", "out") ]
+
+let data_model =
+  Model.make ~comm:data_comm
+    ~constraints:
+      [
+        Timing.make ~name:"flow"
+          ~graph:(Task_graph.of_chain [ 0; 1; 2 ])
+          ~period:3 ~deadline:3 ~kind:Timing.Periodic;
+      ]
+
+let data_sched =
+  Schedule.of_slots [ Schedule.Run 0; Schedule.Run 1; Schedule.Run 2 ]
+
+let test_data_flow_values () =
+  let config =
+    {
+      Data.interps =
+        [
+          ("src", fun ~now _ -> float_of_int now);
+          ("dbl", fun ~now:_ inputs -> 2.0 *. inputs.(0));
+        ];
+      assertions = [];
+    }
+  in
+  let r = Data.run data_model data_sched config ~steps:9 in
+  (* src completes at 1, 4, 7 emitting 1, 4, 7; dbl doubles the latest
+     value; out is a sink summing its input. *)
+  checki "three outputs" 3 (List.length r.Data.outputs);
+  let _, _, v_last = List.nth r.Data.outputs 2 in
+  (* Third round: src completes at time 7 emitting 7.0, dbl doubles it
+     at time 8, out publishes 14.0 at time 9. *)
+  checkb "last output is 2 * src@7" true (v_last = 14.0);
+  checkb "transmissions recorded" true (List.length r.Data.transmissions = 6)
+
+let test_data_assertions () =
+  let config =
+    {
+      Data.interps = [ ("src", fun ~now _ -> float_of_int now) ];
+      assertions = [ ("src", "dbl", fun v -> v < 5.0) ];
+    }
+  in
+  let r = Data.run data_model data_sched config ~steps:9 in
+  (* src values 1, 4, 7: the third violates v < 5. *)
+  checki "one violation" 1 (List.length r.Data.violations);
+  let viol = List.hd r.Data.violations in
+  checkb "violating value" true (viol.Data.transmission.Data.value = 7.0)
+
+let test_data_default_interp_sums () =
+  let config = { Data.interps = []; assertions = [] } in
+  let r = Data.run data_model data_sched config ~steps:3 in
+  (* All defaults: src emits 0 (no inputs), dbl sums -> 0, out -> 0. *)
+  checkb "edge values are zero" true
+    (List.for_all (fun (_, v) -> v = 0.0) r.Data.final_edge_values)
+
+let test_data_rejects_unknown () =
+  let config = { Data.interps = [ ("zz", fun ~now:_ _ -> 0.0) ]; assertions = [] } in
+  checkb "unknown element" true
+    (try
+       ignore (Data.run data_model data_sched config ~steps:3);
+       false
+     with Invalid_argument _ -> true);
+  let config2 =
+    { Data.interps = []; assertions = [ ("out", "src", fun _ -> true) ] }
+  in
+  checkb "unknown edge" true
+    (try
+       ignore (Data.run data_model data_sched config2 ~steps:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_data_multi_slot_elements () =
+  (* An element of weight 2 only fires after both slots. *)
+  let comm =
+    Comm_graph.create
+      ~elements:[ ("a", 2, true); ("b", 1, true) ]
+      ~edges:[ ("a", "b") ]
+  in
+  let m =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"c"
+            ~graph:(Task_graph.of_chain [ 0; 1 ])
+            ~period:4 ~deadline:4 ~kind:Timing.Periodic;
+        ]
+  in
+  let sched =
+    Schedule.of_slots
+      [ Schedule.Run 0; Schedule.Run 0; Schedule.Run 1; Schedule.Idle ]
+  in
+  let config =
+    { Data.interps = [ ("a", fun ~now _ -> float_of_int now) ]; assertions = [] }
+  in
+  let r = Data.run m sched config ~steps:4 in
+  checki "one transmission" 1 (List.length r.Data.transmissions);
+  let tr = List.hd r.Data.transmissions in
+  checkb "fires at completion of second slot" true (tr.Data.time = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_injectors () =
+  let base ~now _ = float_of_int now in
+  let w = { Rt_sim.Fault.from = 10; until = 20 } in
+  let stuck = Rt_sim.Fault.stuck_at w 99.0 base in
+  checkb "stuck inside" true (stuck ~now:15 [||] = 99.0);
+  checkb "normal outside" true (stuck ~now:5 [||] = 5.0);
+  checkb "normal after" true (stuck ~now:25 [||] = 25.0);
+  let biased = Rt_sim.Fault.offset_by w 100.0 base in
+  checkb "bias inside" true (biased ~now:12 [||] = 112.0);
+  checkb "no bias outside" true (biased ~now:2 [||] = 2.0);
+  let sp = Rt_sim.Fault.spike ~at:7 (-1.0) base in
+  checkb "spike at" true (sp ~now:7 [||] = -1.0);
+  checkb "spike only at" true (sp ~now:8 [||] = 8.0);
+  let frozen = Rt_sim.Fault.dropout w base in
+  checkb "before window tracks" true (frozen ~now:9 [||] = 9.0);
+  checkb "inside window frozen at last value" true (frozen ~now:15 [||] = 9.0);
+  checkb "after window resumes" true (frozen ~now:21 [||] = 21.0);
+  let combo =
+    Rt_sim.Fault.chain
+      [ Rt_sim.Fault.offset_by w 1.0; Rt_sim.Fault.stuck_at w 42.0 ]
+      base
+  in
+  (* chain applies left to right: offset first, then stuck overrides. *)
+  checkb "chain order" true (combo ~now:12 [||] = 42.0)
+
+let test_fault_detected_by_assertions () =
+  (* Inject a stuck-at fault into the source; the edge assertion must
+     flag exactly the in-window transmissions. *)
+  let config =
+    {
+      Data.interps =
+        [ ("src", Rt_sim.Fault.stuck_at { from = 3; until = 7 } 50.0
+                    (fun ~now _ -> float_of_int now) ) ];
+      assertions = [ ("src", "dbl", fun v -> v < 20.0) ];
+    }
+  in
+  let r = Data.run data_model data_sched config ~steps:12 in
+  (* src completes at 1, 4, 7, 10: values 1, 50 (faulty), 7, 10. *)
+  checki "one violation" 1 (List.length r.Data.violations);
+  checkb "violation at t=4" true
+    ((List.hd r.Data.violations).Data.transmission.Data.time = 4)
+
+let () =
+  Alcotest.run "rt_sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "pop_until/clear" `Quick test_heap_pop_until;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "max rate" `Quick test_arrivals_max_rate;
+          Alcotest.test_case "legality" `Quick test_arrivals_legality;
+          Alcotest.test_case "random legal" `Quick test_arrivals_random_legal;
+          Alcotest.test_case "single" `Quick test_arrivals_single;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "periodic only" `Quick test_runtime_periodic_only;
+          Alcotest.test_case "async responses" `Quick
+            test_runtime_async_responses;
+          Alcotest.test_case "detects misses" `Quick
+            test_runtime_detects_misses;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_runtime_rejects_bad_input;
+        ] );
+      ( "proc_sim",
+        [
+          Alcotest.test_case "EDF meets" `Quick test_proc_sim_edf_meets;
+          Alcotest.test_case "overload misses" `Quick
+            test_proc_sim_overload_misses;
+          Alcotest.test_case "EDF vs RM" `Quick
+            test_proc_sim_rm_priority_inversion;
+          Alcotest.test_case "LLF" `Quick test_proc_sim_llf;
+          Alcotest.test_case "sporadic arrivals" `Quick
+            test_proc_sim_sporadic_arrivals;
+          Alcotest.test_case "preemptions" `Quick
+            test_proc_sim_preemption_count;
+          Alcotest.test_case "kernelized monitor" `Quick
+            test_proc_sim_kernelized;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "injectors" `Quick test_fault_injectors;
+          Alcotest.test_case "detected by assertions" `Quick
+            test_fault_detected_by_assertions;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "flow values" `Quick test_data_flow_values;
+          Alcotest.test_case "assertions" `Quick test_data_assertions;
+          Alcotest.test_case "default interp" `Quick
+            test_data_default_interp_sums;
+          Alcotest.test_case "rejects unknown" `Quick test_data_rejects_unknown;
+          Alcotest.test_case "multi-slot elements" `Quick
+            test_data_multi_slot_elements;
+        ] );
+    ]

@@ -1,0 +1,509 @@
+(* Tests for the specification language: lexer, parser, elaboration,
+   pretty-printer round-trip, and DOT export. *)
+
+open Rt_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let example_src =
+  {|
+# The paper's example control system (Figures 1 and 2).
+system "control" {
+  element f_x weight 1 pipelinable;
+  element f_y weight 1 pipelinable;
+  element f_z weight 1 pipelinable;
+  element f_s weight 2 pipelinable;
+  element f_k weight 1 pipelinable;
+  edge f_x -> f_s;
+  edge f_y -> f_s;
+  edge f_z -> f_s;
+  edge f_s -> f_k;
+  edge f_k -> f_s;
+  constraint px periodic period 10 deadline 10 {
+    f_x -> f_s -> f_k;
+  }
+  constraint py periodic period 20 deadline 20 {
+    f_y -> f_s -> f_k;
+  }
+  constraint pz asynchronous separation 50 deadline 15 {
+    f_z -> f_s;
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Rt_spec.Lexer.tokenize "foo 42 -> { } ; \"bar\"") in
+  checkb "token kinds" true
+    (toks
+    = [
+        Rt_spec.Lexer.IDENT "foo";
+        Rt_spec.Lexer.INT 42;
+        Rt_spec.Lexer.ARROW;
+        Rt_spec.Lexer.LBRACE;
+        Rt_spec.Lexer.RBRACE;
+        Rt_spec.Lexer.SEMI;
+        Rt_spec.Lexer.STRING "bar";
+        Rt_spec.Lexer.EOF;
+      ])
+
+let test_lexer_comments_and_positions () =
+  let toks = Rt_spec.Lexer.tokenize "a # comment to eol\n  b" in
+  (match toks with
+  | [ (Rt_spec.Lexer.IDENT "a", p1); (Rt_spec.Lexer.IDENT "b", p2); _ ] ->
+      checki "a line" 1 p1.Rt_spec.Lexer.line;
+      checki "b line" 2 p2.Rt_spec.Lexer.line;
+      checki "b col" 3 p2.Rt_spec.Lexer.col
+  | _ -> Alcotest.fail "unexpected token stream")
+
+let test_lexer_errors () =
+  checkb "bad char" true
+    (try
+       ignore (Rt_spec.Lexer.tokenize "a @ b");
+       false
+     with Rt_spec.Lexer.Lex_error _ -> true);
+  checkb "unterminated string" true
+    (try
+       ignore (Rt_spec.Lexer.tokenize "\"oops");
+       false
+     with Rt_spec.Lexer.Lex_error _ -> true);
+  checkb "dash without arrow" true
+    (try
+       ignore (Rt_spec.Lexer.tokenize "a - b");
+       false
+     with Rt_spec.Lexer.Lex_error _ -> true)
+
+let test_lexer_stage_names () =
+  (* '#' inside an identifier (stage names like f_s#2) must lex as one
+     identifier, while a leading '#' starts a comment. *)
+  match Rt_spec.Lexer.tokenize "f_s#2" with
+  | [ (Rt_spec.Lexer.IDENT "f_s#2", _); _ ] -> ()
+  | _ -> Alcotest.fail "stage name must be a single identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_example () =
+  let sys = Rt_spec.Parser.parse example_src in
+  Alcotest.check Alcotest.string "name" "control" sys.Rt_spec.Ast.sy_name;
+  checki "five elements" 5 (List.length sys.Rt_spec.Ast.sy_elements);
+  checki "five edges" 5 (List.length sys.Rt_spec.Ast.sy_edges);
+  checki "three constraints" 3 (List.length sys.Rt_spec.Ast.sy_constraints);
+  let pz = List.nth sys.Rt_spec.Ast.sy_constraints 2 in
+  checkb "pz async" true (pz.Rt_spec.Ast.co_kind = Rt_spec.Ast.K_asynchronous);
+  checki "pz separation" 50 pz.Rt_spec.Ast.co_period;
+  checki "pz deadline" 15 pz.Rt_spec.Ast.co_deadline;
+  checkb "pz chain" true (pz.Rt_spec.Ast.co_chains = [ [ "f_z"; "f_s" ] ])
+
+let test_parse_multi_chain_dag () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable;
+       element b weight 1 pipelinable;
+       element c weight 1 pipelinable;
+       edge a -> b; edge a -> c;
+       constraint k periodic period 5 deadline 5 { a -> b; a -> c; }
+     }|}
+  in
+  let sys = Rt_spec.Parser.parse src in
+  let k = List.hd sys.Rt_spec.Ast.sy_constraints in
+  checki "two chains" 2 (List.length k.Rt_spec.Ast.co_chains)
+
+let test_parse_errors_positioned () =
+  (match Rt_spec.Parser.parse_result "system \"s\" { element }" with
+  | Error msg -> checkb "mentions position" true (String.length msg > 4)
+  | Ok _ -> Alcotest.fail "must fail");
+  (match Rt_spec.Parser.parse_result "system \"s\" { }
+trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage rejected");
+  match
+    Rt_spec.Parser.parse_result
+      "system \"s\" { constraint k periodic separation 5 deadline 5 { } }"
+  with
+  | Error _ -> () (* periodic must use 'period' *)
+  | Ok _ -> Alcotest.fail "keyword mismatch rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Elaborate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_elaborate_example () =
+  match Rt_spec.Elaborate.load example_src with
+  | Error errs -> Alcotest.failf "elaboration failed: %s" (String.concat "; " errs)
+  | Ok m ->
+      let reference =
+        Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+      in
+      checkb "comm graph equal to the reference model" true
+        (Comm_graph.equal m.Model.comm reference.Model.comm);
+      checki "three constraints" 3 (List.length m.Model.constraints);
+      (* Same synthesis outcome as the programmatic model. *)
+      (match (Synthesis.synthesize m, Synthesis.synthesize reference) with
+      | Ok a, Ok b ->
+          checkb "same schedule" true
+            (Schedule.equal a.Synthesis.schedule b.Synthesis.schedule)
+      | _ -> Alcotest.fail "both must synthesize")
+
+let test_elaborate_unknown_element () =
+  let src =
+    {|system "s" { element a weight 1 pipelinable;
+       constraint k periodic period 5 deadline 5 { a -> ghost; } }|}
+  in
+  match Rt_spec.Elaborate.load src with
+  | Error errs ->
+      checkb "mentions ghost" true
+        (List.exists
+           (fun e ->
+             let contains hay needle =
+               let nh = String.length hay and nn = String.length needle in
+               let rec go i =
+                 i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+               in
+               go 0
+             in
+             contains e "ghost")
+           errs)
+  | Ok _ -> Alcotest.fail "unknown element must fail"
+
+let test_elaborate_incompatible_edge () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable; element b weight 1 pipelinable;
+       constraint k periodic period 5 deadline 5 { a -> b; } }|}
+  in
+  (* No communication edge a -> b declared. *)
+  match Rt_spec.Elaborate.load src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incompatible task edge must fail"
+
+let test_elaborate_cyclic_task () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable; element b weight 1 pipelinable;
+       edge a -> b; edge b -> a;
+       constraint k periodic period 5 deadline 5 { a -> b; b -> a; } }|}
+  in
+  match Rt_spec.Elaborate.load src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cyclic task graph must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Printer round-trip                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_constraint (m : Model.t) (c : Timing.t) =
+  let elem v = Task_graph.element_of_node c.Timing.graph v in
+  ( (c.Timing.name, c.Timing.offset),
+    c.Timing.period,
+    c.Timing.deadline,
+    c.Timing.kind,
+    List.sort compare
+      (List.map elem (List.init (Task_graph.size c.Timing.graph) Fun.id)),
+    List.sort compare
+      (List.map (fun (u, v) -> (elem u, elem v)) (Task_graph.edges c.Timing.graph)),
+    Comm_graph.equal m.Model.comm m.Model.comm )
+
+let models_equivalent a b =
+  Comm_graph.equal a.Model.comm b.Model.comm
+  && List.length a.Model.constraints = List.length b.Model.constraints
+  && List.for_all2
+       (fun ca cb -> canonical_constraint a ca = canonical_constraint b cb)
+       a.Model.constraints b.Model.constraints
+
+let test_roundtrip_example () =
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  let printed = Rt_spec.Printer.print ~name:"control" m in
+  match Rt_spec.Elaborate.load printed with
+  | Error errs -> Alcotest.failf "reparse failed: %s" (String.concat "; " errs)
+  | Ok m' -> checkb "round-trip equivalent" true (models_equivalent m m')
+
+let test_roundtrip_random_models () =
+  let g = Rt_graph.Prng.create 5150 in
+  for _ = 1 to 20 do
+    let m =
+      Rt_workload.Model_gen.periodic_chain_model g ~n_constraints:4
+        ~utilization:0.6 ~periods:[ 8; 12; 24 ]
+    in
+    let printed = Rt_spec.Printer.print m in
+    match Rt_spec.Elaborate.load printed with
+    | Error errs ->
+        Alcotest.failf "reparse failed: %s\n%s" (String.concat "; " errs)
+          printed
+    | Ok m' -> checkb "round-trip equivalent" true (models_equivalent m m')
+  done
+
+let test_offset_roundtrip () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable;
+       constraint k periodic period 10 deadline 4 offset 5 { a; }
+     }|}
+  in
+  match Rt_spec.Elaborate.load src with
+  | Error errs -> Alcotest.failf "load: %s" (String.concat "; " errs)
+  | Ok m ->
+      let k = Model.find m "k" in
+      checki "offset parsed" 5 k.Timing.offset;
+      let printed = Rt_spec.Printer.print m in
+      (match Rt_spec.Elaborate.load printed with
+      | Ok m' ->
+          checki "offset survives round-trip" 5 (Model.find m' "k").Timing.offset
+      | Error errs -> Alcotest.failf "reload: %s" (String.concat "; " errs));
+      (* Out-of-range offsets are rejected at elaboration. *)
+      let bad =
+        {|system "s" {
+           element a weight 1 pipelinable;
+           constraint k periodic period 10 deadline 4 offset 12 { a; }
+         }|}
+      in
+      checkb "offset >= period rejected" true
+        (match Rt_spec.Elaborate.load bad with Error _ -> true | Ok _ -> false)
+
+let test_print_rejects_duplicates () =
+  let comm =
+    Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[ ("a", "a") ]
+  in
+  let m =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"k"
+            ~graph:(Task_graph.create ~nodes:[| 0; 0 |] ~edges:[ (0, 1) ])
+            ~period:5 ~deadline:5 ~kind:Timing.Periodic;
+        ]
+  in
+  checkb "raises" true
+    (try
+       ignore (Rt_spec.Printer.print m);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Assert declarations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_assert_parse_and_elaborate () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable; element b weight 1 pipelinable;
+       edge a -> b;
+       assert a -> b in [-5, 10];
+       constraint k periodic period 5 deadline 5 { a -> b; }
+     }|}
+  in
+  match Rt_spec.Elaborate.load_with_assertions src with
+  | Error errs -> Alcotest.failf "load: %s" (String.concat "; " errs)
+  | Ok (_, asserts) ->
+      checkb "one assert with float bounds" true
+        (asserts = [ ("a", "b", -5.0, 10.0) ])
+
+let test_assert_validation () =
+  let base body =
+    Printf.sprintf
+      {|system "s" {
+         element a weight 1 pipelinable; element b weight 1 pipelinable;
+         edge a -> b;
+         %s
+         constraint k periodic period 5 deadline 5 { a -> b; }
+       }|}
+      body
+  in
+  (* No such communication edge. *)
+  (match Rt_spec.Elaborate.load (base "assert b -> a in [0, 1];") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "assert on missing edge must fail");
+  (* Empty interval. *)
+  (match Rt_spec.Elaborate.load (base "assert a -> b in [5, -5];") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty interval must fail");
+  (* Unknown element. *)
+  match Rt_spec.Elaborate.load (base "assert a -> ghost in [0, 1];") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown element must fail"
+
+let test_assert_print_roundtrip () =
+  let src =
+    {|system "s" {
+       element a weight 1 pipelinable; element b weight 1 pipelinable;
+       edge a -> b;
+       assert a -> b in [-7, 7];
+       constraint k periodic period 5 deadline 5 { a -> b; }
+     }|}
+  in
+  match Rt_spec.Elaborate.load_with_assertions src with
+  | Error errs -> Alcotest.failf "load: %s" (String.concat "; " errs)
+  | Ok (m, asserts) -> (
+      let printed = Rt_spec.Printer.print ~assertions:asserts m in
+      match Rt_spec.Elaborate.load_with_assertions printed with
+      | Error errs -> Alcotest.failf "reload: %s" (String.concat "; " errs)
+      | Ok (_, asserts') ->
+          checkb "assertions survive round-trip" true (asserts = asserts'))
+
+let test_negative_int_lexing () =
+  (match Rt_spec.Lexer.tokenize "[-12, 3]" with
+  | [ (Rt_spec.Lexer.LBRACKET, _); (Rt_spec.Lexer.INT (-12), _);
+      (Rt_spec.Lexer.COMMA, _); (Rt_spec.Lexer.INT 3, _);
+      (Rt_spec.Lexer.RBRACKET, _); (Rt_spec.Lexer.EOF, _) ] ->
+      ()
+  | _ -> Alcotest.fail "bracketed negative integers must lex");
+  checkb "bare dash still rejected" true
+    (try
+       ignore (Rt_spec.Lexer.tokenize "a - b");
+       false
+     with Rt_spec.Lexer.Lex_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Persist                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let persist_fixture () =
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  match Synthesis.synthesize m with
+  | Ok plan -> (plan.Synthesis.model_used, plan.Synthesis.schedule)
+  | Error _ -> Alcotest.fail "example must synthesize"
+
+let test_persist_roundtrip () =
+  let m, sched = persist_fixture () in
+  let text = Rt_spec.Persist.save_string m sched in
+  match Rt_spec.Persist.load_string text with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok (m', sched') ->
+      checkb "same schedule" true
+        (Schedule.to_string m.Model.comm sched
+        = Schedule.to_string m'.Model.comm sched');
+      checkb "loaded plan verifies" true
+        (Latency.all_ok (Latency.verify m' sched'))
+
+let test_persist_rejects_tampering () =
+  let m, sched = persist_fixture () in
+  let text = Rt_spec.Persist.save_string m sched in
+  (* Corrupt the schedule line: replace the first f_z slot by idle; the
+     pz latency then breaks somewhere and the loader must notice, or
+     the plan coincidentally still verifies — flip more slots until it
+     must fail: drop ALL f_z slots. *)
+  let corrupted =
+    String.concat "
+"
+      (List.map
+         (fun line ->
+           if String.length line >= 9 && String.sub line 0 9 = "schedule:"
+           then
+             String.concat " "
+               (List.map
+                  (fun tok -> if tok = "f_z" then "." else tok)
+                  (String.split_on_char ' ' line))
+           else line)
+         (String.split_on_char '
+' text))
+  in
+  (match Rt_spec.Persist.load_string corrupted with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schedule without f_z must be rejected");
+  (* Header tampering. *)
+  match Rt_spec.Persist.load_string ("#nope
+" ^ text) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header must be rejected"
+
+let test_persist_rejects_infeasible_save () =
+  let m, _ = persist_fixture () in
+  let idle = Schedule.of_slots [ Schedule.Idle ] in
+  checkb "raises on unverified schedule" true
+    (try
+       ignore (Rt_spec.Persist.save_string m idle);
+       false
+     with Invalid_argument _ -> true)
+
+let test_persist_file_io () =
+  let m, sched = persist_fixture () in
+  let path = Filename.temp_file "rtsyn_plan" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rt_spec.Persist.save_file path m sched;
+      match Rt_spec.Persist.load_file path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "file round-trip failed: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dot_outputs () =
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  let dc = Rt_spec.Dot.comm_graph m in
+  checkb "comm mentions f_s with weight" true (contains dc "f_s (2)");
+  checkb "atomic shape absent when pipelinable" false (contains dc "shape=box");
+  let dt = Rt_spec.Dot.task_graph m (Model.find m "px") in
+  checkb "task graph digraph" true (contains dt "digraph px");
+  let df = Rt_spec.Dot.full m in
+  checkb "full has clusters" true (contains df "subgraph cluster_comm");
+  checkb "full names constraints" true (contains df "pz (asynchronous p=50 d=15)")
+
+let () =
+  Alcotest.run "rt_spec"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments/positions" `Quick
+            test_lexer_comments_and_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "stage names" `Quick test_lexer_stage_names;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "example" `Quick test_parse_example;
+          Alcotest.test_case "multi-chain DAG" `Quick
+            test_parse_multi_chain_dag;
+          Alcotest.test_case "errors" `Quick test_parse_errors_positioned;
+        ] );
+      ( "elaborate",
+        [
+          Alcotest.test_case "example" `Quick test_elaborate_example;
+          Alcotest.test_case "unknown element" `Quick
+            test_elaborate_unknown_element;
+          Alcotest.test_case "incompatible edge" `Quick
+            test_elaborate_incompatible_edge;
+          Alcotest.test_case "cyclic task" `Quick test_elaborate_cyclic_task;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "round-trip example" `Quick test_roundtrip_example;
+          Alcotest.test_case "round-trip random" `Quick
+            test_roundtrip_random_models;
+          Alcotest.test_case "rejects duplicates" `Quick
+            test_print_rejects_duplicates;
+          Alcotest.test_case "offset round-trip" `Quick test_offset_roundtrip;
+        ] );
+      ( "asserts",
+        [
+          Alcotest.test_case "parse and elaborate" `Quick
+            test_assert_parse_and_elaborate;
+          Alcotest.test_case "validation" `Quick test_assert_validation;
+          Alcotest.test_case "print round-trip" `Quick
+            test_assert_print_roundtrip;
+          Alcotest.test_case "negative ints" `Quick test_negative_int_lexing;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "rejects tampering" `Quick
+            test_persist_rejects_tampering;
+          Alcotest.test_case "rejects infeasible save" `Quick
+            test_persist_rejects_infeasible_save;
+          Alcotest.test_case "file io" `Quick test_persist_file_io;
+        ] );
+      ("dot", [ Alcotest.test_case "outputs" `Quick test_dot_outputs ]);
+    ]

@@ -1,0 +1,515 @@
+(* Tests for the synthesis chain: EDF cyclic construction, software
+   pipelining, shared-operation merging, the Theorem-3 constructive
+   scheduler, and the top-level Synthesis driver. *)
+
+open Rt_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let example = Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+
+(* ------------------------------------------------------------------ *)
+(* Edf_cyclic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let comm_ab =
+  Comm_graph.create
+    ~elements:[ ("a", 1, true); ("b", 2, true) ]
+    ~edges:[ ("a", "b") ]
+
+let test_jobs_of_periodic () =
+  let c =
+    Timing.make ~name:"c"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:5 ~deadline:4 ~kind:Timing.Periodic
+  in
+  let jobs = Edf_cyclic.jobs_of_periodic ~horizon:15 c in
+  checki "three invocations" 3 (List.length jobs);
+  let j1 = List.nth jobs 1 in
+  checki "release" 5 j1.Edf_cyclic.release;
+  checki "deadline" 9 j1.Edf_cyclic.abs_deadline
+
+let test_jobs_of_periodic_rejects () =
+  let c =
+    Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:5 ~deadline:9
+      ~kind:Timing.Periodic
+  in
+  checkb "d > p rejected" true
+    (try
+       ignore (Edf_cyclic.jobs_of_periodic ~horizon:10 c);
+       false
+     with Invalid_argument _ -> true);
+  let a =
+    Timing.make ~name:"a" ~graph:(Task_graph.singleton 0) ~period:5 ~deadline:5
+      ~kind:Timing.Asynchronous
+  in
+  checkb "async rejected" true
+    (try
+       ignore (Edf_cyclic.jobs_of_periodic ~horizon:10 a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_edf_build_simple () =
+  let c =
+    Timing.make ~name:"c"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:5 ~deadline:5 ~kind:Timing.Periodic
+  in
+  let jobs = Edf_cyclic.jobs_of_periodic ~horizon:10 c in
+  match Edf_cyclic.build comm_ab ~horizon:10 jobs with
+  | Error f -> Alcotest.failf "unexpected failure: %s" f.Edf_cyclic.reason
+  | Ok sched ->
+      checkb "well-formed" true (Schedule.validate comm_ab sched = Ok ());
+      checki "six busy slots" 6 (Schedule.busy_slots sched);
+      checkb "a first" true (Schedule.slot sched 0 = Schedule.Run 0);
+      checkb "b next" true
+        (Schedule.slot sched 1 = Schedule.Run 1
+        && Schedule.slot sched 2 = Schedule.Run 1)
+
+let test_edf_overload_fails () =
+  let c =
+    Timing.make ~name:"c"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:2 ~deadline:2 ~kind:Timing.Periodic
+  in
+  let jobs = Edf_cyclic.jobs_of_periodic ~horizon:4 c in
+  match Edf_cyclic.build comm_ab ~horizon:4 jobs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3 units of work every 2 slots cannot fit"
+
+let test_edf_priority_order () =
+  let comm =
+    Comm_graph.create ~elements:[ ("x", 1, true); ("y", 1, true) ] ~edges:[]
+  in
+  let mk name elem d =
+    Timing.make ~name ~graph:(Task_graph.singleton elem) ~period:4 ~deadline:d
+      ~kind:Timing.Periodic
+  in
+  let jobs =
+    Edf_cyclic.jobs_of_periodic ~horizon:4 (mk "tight" 1 2)
+    @ Edf_cyclic.jobs_of_periodic ~horizon:4 (mk "loose" 0 4)
+  in
+  match Edf_cyclic.build comm ~horizon:4 jobs with
+  | Error f -> Alcotest.failf "failed: %s" f.Edf_cyclic.reason
+  | Ok sched ->
+      checkb "earliest deadline first" true
+        (Schedule.slot sched 0 = Schedule.Run 1)
+
+let test_edf_utilization () =
+  let c =
+    Timing.make ~name:"c"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:5 ~deadline:5 ~kind:Timing.Periodic
+  in
+  let jobs = Edf_cyclic.jobs_of_periodic ~horizon:10 c in
+  Alcotest.check (Alcotest.float 1e-9) "utilization" 0.6
+    (Edf_cyclic.utilization comm_ab ~horizon:10 jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_rewrite_shapes () =
+  let p = Pipeline.rewrite example in
+  let pm = p.Pipeline.model in
+  checki "six stages" 6 (Comm_graph.n_elements pm.Model.comm);
+  checkb "all unit" true
+    (List.for_all
+       (fun (e : Element.t) -> e.weight = 1)
+       (Comm_graph.elements pm.Model.comm));
+  let fs = Comm_graph.id_of_name example.Model.comm "f_s" in
+  let first = p.Pipeline.first_stage.(fs)
+  and last = p.Pipeline.last_stage.(fs) in
+  checki "two stages of f_s" 1 (last - first);
+  checkb "stage chain edge" true (Comm_graph.has_edge pm.Model.comm first last);
+  checkb "origin tracks f_s" true
+    (p.Pipeline.origin.(first).Pipeline.orig_elem = fs
+    && p.Pipeline.origin.(first).Pipeline.stage = 0
+    && p.Pipeline.origin.(last).Pipeline.stage = 1)
+
+let test_pipeline_preserves_times_and_counts () =
+  let p = Pipeline.rewrite example in
+  let pm = p.Pipeline.model in
+  List.iter2
+    (fun (c : Timing.t) (c' : Timing.t) ->
+      checki
+        (c.name ^ " computation time preserved")
+        (Timing.computation_time example.Model.comm c)
+        (Timing.computation_time pm.Model.comm c');
+      checkb "period preserved" true (c.period = c'.period);
+      checkb "deadline preserved" true (c.deadline = c'.deadline))
+    example.Model.constraints pm.Model.constraints
+
+let test_pipeline_atomic_untouched () =
+  let atomic =
+    Rt_workload.Suite.control_system
+      { Rt_workload.Suite.default_params with pipelinable = false }
+  in
+  let p = Pipeline.rewrite atomic in
+  checki "no new elements" 5 (Comm_graph.n_elements p.Pipeline.model.Model.comm)
+
+let test_is_fully_pipelined () =
+  checkb "example has a weight-2 element" false
+    (Pipeline.is_fully_pipelined example);
+  let p = Pipeline.rewrite example in
+  checkb "rewrite makes it fully pipelined" true
+    (Pipeline.is_fully_pipelined p.Pipeline.model)
+
+let test_stage_name () =
+  Alcotest.check Alcotest.string "single stage keeps name" "f"
+    (Pipeline.stage_name "f" 1 1);
+  Alcotest.check Alcotest.string "multi stage" "f#2"
+    (Pipeline.stage_name "f" 2 3)
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_equal_rates () =
+  let m =
+    Rt_workload.Suite.control_system_equal_rates
+      Rt_workload.Suite.default_params
+  in
+  let merged, report = Merge.apply m in
+  checki "two constraints left" 2 (List.length merged.Model.constraints);
+  checki "one merged group" 1 (List.length report.Merge.merged_groups);
+  checki "time before" 11 report.Merge.time_before;
+  checki "time after" 8 report.Merge.time_after;
+  let mc = List.hd merged.Model.constraints in
+  checki "merged graph has 4 nodes" 4 (Task_graph.size mc.Timing.graph);
+  checkb "merged is periodic" true (Timing.is_periodic mc)
+
+let test_merge_keeps_different_periods () =
+  let _, report = Merge.apply example in
+  checkb "nothing merged at distinct rates" true
+    (report.Merge.merged_groups = [])
+
+let test_merge_never_touches_async () =
+  let comm = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
+  let mk kind name =
+    Timing.make ~name ~graph:(Task_graph.singleton 0) ~period:10 ~deadline:10
+      ~kind
+  in
+  let m =
+    Model.make ~comm
+      ~constraints:[ mk Timing.Asynchronous "a1"; mk Timing.Asynchronous "a2" ]
+  in
+  let merged, report = Merge.apply m in
+  checki "both kept" 2 (List.length merged.Model.constraints);
+  checkb "no groups" true (report.Merge.merged_groups = [])
+
+let test_merge_rejects_cycle () =
+  let comm =
+    Comm_graph.create
+      ~elements:[ ("a", 1, true); ("b", 1, true) ]
+      ~edges:[ ("a", "b"); ("b", "a") ]
+  in
+  let c1 =
+    Timing.make ~name:"c1"
+      ~graph:(Task_graph.of_chain [ 0; 1 ])
+      ~period:10 ~deadline:10 ~kind:Timing.Periodic
+  in
+  let c2 =
+    Timing.make ~name:"c2"
+      ~graph:(Task_graph.of_chain [ 1; 0 ])
+      ~period:10 ~deadline:10 ~kind:Timing.Periodic
+  in
+  checkb "not mergeable" false (Merge.mergeable c1 c2);
+  let m = Model.make ~comm ~constraints:[ c1; c2 ] in
+  let merged, _ = Merge.apply m in
+  checki "kept apart" 2 (List.length merged.Model.constraints)
+
+let test_merge_deadline_is_min () =
+  let c1 =
+    Timing.make ~name:"c1" ~graph:(Task_graph.singleton 0) ~period:10
+      ~deadline:8 ~kind:Timing.Periodic
+  in
+  let c2 =
+    Timing.make ~name:"c2" ~graph:(Task_graph.singleton 1) ~period:10
+      ~deadline:6 ~kind:Timing.Periodic
+  in
+  match Merge.merge_pair c1 c2 with
+  | Some mc ->
+      checki "min deadline" 6 mc.Timing.deadline;
+      checki "same period" 10 mc.Timing.period
+  | None -> Alcotest.fail "disjoint singletons must merge"
+
+let test_merge_semantics_preserved () =
+  let m =
+    Rt_workload.Suite.control_system_equal_rates
+      Rt_workload.Suite.default_params
+  in
+  let merged, _ = Merge.apply m in
+  match Synthesis.synthesize ~merge:false ~pipeline:true merged with
+  | Error e ->
+      Alcotest.failf "merged model should synthesize: %s" e.Synthesis.message
+  | Ok plan ->
+      let porig = (Pipeline.rewrite m).Pipeline.model in
+      let verdicts = Latency.verify porig plan.Synthesis.schedule in
+      checkb "original constraints all met" true (Latency.all_ok verdicts)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let relaxed_example =
+  Rt_workload.Suite.control_system
+    {
+      Rt_workload.Suite.default_params with
+      p_x = 40;
+      d_x = 40;
+      p_y = 80;
+      d_y = 80;
+      d_z = 60;
+    }
+
+let test_theorem3_constructs () =
+  match Theorem3.schedule relaxed_example with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok r ->
+      checkb "verdicts all ok" true (Latency.all_ok r.Theorem3.verdicts);
+      checki "q for pz" 30 (List.assoc "pz" r.Theorem3.polling_periods);
+      checki "q for px" 20 (List.assoc "px" r.Theorem3.polling_periods)
+
+let test_theorem3_rejects_violation () =
+  match Theorem3.schedule example with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "default example violates premise (i)"
+
+let test_theorem3_random_always_succeeds () =
+  let g = Rt_graph.Prng.create 1234 in
+  for i = 1 to 20 do
+    let m =
+      Rt_workload.Model_gen.theorem3_model g ~n_constraints:(1 + (i mod 4))
+        ~max_weight:3
+    in
+    checkb "premises hold by construction" true (Theorem3.premises_hold m);
+    match Theorem3.schedule ~max_hyperperiod:5_000_000 m with
+    | Ok r -> checkb "verified" true (Latency.all_ok r.Theorem3.verdicts)
+    | Error e -> Alcotest.failf "instance %d failed: %s" i e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthesize_example () =
+  match Synthesis.synthesize example with
+  | Error e -> Alcotest.failf "synthesis failed: %s" e.Synthesis.message
+  | Ok plan ->
+      checkb "all verdicts pass" true (Latency.all_ok plan.Synthesis.verdicts);
+      checkb "schedule well-formed" true
+        (Schedule.validate plan.Synthesis.model_used.Model.comm
+           plan.Synthesis.schedule
+        = Ok ());
+      checki "hyperperiod = schedule length" plan.Synthesis.hyperperiod
+        (Schedule.length plan.Synthesis.schedule)
+
+let test_synthesize_without_pipeline () =
+  match Synthesis.synthesize ~pipeline:false example with
+  | Error e -> Alcotest.failf "synthesis failed: %s" e.Synthesis.message
+  | Ok plan ->
+      checkb "all verdicts pass" true (Latency.all_ok plan.Synthesis.verdicts)
+
+let test_synthesize_infeasible_async () =
+  let comm = Comm_graph.create ~elements:[ ("a", 5, true) ] ~edges:[] in
+  let m =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:10
+            ~deadline:3 ~kind:Timing.Asynchronous;
+        ]
+  in
+  match Synthesis.synthesize m with
+  | Error e ->
+      checkb "polling stage rejects" true (e.Synthesis.stage = "polling")
+  | Ok _ -> Alcotest.fail "cannot meet d=3 with w=5"
+
+let test_synthesize_rejects_unconstrained_deadline () =
+  let comm = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
+  let m =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"c" ~graph:(Task_graph.singleton 0) ~period:5
+            ~deadline:7 ~kind:Timing.Periodic;
+        ]
+  in
+  match Synthesis.synthesize m with
+  | Error e ->
+      checkb "periodic stage rejects" true (e.Synthesis.stage = "periodic")
+  | Ok _ -> Alcotest.fail "d > p must be rejected"
+
+let test_synthesize_overload () =
+  let comm =
+    Comm_graph.create ~elements:[ ("a", 3, true); ("b", 3, true) ] ~edges:[]
+  in
+  let mk name elem =
+    Timing.make ~name ~graph:(Task_graph.singleton elem) ~period:4 ~deadline:4
+      ~kind:Timing.Periodic
+  in
+  let m = Model.make ~comm ~constraints:[ mk "ca" 0; mk "cb" 1 ] in
+  match Synthesis.synthesize m with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "utilization 1.5 cannot be scheduled"
+
+let test_offsets_enable_staggering () =
+  (* Two weight-3 ops, each with deadline 4 and period 8: released
+     together they demand 6 units in a 4-slot window — impossible;
+     staggered by half a period they fit exactly. *)
+  let comm =
+    Comm_graph.create ~elements:[ ("a", 3, true); ("b", 3, true) ] ~edges:[]
+  in
+  let mk name elem offset =
+    let c =
+      Timing.make ~name ~graph:(Task_graph.singleton elem) ~period:8
+        ~deadline:4 ~kind:Timing.Periodic
+    in
+    if offset = 0 then c else Timing.with_offset c offset
+  in
+  let together =
+    Model.make ~comm ~constraints:[ mk "ca" 0 0; mk "cb" 1 0 ]
+  in
+  (match Synthesis.synthesize together with
+  | Ok _ -> Alcotest.fail "synchronous release cannot fit 6 units in 4 slots"
+  | Error _ -> ());
+  let staggered =
+    Model.make ~comm ~constraints:[ mk "ca" 0 0; mk "cb" 1 4 ]
+  in
+  match Synthesis.synthesize staggered with
+  | Ok plan ->
+      checkb "verdicts pass" true (Latency.all_ok plan.Synthesis.verdicts);
+      (* b must not run before its offset within each period. *)
+      checkb "b starts in the second half" true
+        (match Schedule.slot plan.Synthesis.schedule 0 with
+        | Schedule.Run e ->
+            (Comm_graph.element comm e).Element.name = "a"
+        | Schedule.Idle -> false)
+  | Error e -> Alcotest.failf "staggered model must fit: %s" e.Synthesis.message
+
+let test_dm_backend () =
+  (* The classic EDF-beats-fixed-priority pair: c/p = 2/4 and 4/8 at
+     utilization 1.0.  EDF fits; DM misses (the long job is starved
+     whenever the short one re-releases... actually DM schedules this
+     harmonic pair; use the non-harmonic 1/3+1/4+2/5 set where RM/DM
+     provably fails). *)
+  let comm =
+    Comm_graph.create
+      ~elements:[ ("x", 1, true); ("y", 1, true); ("z", 2, true) ]
+      ~edges:[]
+  in
+  let mk name elem p =
+    Timing.make ~name ~graph:(Task_graph.singleton elem) ~period:p ~deadline:p
+      ~kind:Timing.Periodic
+  in
+  let m =
+    Model.make ~comm ~constraints:[ mk "cx" 0 3; mk "cy" 1 4; mk "cz" 2 5 ]
+  in
+  (match Synthesis.synthesize ~backend:Edf_cyclic.Edf m with
+  | Ok plan -> checkb "EDF verdicts" true (Latency.all_ok plan.Synthesis.verdicts)
+  | Error e -> Alcotest.failf "EDF backend must fit U=0.983: %s" e.Synthesis.message);
+  match Synthesis.synthesize ~backend:Edf_cyclic.Dm m with
+  | Ok _ -> Alcotest.fail "DM cannot schedule 1/3 + 1/4 + 2/5"
+  | Error _ -> ()
+
+let test_dm_backend_agrees_on_easy () =
+  let g = Rt_graph.Prng.create 3131 in
+  for _ = 1 to 10 do
+    let m =
+      Rt_workload.Model_gen.periodic_chain_model g ~n_constraints:3
+        ~utilization:0.5 ~periods:[ 8; 16 ]
+    in
+    match Synthesis.synthesize ~backend:Edf_cyclic.Dm m with
+    | Ok plan ->
+        checkb "DM plan verifies" true (Latency.all_ok plan.Synthesis.verdicts)
+    | Error _ ->
+        (* Low utilization: EDF must also fail for this to be fair. *)
+        checkb "EDF also fails" true
+          (match Synthesis.synthesize m with Ok _ -> false | Error _ -> true)
+  done
+
+let test_synthesized_schedule_against_runtime () =
+  match Synthesis.synthesize example with
+  | Error e -> Alcotest.failf "synthesis failed: %s" e.Synthesis.message
+  | Ok plan ->
+      let m = plan.Synthesis.model_used in
+      let g = Rt_graph.Prng.create 77 in
+      for _ = 1 to 10 do
+        let pz = Model.find m "pz" in
+        let arrivals =
+          Rt_sim.Arrivals.adversarial_phases g ~horizon:400
+            ~separation:pz.Timing.period
+        in
+        let report =
+          Rt_sim.Runtime.run m plan.Synthesis.schedule ~horizon:400
+            ~arrivals:[ ("pz", arrivals) ]
+        in
+        checki "no misses" 0 report.Rt_sim.Runtime.misses
+      done
+
+let () =
+  Alcotest.run "rt_core-synthesis"
+    [
+      ( "edf_cyclic",
+        [
+          Alcotest.test_case "jobs of periodic" `Quick test_jobs_of_periodic;
+          Alcotest.test_case "rejections" `Quick test_jobs_of_periodic_rejects;
+          Alcotest.test_case "build simple" `Quick test_edf_build_simple;
+          Alcotest.test_case "overload fails" `Quick test_edf_overload_fails;
+          Alcotest.test_case "priority order" `Quick test_edf_priority_order;
+          Alcotest.test_case "utilization" `Quick test_edf_utilization;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "rewrite shapes" `Quick
+            test_pipeline_rewrite_shapes;
+          Alcotest.test_case "times preserved" `Quick
+            test_pipeline_preserves_times_and_counts;
+          Alcotest.test_case "atomic untouched" `Quick
+            test_pipeline_atomic_untouched;
+          Alcotest.test_case "is_fully_pipelined" `Quick
+            test_is_fully_pipelined;
+          Alcotest.test_case "stage_name" `Quick test_stage_name;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "equal rates merge" `Quick test_merge_equal_rates;
+          Alcotest.test_case "different periods kept" `Quick
+            test_merge_keeps_different_periods;
+          Alcotest.test_case "async untouched" `Quick
+            test_merge_never_touches_async;
+          Alcotest.test_case "cycle rejected" `Quick test_merge_rejects_cycle;
+          Alcotest.test_case "deadline is min" `Quick
+            test_merge_deadline_is_min;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_merge_semantics_preserved;
+        ] );
+      ( "theorem3",
+        [
+          Alcotest.test_case "constructs" `Quick test_theorem3_constructs;
+          Alcotest.test_case "rejects violations" `Quick
+            test_theorem3_rejects_violation;
+          Alcotest.test_case "random instances" `Slow
+            test_theorem3_random_always_succeeds;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "example" `Quick test_synthesize_example;
+          Alcotest.test_case "without pipelining" `Quick
+            test_synthesize_without_pipeline;
+          Alcotest.test_case "infeasible async" `Quick
+            test_synthesize_infeasible_async;
+          Alcotest.test_case "unconstrained deadline" `Quick
+            test_synthesize_rejects_unconstrained_deadline;
+          Alcotest.test_case "overload" `Quick test_synthesize_overload;
+          Alcotest.test_case "offsets enable staggering" `Quick
+            test_offsets_enable_staggering;
+          Alcotest.test_case "DM backend" `Quick test_dm_backend;
+          Alcotest.test_case "DM on easy models" `Quick
+            test_dm_backend_agrees_on_easy;
+          Alcotest.test_case "runtime end-to-end" `Slow
+            test_synthesized_schedule_against_runtime;
+        ] );
+    ]
