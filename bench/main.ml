@@ -717,6 +717,136 @@ let e11 () =
     [ 0.3; 0.5; 0.7; 0.9 ]
 
 (* ------------------------------------------------------------------ *)
+(* E12: fault-tolerant runtime — recovery policies across fault rates  *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section
+    "E12 Overrun-aware runtime: miss ratio and detection/recovery latency \
+     per policy across fault rates";
+  (* The degraded-modes flight-control fixture (see
+     examples/degraded_modes.ml): a high-criticality attitude chain, a
+     medium navigation filter, a low telemetry formatter. *)
+  let comm =
+    Comm_graph.create
+      ~elements:
+        [
+          ("gyro", 1, true); ("ctl", 2, true); ("act", 1, true);
+          ("nav", 2, true); ("tlm", 2, true);
+        ]
+      ~edges:[ ("gyro", "ctl"); ("ctl", "act") ]
+  in
+  let id = Comm_graph.id_of_name comm in
+  let model =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"attitude"
+            ~graph:
+              (Task_graph.of_chain [ id "gyro"; id "ctl"; id "act" ])
+            ~period:12 ~deadline:12 ~kind:Timing.Periodic;
+          Timing.make ~name:"navigation"
+            ~graph:(Task_graph.singleton (id "nav"))
+            ~period:24 ~deadline:24 ~kind:Timing.Periodic;
+          Timing.make ~name:"telemetry"
+            ~graph:(Task_graph.singleton (id "tlm"))
+            ~period:12 ~deadline:12 ~kind:Timing.Periodic;
+        ]
+  in
+  let crit =
+    match
+      Criticality.make model
+        [
+          ("attitude", Criticality.High);
+          ("navigation", Criticality.Medium);
+          ("telemetry", Criticality.Low);
+        ]
+    with
+    | Ok a -> a
+    | Error e -> failwith (String.concat ";" e)
+  in
+  let modes =
+    match
+      Modes.derive
+        ~derivation:{ Modes.stretch = 2; max_hyperperiod = 10_000 }
+        model crit
+    with
+    | Ok ms -> ms
+    | Error e -> failwith e
+  in
+  let watchdog = { Rt_sim.Watchdog.check_period = 4; stall_limit = 16 } in
+  let horizon = 2400 in
+  let prng = Prng.create 1212 in
+  (* A fault plan at rate r: each 60-slot epoch carries, with
+     probability r, one 30-slot overrun window on the telemetry or
+     navigation element. *)
+  let gen_faults rate =
+    List.filter_map
+      (fun k ->
+        if Prng.chance prng rate then begin
+          let from = (k * 60) + Prng.int prng 30 in
+          let elem = if Prng.bool prng then id "tlm" else id "nav" in
+          Some
+            (Rt_sim.Timing_fault.overrun ~elem ~from ~until:(from + 30)
+               ~extra:(4 + Prng.int prng 5))
+        end
+        else None)
+      (List.init (horizon / 60) Fun.id)
+  in
+  let policies =
+    [
+      ("abort", Rt_sim.Robust_runtime.Abort_job);
+      ("skip-next", Rt_sim.Robust_runtime.Skip_next);
+      ( "retry(2,2)",
+        Rt_sim.Robust_runtime.Retry { max_attempts = 2; backoff = 2 } );
+      ("degrade", Rt_sim.Robust_runtime.Degrade_to "degraded-high");
+    ]
+  in
+  row "%-6s %-11s %4s %9s %7s %7s %7s %5s %4s %6s" "rate" "policy" "det"
+    "lat(m/mx)" "miss_hi" "miss_md" "miss_lo" "shed" "sw" "degr";
+  List.iter
+    (fun rate ->
+      let faults = gen_faults rate in
+      List.iter
+        (fun (pname, policy) ->
+          let r =
+            Rt_sim.Robust_runtime.run ~crit ~faults ~policy ~watchdog
+              ~readmit_after:24 ~horizon ~arrivals:[] modes
+          in
+          let ds = r.Rt_sim.Robust_runtime.detections in
+          let lat_mean, lat_max =
+            match ds with
+            | [] -> (0.0, 0)
+            | _ ->
+                let ls = List.map (fun d -> d.Rt_sim.Watchdog.latency) ds in
+                ( float_of_int (List.fold_left ( + ) 0 ls)
+                  /. float_of_int (List.length ls),
+                  List.fold_left max 0 ls )
+          in
+          let miss_of lvl =
+            let c =
+              List.find
+                (fun c -> c.Rt_sim.Stats.level = lvl)
+                (Rt_sim.Stats.by_criticality r)
+            in
+            Printf.sprintf "%d/%d" c.Rt_sim.Stats.level_misses
+              c.Rt_sim.Stats.served
+          in
+          row "%-6.2f %-11s %4d %4.1f/%-4d %7s %7s %7s %5d %4d %6d" rate
+            pname (List.length ds) lat_mean lat_max
+            (miss_of Criticality.High)
+            (miss_of Criticality.Medium)
+            (miss_of Criticality.Low)
+            r.Rt_sim.Robust_runtime.shed
+            r.Rt_sim.Robust_runtime.mode_switches
+            r.Rt_sim.Robust_runtime.degraded_slots)
+        policies)
+    [ 0.0; 0.1; 0.25; 0.5 ];
+  row "(lat = detection latency, analyzed bound %d; miss = misses/served \
+       per criticality; degr = slots in a degraded mode)"
+    (Rt_sim.Watchdog.detection_bound watchdog)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -790,6 +920,7 @@ let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12);
     ("micro", micro);
   ]
 

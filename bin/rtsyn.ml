@@ -5,6 +5,7 @@
      synth      synthesize and verify a static schedule
      analyze    latency/response report for a user-supplied schedule
      simulate   replay a synthesized schedule against random arrivals
+     faultsim   replay under injected timing faults with recovery
      dot        Graphviz export
      multiproc  partition across processors and schedule the bus
      example    print the paper's example specification *)
@@ -487,6 +488,188 @@ let emit_c_cmd =
     Term.(ret (const run $ spec_file))
 
 (* ------------------------------------------------------------------ *)
+(* faultsim                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let faultsim_cmd =
+  let horizon =
+    Arg.(
+      value & opt int 1000
+      & info [ "horizon" ] ~docv:"N" ~doc:"Slots to simulate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for arrivals.")
+  in
+  let inject =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Inject a timing fault (repeatable): \
+             $(b,overrun:ELEM:FROM-UNTIL:+K) makes executions of ELEM \
+             starting in [FROM, UNTIL) take K extra slots; \
+             $(b,transient:ELEM:FROM-UNTIL) makes them complete without \
+             output; $(b,stuck:ELEM:FROM-UNTIL) makes them never \
+             complete.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "abort"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Recovery policy: $(b,abort), $(b,skip), $(b,retry:N:B) (N \
+             attempts, backoff B slots) or $(b,degrade)[:MODE] (switch to \
+             the named degraded mode, default the most degraded one).")
+  in
+  let crit_spec =
+    Arg.(
+      value & opt string ""
+      & info [ "criticality" ] ~docv:"SPEC"
+          ~doc:
+            "Criticality assignment, e.g. $(b,telemetry=low,nav=medium); \
+             levels are low, medium, high.  Unlisted constraints default \
+             to high.")
+  in
+  let stretch =
+    Arg.(
+      value & opt int 2
+      & info [ "stretch" ] ~docv:"F"
+          ~doc:
+            "Stretch factor for sub-high constraints retained in degraded \
+             modes.")
+  in
+  let readmit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "readmit" ] ~docv:"N"
+          ~doc:
+            "Fault-free slots before the primary mode is re-admitted \
+             (default: twice the longest mode cycle).")
+  in
+  let check_period =
+    Arg.(
+      value & opt int 4
+      & info [ "check-period" ] ~docv:"N"
+          ~doc:"Watchdog check period in slots.")
+  in
+  let stall_limit =
+    Arg.(
+      value & opt int 16
+      & info [ "stall-limit" ] ~docv:"N"
+          ~doc:"Overshoot at which an overrun is treated as a stall.")
+  in
+  let parse_policy modes s =
+    match String.split_on_char ':' s with
+    | [ p ] when String.lowercase_ascii p = "abort" ->
+        Ok Rt_sim.Robust_runtime.Abort_job
+    | [ p ] when String.lowercase_ascii p = "skip" ->
+        Ok Rt_sim.Robust_runtime.Skip_next
+    | [ p; n; b ] when String.lowercase_ascii p = "retry" -> (
+        match (int_of_string_opt n, int_of_string_opt b) with
+        | Some max_attempts, Some backoff when max_attempts > 0 && backoff >= 0
+          ->
+            Ok (Rt_sim.Robust_runtime.Retry { max_attempts; backoff })
+        | _ -> Error (Printf.sprintf "bad retry spec %S (want retry:N:B)" s))
+    | p :: rest when String.lowercase_ascii p = "degrade" -> (
+        let target =
+          match rest with
+          | [ name ] -> Some name
+          | [] -> (
+              (* Default to the most degraded mode. *)
+              match List.rev modes with
+              | last :: _ when last.Modes.name <> "primary" ->
+                  Some last.Modes.name
+              | _ -> None)
+          | _ -> None
+        in
+        match target with
+        | Some name when Modes.find modes name <> None ->
+            Ok (Rt_sim.Robust_runtime.Degrade_to name)
+        | Some name -> Error (Printf.sprintf "no mode named %S" name)
+        | None ->
+            Error
+              "no degraded mode to switch to (assign criticalities below \
+               high)")
+    | _ -> Error (Printf.sprintf "unknown policy %S" s)
+  in
+  let run path horizon seed inject policy_s crit_s stretch readmit check_period
+      stall_limit =
+    let m = or_die (load_model path) in
+    let crit =
+      if crit_s = "" then []
+      else
+        let a = or_die (Criticality.of_spec crit_s) in
+        or_die
+          (Result.map_error (String.concat "\n") (Criticality.make m a))
+    in
+    let derivation = { Modes.stretch; max_hyperperiod = 1_000_000 } in
+    let modes = or_die (Modes.derive ~derivation m crit) in
+    let faults =
+      List.map
+        (fun s -> or_die (Rt_sim.Timing_fault.of_string m.Model.comm s))
+        inject
+    in
+    match parse_policy modes policy_s with
+    | Error msg -> `Error (false, msg)
+    | Ok policy ->
+        let watchdog =
+          { Rt_sim.Watchdog.check_period; stall_limit }
+        in
+        Format.printf "=== modes ===@.";
+        List.iter (fun md -> Format.printf "%a@." Modes.pp md) modes;
+        Format.printf "=== transition analysis (bound %d slots) ===@."
+          (Modes.transition_slots ~check_period);
+        List.iter
+          (fun md ->
+            match Modes.admits_transition ~check_period md with
+            | Ok () -> Format.printf "%s: admitted@." md.Modes.name
+            | Error errs ->
+                Format.printf "%s: REJECTED@.  %s@." md.Modes.name
+                  (String.concat "\n  " errs))
+          modes;
+        if faults <> [] then
+          Format.printf "@.=== fault plan ===@.%a@."
+            (Rt_sim.Timing_fault.pp_plan m.Model.comm)
+            faults;
+        let prng = Rt_graph.Prng.create seed in
+        let arrivals =
+          List.map
+            (fun (c : Timing.t) ->
+              ( c.name,
+                Rt_sim.Arrivals.random prng ~horizon ~separation:c.period
+                  ~density:0.9 ))
+            (Model.asynchronous m)
+        in
+        let report =
+          Rt_sim.Robust_runtime.run ~crit ~faults ~policy ~watchdog
+            ?readmit_after:readmit ~horizon ~arrivals modes
+        in
+        Format.printf "@.=== replay (policy %a) ===@.%a@."
+          Rt_sim.Robust_runtime.pp_policy policy
+          (Rt_sim.Robust_runtime.pp_report m.Model.comm)
+          report;
+        List.iter
+          (fun s ->
+            Format.printf "%a@." Rt_sim.Stats.pp_criticality_summary s)
+          (Rt_sim.Stats.by_criticality report);
+        List.iter
+          (fun s -> Format.printf "%a@." Rt_sim.Stats.pp_summary s)
+          (Rt_sim.Stats.summarize_robust report);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Replay a schedule under injected timing faults with watchdog \
+          detection and a recovery policy.")
+    Term.(
+      ret
+        (const run $ spec_file $ horizon $ seed $ inject $ policy $ crit_spec
+       $ stretch $ readmit $ check_period $ stall_limit))
+
+(* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +705,7 @@ let () =
             exact_cmd;
             emit_c_cmd;
             simulate_cmd;
+            faultsim_cmd;
             dot_cmd;
             multiproc_cmd;
             example_cmd;

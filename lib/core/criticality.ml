@@ -1,0 +1,85 @@
+type level = Low | Medium | High
+
+let rank = function Low -> 0 | Medium -> 1 | High -> 2
+
+let compare_level a b = compare (rank a) (rank b)
+
+let at_least a b = rank a >= rank b
+
+let level_to_string = function
+  | Low -> "low"
+  | Medium -> "medium"
+  | High -> "high"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "low" -> Ok Low
+  | "medium" | "med" -> Ok Medium
+  | "high" -> Ok High
+  | other -> Error (Printf.sprintf "unknown criticality level %S" other)
+
+let all_levels = [ Low; Medium; High ]
+
+type assignment = (string * level) list
+
+let make (m : Model.t) pairs =
+  let errs = ref [] in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      (match Model.find m name with
+      | _ -> ()
+      | exception Not_found ->
+          errs := Printf.sprintf "unknown constraint %S" name :: !errs);
+      if Hashtbl.mem seen name then
+        errs := Printf.sprintf "duplicate assignment for %S" name :: !errs
+      else Hashtbl.add seen name ())
+    pairs;
+  if !errs = [] then Ok pairs else Error (List.rev !errs)
+
+let level_of assignment name =
+  Option.value ~default:High (List.assoc_opt name assignment)
+
+let of_spec s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None ->
+            Error
+              (Printf.sprintf "bad criticality item %S (want NAME=LEVEL)" part)
+        | Some i -> (
+            let name = String.trim (String.sub part 0 i) in
+            let lvl =
+              String.sub part (i + 1) (String.length part - i - 1)
+            in
+            if name = "" then
+              Error (Printf.sprintf "bad criticality item %S (empty name)" part)
+            else
+              match level_of_string lvl with
+              | Ok l -> go ((name, l) :: acc) rest
+              | Error e -> Error e))
+  in
+  go [] parts
+
+let to_spec assignment =
+  String.concat ","
+    (List.map (fun (n, l) -> n ^ "=" ^ level_to_string l) assignment)
+
+let partition (m : Model.t) assignment =
+  List.map
+    (fun (c : Timing.t) -> (c.name, level_of assignment c.name))
+    m.constraints
+
+let pp_level fmt l = Format.pp_print_string fmt (level_to_string l)
+
+let pp fmt assignment =
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (n, l) -> Format.fprintf fmt "%s=%a" n pp_level l))
+    assignment

@@ -1,0 +1,51 @@
+(** Criticality levels for timing constraints.
+
+    Mixed-criticality degradation needs to know which constraints the
+    system may sacrifice under overload: a {!level} is attached to each
+    timing constraint by name, and {!Modes} sheds or stretches the
+    low-criticality ones when deriving degraded modes.  Constraints
+    without an explicit assignment default to {!High} — the safe
+    default: nothing is shed unless the designer marked it
+    expendable. *)
+
+type level = Low | Medium | High
+
+val compare_level : level -> level -> int
+(** Total order [Low < Medium < High]. *)
+
+val at_least : level -> level -> bool
+(** [at_least a b] is [compare_level a b >= 0]. *)
+
+val level_to_string : level -> string
+(** ["low"], ["medium"] or ["high"]. *)
+
+val level_of_string : string -> (level, string) result
+(** Inverse of {!level_to_string} (case-insensitive; accepts ["med"]). *)
+
+val all_levels : level list
+(** [[Low; Medium; High]] in ascending order. *)
+
+type assignment = (string * level) list
+(** Constraint name -> level.  Missing names default to {!High}. *)
+
+val make : Model.t -> (string * level) list -> (assignment, string list) result
+(** [make m pairs] validates an assignment against a model: every name
+    must be a constraint of [m] and appear at most once. *)
+
+val level_of : assignment -> string -> level
+(** [level_of a name] is the assigned level, defaulting to {!High}. *)
+
+val of_spec : string -> (assignment, string) result
+(** Parses ["pz=low,px=high"] — comma-separated [NAME=LEVEL] items —
+    as used by the [rtsyn faultsim --criticality] flag.  Does not
+    validate names against a model; combine with {!make}. *)
+
+val to_spec : assignment -> string
+(** Inverse of {!of_spec}. *)
+
+val partition : Model.t -> assignment -> (string * level) list
+(** Every constraint of the model with its effective level, in
+    declaration order. *)
+
+val pp_level : Format.formatter -> level -> unit
+val pp : Format.formatter -> assignment -> unit

@@ -1,0 +1,95 @@
+(** Degraded operating modes and the mode-change protocol.
+
+    The paper poses fault tolerance as the model's open direction; this
+    module supplies the {e scheduling} half of an answer: from a model
+    and a {!Criticality.assignment}, derive degraded variants that shed
+    the low-criticality constraints (and stretch the timing of the
+    medium ones), pre-synthesize a verified static schedule for each,
+    and analyze the mode-change transition so that switching under an
+    overrun provably keeps the retained constraints' deadlines.
+
+    A {e mode} is a model variant with its pre-synthesized schedule.
+    [derive] returns the primary mode (all constraints, unmodified)
+    followed by at most two degraded modes:
+
+    - [degraded-medium]: constraints of level [>= Medium] retained
+      (Medium ones stretched by the derivation factor), [Low] shed;
+    - [degraded-high]: only [High] constraints retained, unmodified.
+
+    Thresholds that would change nothing are skipped.  All schedules
+    are synthesized and verified offline — the run-time mode switch is
+    a table swap, never a search. *)
+
+type mode = {
+  name : string;  (** ["primary"] or ["degraded-<level>"]. *)
+  threshold : Criticality.level;
+      (** Constraints with level [>= threshold] are retained. *)
+  model : Model.t;  (** The degraded model actually scheduled. *)
+  plan : Synthesis.plan;  (** Verified schedule for [model]. *)
+  dropped : string list;  (** Shed constraint names. *)
+  stretched : (string * int * int) list;
+      (** [(name, before, after)]: stretched period (periodic) or
+          deadline (asynchronous). *)
+}
+
+type derivation = {
+  stretch : int;
+      (** Factor applied to retained constraints below [High]: periodic
+          periods/deadlines (and offsets) are multiplied by it;
+          asynchronous deadlines only ([1] = shed-only degradation). *)
+  max_hyperperiod : int;  (** Passed through to {!Synthesis.synthesize}. *)
+}
+
+val default_derivation : derivation
+(** [{stretch = 1; max_hyperperiod = 1_000_000}]. *)
+
+val primary : ?derivation:derivation -> Model.t -> (mode, string) result
+(** The undegraded mode: the model as given, synthesized and verified. *)
+
+val degrade :
+  ?derivation:derivation ->
+  Model.t ->
+  Criticality.assignment ->
+  threshold:Criticality.level ->
+  (mode, string) result
+(** One degraded mode at the given threshold.  Fails if every
+    constraint would be shed, the degraded model does not validate, or
+    synthesis fails. *)
+
+val derive :
+  ?derivation:derivation ->
+  Model.t ->
+  Criticality.assignment ->
+  (mode list, string) result
+(** Primary plus every distinct degraded mode, as described above.  The
+    head of the list is always the primary mode. *)
+
+val find : mode list -> string -> mode option
+(** Look a mode up by name. *)
+
+val of_schedule :
+  ?name:string -> Model.t -> Schedule.t -> (mode, string) result
+(** [of_schedule m sched] wraps a hand-built schedule as a mode (name
+    defaults to ["primary"]): the schedule is validated and verified
+    against [m], but feasibility is {e not} required — replaying a
+    schedule with failing verdicts is a legitimate experiment. *)
+
+val transition_slots : check_period:int -> int
+(** The analyzed mode-change bound: worst-case slots from an overrun
+    coming into existence (nominal completion passes without the
+    execution finishing) to the degraded schedule being in force, for a
+    watchdog checking every [check_period] slots — [check_period - 1]
+    detection slots plus one slot for the table swap to take effect.
+    Raises [Invalid_argument] if [check_period <= 0]. *)
+
+val admits_transition :
+  check_period:int -> mode -> (unit, string list) result
+(** [admits_transition ~check_period mode] checks, for every constraint
+    retained by [mode], that its verified response bound in the mode
+    plus {!transition_slots} still fits its deadline — i.e. an
+    invocation arriving during the switch is still served in time.
+    Returns the violating constraints otherwise. *)
+
+val pp : Format.formatter -> mode -> unit
+(** Multi-line rendering: name, retained count, shed and stretched
+    constraints. *)

@@ -10,7 +10,16 @@ let offset_by w delta f ~now inputs =
   let x = f ~now inputs in
   if in_window w now then x +. delta else x
 
-let spike ~at v f ~now inputs = if now = at then v else f ~now inputs
+let spike ~at v f =
+  (* Completions rarely land on an exact instant; the glitch hits the
+     first completion at or after [at], and only that one. *)
+  let fired = ref false in
+  fun ~now inputs ->
+    if (not !fired) && now >= at then begin
+      fired := true;
+      v
+    end
+    else f ~now inputs
 
 let dropout w f =
   let last = ref 0.0 in

@@ -22,9 +22,10 @@ val offset_by : window -> float -> interp -> interp
 
 val spike : at:int -> float -> interp -> interp
 (** [spike ~at v f] replaces the single completion at time [>= at]
-    closest to [at] — concretely, every completion with
-    [now = at] — by [v] (a transient glitch).  Combine with the
-    schedule to know when completions happen. *)
+    closest to [at] — the first one evaluated — by [v] (a transient
+    glitch); every other completion, including later ones at the same
+    instant on other elements, behaves as [f].  The injector is
+    stateful: build a fresh one per simulation run. *)
 
 val dropout : window -> interp -> interp
 (** [dropout w f] freezes the output at the last pre-window value

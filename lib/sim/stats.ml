@@ -2,66 +2,158 @@ type summary = {
   constraint_name : string;
   invocations : int;
   completed : int;
-  min_response : int;
-  max_response : int;
+  min_response : int option;
+  max_response : int option;
   mean_response : float;
-  jitter : int;
+  p95_response : int option;
+  p99_response : int option;
+  jitter : int option;
   misses : int;
 }
 
-let summarize (r : Runtime.report) =
-  let by_name : (string, Runtime.invocation list) Hashtbl.t =
-    Hashtbl.create 8
+(* Nearest-rank percentile over a sorted sample: the smallest value
+   with at least q% of the sample at or below it. *)
+let percentile_sorted sorted ~q =
+  match sorted with
+  | [] -> None
+  | _ ->
+      let n = List.length sorted in
+      let rank =
+        let r = (q * n + 99) / 100 in
+        if r < 1 then 1 else r
+      in
+      Some (List.nth sorted (rank - 1))
+
+let summary_of_responses ~name ~invocations ~misses responses =
+  let sorted = List.sort compare responses in
+  let completed = List.length sorted in
+  let min_r = match sorted with [] -> None | r :: _ -> Some r in
+  let max_r =
+    match sorted with [] -> None | _ -> Some (List.nth sorted (completed - 1))
   in
-  List.iter
-    (fun (i : Runtime.invocation) ->
-      let cur =
-        Option.value ~default:[] (Hashtbl.find_opt by_name i.constraint_name)
+  let mean =
+    if completed = 0 then 0.0
+    else
+      float_of_int (List.fold_left ( + ) 0 sorted) /. float_of_int completed
+  in
+  {
+    constraint_name = name;
+    invocations;
+    completed;
+    min_response = min_r;
+    max_response = max_r;
+    mean_response = mean;
+    p95_response = percentile_sorted sorted ~q:95;
+    p99_response = percentile_sorted sorted ~q:99;
+    jitter =
+      (match (min_r, max_r) with
+      | Some lo, Some hi -> Some (hi - lo)
+      | _ -> None);
+    misses;
+  }
+
+let group_by_name fold =
+  let by_name : (string, int list * int * int) Hashtbl.t = Hashtbl.create 8 in
+  fold (fun ~name ~response ~miss ->
+      let responses, invocations, misses =
+        Option.value ~default:([], 0, 0) (Hashtbl.find_opt by_name name)
       in
-      Hashtbl.replace by_name i.constraint_name (i :: cur))
-    r.Runtime.invocations;
-  Hashtbl.fold
-    (fun name invs acc ->
       let responses =
-        List.filter_map (fun (i : Runtime.invocation) -> i.response) invs
+        match response with None -> responses | Some r -> r :: responses
       in
-      let completed = List.length responses in
-      let misses =
-        List.length (List.filter (fun (i : Runtime.invocation) -> not i.met) invs)
-      in
-      let min_r = List.fold_left min max_int responses in
-      let max_r = List.fold_left max 0 responses in
-      let mean =
-        if completed = 0 then 0.0
-        else
-          float_of_int (List.fold_left ( + ) 0 responses)
-          /. float_of_int completed
-      in
-      {
-        constraint_name = name;
-        invocations = List.length invs;
-        completed;
-        min_response = (if completed = 0 then 0 else min_r);
-        max_response = max_r;
-        mean_response = mean;
-        jitter = (if completed = 0 then 0 else max_r - min_r);
-        misses;
-      }
-      :: acc)
+      Hashtbl.replace by_name name
+        (responses, invocations + 1, misses + if miss then 1 else 0));
+  Hashtbl.fold
+    (fun name (responses, invocations, misses) acc ->
+      summary_of_responses ~name ~invocations ~misses responses :: acc)
     by_name []
   |> List.sort (fun a b -> String.compare a.constraint_name b.constraint_name)
 
+let summarize (r : Runtime.report) =
+  group_by_name (fun add ->
+      List.iter
+        (fun (i : Runtime.invocation) ->
+          add ~name:i.constraint_name ~response:i.response ~miss:(not i.met))
+        r.Runtime.invocations)
+
+let summarize_robust (r : Robust_runtime.report) =
+  group_by_name (fun add ->
+      List.iter
+        (fun (i : Robust_runtime.invocation) ->
+          if not i.shed then
+            add ~name:i.constraint_name ~response:i.response ~miss:(not i.met))
+        r.Robust_runtime.invocations)
+
+let pp_response fmt = function
+  | None -> Format.pp_print_string fmt "-"
+  | Some r -> Format.pp_print_int fmt r
+
 let pp_summary fmt s =
-  Format.fprintf fmt "%s: %d invocations, resp %d..%d (mean %.1f, jitter %d), %d misses"
-    s.constraint_name s.invocations s.min_response s.max_response
-    s.mean_response s.jitter s.misses
+  Format.fprintf fmt
+    "%s: %d invocations, resp %a..%a (mean %.1f, p95 %a, p99 %a, jitter %a), \
+     %d misses"
+    s.constraint_name s.invocations pp_response s.min_response pp_response
+    s.max_response s.mean_response pp_response s.p95_response pp_response
+    s.p99_response pp_response s.jitter s.misses
 
 let worst_jitter summaries =
   List.fold_left
     (fun acc s ->
-      if s.completed = 0 then acc
-      else
-        match acc with
-        | Some (_, j) when j >= s.jitter -> acc
-        | _ -> Some (s.constraint_name, s.jitter))
+      match s.jitter with
+      | None -> acc
+      | Some j -> (
+          match acc with
+          | Some (_, j') when j' >= j -> acc
+          | _ -> Some (s.constraint_name, j)))
     None summaries
+
+(* ------------------------------------------------------------------ *)
+(* Per-criticality rollups over robust replays                         *)
+(* ------------------------------------------------------------------ *)
+
+type criticality_summary = {
+  level : Rt_core.Criticality.level;
+  total : int;
+  served : int;
+  level_misses : int;
+  level_shed : int;
+  miss_ratio : float;
+}
+
+let by_criticality (r : Robust_runtime.report) =
+  List.map
+    (fun level ->
+      let here =
+        List.filter
+          (fun (i : Robust_runtime.invocation) -> i.criticality = level)
+          r.Robust_runtime.invocations
+      in
+      let total = List.length here in
+      let shed =
+        List.length
+          (List.filter (fun (i : Robust_runtime.invocation) -> i.shed) here)
+      in
+      let misses =
+        List.length
+          (List.filter
+             (fun (i : Robust_runtime.invocation) -> (not i.shed) && not i.met)
+             here)
+      in
+      let served = total - shed in
+      {
+        level;
+        total;
+        served;
+        level_misses = misses;
+        level_shed = shed;
+        miss_ratio =
+          (if served = 0 then 0.0
+           else float_of_int misses /. float_of_int served);
+      })
+    Rt_core.Criticality.all_levels
+
+let pp_criticality_summary fmt c =
+  Format.fprintf fmt
+    "%a: %d invocations (%d served, %d shed), %d misses (ratio %.3f)"
+    Rt_core.Criticality.pp_level c.level c.total c.served c.level_shed
+    c.level_misses c.miss_ratio

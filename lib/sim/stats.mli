@@ -3,27 +3,57 @@
     Control engineers care about more than deadline misses: output
     {e jitter} — variation in completion instants — degrades control
     quality even when every deadline is met.  This module aggregates
-    per-constraint response distributions from a {!Runtime.report}. *)
+    per-constraint response distributions from a {!Runtime.report} or a
+    {!Robust_runtime.report}, including tail percentiles, and rolls
+    robust replays up by criticality level. *)
 
 type summary = {
   constraint_name : string;
   invocations : int;
   completed : int;
-  min_response : int;
-  max_response : int;
-  mean_response : float;
-  jitter : int;  (** [max_response - min_response]. *)
+  min_response : int option;  (** [None] when nothing completed. *)
+  max_response : int option;
+  mean_response : float;  (** [0.0] when nothing completed. *)
+  p95_response : int option;
+      (** Nearest-rank 95th percentile of completed responses. *)
+  p99_response : int option;
+  jitter : int option;  (** [max_response - min_response]. *)
   misses : int;
 }
 
 val summarize : Runtime.report -> summary list
 (** [summarize r] aggregates per constraint, ordered by name.
-    Constraints with no completed invocation report zero responses and
-    count all their invocations as misses. *)
+    Constraints with no completed invocation report [None] for every
+    response statistic and count all their invocations as misses. *)
+
+val summarize_robust : Robust_runtime.report -> summary list
+(** Same aggregation over a robust replay.  Shed invocations are
+    excluded entirely — they were never admitted, so they contribute
+    neither responses nor misses. *)
 
 val pp_summary : Format.formatter -> summary -> unit
-(** One line: ["pz: 12 invocations, resp 3..15 (mean 8.2, jitter 12), 0 misses"]. *)
+(** One line:
+    ["pz: 12 invocations, resp 3..15 (mean 8.2, p95 14, p99 15, jitter 12), 0 misses"].
+    Absent statistics print as ["-"]. *)
 
 val worst_jitter : summary list -> (string * int) option
 (** The constraint with the largest jitter, if any invocation
     completed. *)
+
+(** {2 Per-criticality rollups} *)
+
+type criticality_summary = {
+  level : Rt_core.Criticality.level;
+  total : int;  (** Invocations of constraints at this level. *)
+  served : int;  (** [total - level_shed]. *)
+  level_misses : int;  (** Served invocations that missed. *)
+  level_shed : int;  (** Arrived while the constraint was shed. *)
+  miss_ratio : float;  (** [level_misses / served], [0.0] if unserved. *)
+}
+
+val by_criticality : Robust_runtime.report -> criticality_summary list
+(** One entry per criticality level (in ascending order), covering
+    every level even when empty — the point of degradation is the
+    contrast between levels. *)
+
+val pp_criticality_summary : Format.formatter -> criticality_summary -> unit

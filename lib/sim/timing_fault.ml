@@ -1,0 +1,131 @@
+open Rt_core
+
+type window = { from : int; until : int }
+
+type kind = Overrun of int | Transient | Stuck
+
+type fault = { elem : int; window : window; kind : kind }
+
+type plan = fault list
+
+let in_window w t = t >= w.from && t < w.until
+
+let overrun ~elem ~from ~until ~extra =
+  { elem; window = { from; until }; kind = Overrun extra }
+
+let transient ~elem ~from ~until =
+  { elem; window = { from; until }; kind = Transient }
+
+let stuck ~elem ~from ~until = { elem; window = { from; until }; kind = Stuck }
+
+let validate comm plan =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun f ->
+      if f.elem < 0 || f.elem >= Comm_graph.n_elements comm then
+        err "fault names unknown element id %d" f.elem;
+      if f.window.from < 0 then
+        err "fault window starts before time 0 (%d)" f.window.from;
+      if f.window.until <= f.window.from then
+        err "empty fault window [%d, %d)" f.window.from f.window.until;
+      match f.kind with
+      | Overrun extra when extra <= 0 -> err "overrun extra must be > 0"
+      | _ -> ())
+    plan;
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let demand plan ~weight ~elem ~start =
+  List.fold_left
+    (fun acc f ->
+      if f.elem = elem && in_window f.window start then
+        match f.kind with
+        | Overrun extra -> if acc = max_int then acc else acc + extra
+        | Stuck -> max_int
+        | Transient -> acc
+      else acc)
+    weight plan
+
+let yields_output plan ~elem ~start =
+  not
+    (List.exists
+       (fun f ->
+         f.elem = elem && f.kind = Transient && in_window f.window start)
+       plan)
+
+let max_extra plan =
+  List.fold_left
+    (fun acc f -> match f.kind with Overrun e -> max acc e | _ -> acc)
+    0 plan
+
+let last_active plan =
+  List.fold_left (fun acc f -> max acc f.window.until) 0 plan
+
+let kind_to_string = function
+  | Overrun extra -> Printf.sprintf "overrun(+%d)" extra
+  | Transient -> "transient"
+  | Stuck -> "stuck"
+
+let of_string comm s =
+  (* KIND:ELEM:FROM-UNTIL[:+EXTRA], e.g. "overrun:f_s:40-80:+3". *)
+  let fields = String.split_on_char ':' (String.trim s) in
+  let window spec =
+    match String.index_opt spec '-' with
+    | None -> Error (Printf.sprintf "bad fault window %S (want FROM-UNTIL)" spec)
+    | Some i -> (
+        let a = String.sub spec 0 i
+        and b = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some from, Some until -> Ok (from, until)
+        | _ -> Error (Printf.sprintf "bad fault window %S" spec))
+  in
+  let elem name =
+    match Comm_graph.find_opt comm name with
+    | Some e -> Ok e.Element.id
+    | None -> Error (Printf.sprintf "unknown element %S in fault spec" name)
+  in
+  let check f =
+    match validate comm [ f ] with
+    | Ok () -> Ok f
+    | Error (e :: _) -> Error e
+    | Error [] -> Ok f
+  in
+  match fields with
+  | [ "overrun"; name; w; extra_s ] -> (
+      let extra_s =
+        if String.length extra_s > 0 && extra_s.[0] = '+' then
+          String.sub extra_s 1 (String.length extra_s - 1)
+        else extra_s
+      in
+      match
+        (elem name, window w, int_of_string_opt extra_s)
+      with
+      | Ok e, Ok (from, until), Some extra ->
+          check (overrun ~elem:e ~from ~until ~extra)
+      | (Error _ as err), _, _ | _, (Error _ as err), _ -> err
+      | _, _, None -> Error (Printf.sprintf "bad overrun extra %S" extra_s))
+  | [ "transient"; name; w ] -> (
+      match (elem name, window w) with
+      | Ok e, Ok (from, until) -> check (transient ~elem:e ~from ~until)
+      | (Error _ as err), _ | _, (Error _ as err) -> err)
+  | [ "stuck"; name; w ] -> (
+      match (elem name, window w) with
+      | Ok e, Ok (from, until) -> check (stuck ~elem:e ~from ~until)
+      | (Error _ as err), _ | _, (Error _ as err) -> err)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad fault spec %S (want overrun:ELEM:FROM-UNTIL:+K, \
+            transient:ELEM:FROM-UNTIL or stuck:ELEM:FROM-UNTIL)"
+           s)
+
+let pp comm fmt f =
+  Format.fprintf fmt "%s on %s during [%d, %d)"
+    (kind_to_string f.kind)
+    (Comm_graph.element comm f.elem).Element.name
+    f.window.from f.window.until
+
+let pp_plan comm fmt plan =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list (pp comm))
+    plan

@@ -1,0 +1,68 @@
+(** Deterministic timing-fault injection.
+
+    {!Fault} corrupts the {e values} flowing along communication edges;
+    this module corrupts {e time}: it makes executions of a chosen
+    functional element overrun their computation-time bound, complete
+    without producing a usable output, or stall indefinitely, during a
+    chosen window of the simulation.  The injectors are interpreted by
+    {!Robust_runtime}, which couples them with watchdog detection and
+    recovery policies.
+
+    A fault applies to an execution iff the execution's {e start} slot
+    falls inside the fault window, so a given schedule and fault plan
+    always reproduce the same divergence — experiments are exactly
+    replayable. *)
+
+type window = { from : int; until : int }
+(** Active for executions starting at slots [from <= t < until]. *)
+
+type kind =
+  | Overrun of int
+      (** The execution needs [weight + k] slots instead of [weight]. *)
+  | Transient
+      (** The execution completes on time but produces no usable
+          output; the work must be redone by a later execution. *)
+  | Stuck
+      (** The execution never completes on its own; only the watchdog
+          (or a mode switch) gets rid of it. *)
+
+type fault = { elem : int; window : window; kind : kind }
+
+type plan = fault list
+(** A set of independent faults; several may target the same element. *)
+
+val overrun : elem:int -> from:int -> until:int -> extra:int -> fault
+val transient : elem:int -> from:int -> until:int -> fault
+val stuck : elem:int -> from:int -> until:int -> fault
+
+val validate : Rt_core.Comm_graph.t -> plan -> (unit, string list) result
+(** Checks element ids, window sanity ([0 <= from < until]) and
+    positive overrun extras; returns all diagnostics on failure. *)
+
+val demand : plan -> weight:int -> elem:int -> start:int -> int
+(** Slots an execution of [elem] starting at [start] actually needs:
+    [weight], plus the extras of every overrun window containing
+    [start] (they add up), or [max_int] if a stuck window applies. *)
+
+val yields_output : plan -> elem:int -> start:int -> bool
+(** Whether the execution produces a usable output — [false] iff a
+    transient window contains [start]. *)
+
+val max_extra : plan -> int
+(** The largest single overrun extra (0 if none) — used to size
+    simulation margins. *)
+
+val last_active : plan -> int
+(** One past the last slot at which any fault window is active. *)
+
+val of_string :
+  Rt_core.Comm_graph.t -> string -> (fault, string) result
+(** Parses the CLI syntax: [overrun:ELEM:FROM-UNTIL:+K],
+    [transient:ELEM:FROM-UNTIL], [stuck:ELEM:FROM-UNTIL] — e.g.
+    ["overrun:f_s:40-80:+3"].  Element names are resolved against the
+    communication graph. *)
+
+val kind_to_string : kind -> string
+
+val pp : Rt_core.Comm_graph.t -> Format.formatter -> fault -> unit
+val pp_plan : Rt_core.Comm_graph.t -> Format.formatter -> plan -> unit

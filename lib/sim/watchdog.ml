@@ -1,0 +1,57 @@
+type config = { check_period : int; stall_limit : int }
+
+let default_config = { check_period = 1; stall_limit = 16 }
+
+let detection_bound cfg = cfg.check_period - 1
+
+type detection = {
+  elem : int;
+  start : int;
+  nominal_finish : int;
+  detected_at : int;
+  latency : int;
+}
+
+type verdict = Clean | Detected of detection | Stalled of detection
+
+type t = {
+  config : config;
+  mutable detections : detection list;
+  reported : (int * int, unit) Hashtbl.t;
+}
+
+let create config =
+  if config.check_period <= 0 then
+    invalid_arg "Watchdog.create: check_period <= 0";
+  if config.stall_limit <= 0 then
+    invalid_arg "Watchdog.create: stall_limit <= 0";
+  { config; detections = []; reported = Hashtbl.create 8 }
+
+let detections t = List.rev t.detections
+
+let check t ~now ~elem ~start ~nominal_finish ~consumed ~budget =
+  if now mod t.config.check_period <> 0 then Clean
+  else if consumed < budget then Clean
+  else
+    let d =
+      {
+        elem;
+        start;
+        nominal_finish;
+        detected_at = now;
+        latency = now - nominal_finish;
+      }
+    in
+    if consumed >= budget + t.config.stall_limit then Stalled d
+    else if Hashtbl.mem t.reported (elem, start) then Clean
+    else begin
+      Hashtbl.add t.reported (elem, start) ();
+      t.detections <- d :: t.detections;
+      Detected d
+    end
+
+let pp_detection fmt d =
+  Format.fprintf fmt
+    "element %d execution@%d: budget exhausted at %d, detected at %d \
+     (latency %d)"
+    d.elem d.start d.nominal_finish d.detected_at d.latency

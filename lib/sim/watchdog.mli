@@ -1,0 +1,73 @@
+(** Execution-time budget monitoring at slot granularity.
+
+    Every execution of a functional element carries a computation-time
+    budget — the element's weight, which the whole offline analysis
+    assumed.  The watchdog observes the running execution at a
+    configurable check period and flags any execution that has consumed
+    its budget without completing ({e overrun}), escalating to a stall
+    verdict when the overshoot exceeds [stall_limit] (a stuck element).
+
+    The analyzed detection bound is [check_period - 1] slots: a
+    violation comes into existence the instant the budget is exhausted
+    without completion, and the next check instant is at most
+    [check_period - 1] slots away.  {!Robust_runtime} measures the
+    realized latency of every detection so experiments can confront the
+    bound with observations. *)
+
+type config = {
+  check_period : int;
+      (** Slots between checks; checks happen at instants [t] with
+          [t mod check_period = 0].  Must be [> 0]. *)
+  stall_limit : int;
+      (** Overshoot (slots past the budget) at which an overrun is
+          reclassified as a stall.  Must be [> 0]. *)
+}
+
+val default_config : config
+(** [{check_period = 1; stall_limit = 16}] — check every slot. *)
+
+val detection_bound : config -> int
+(** [check_period - 1]: the worst-case detection latency in slots. *)
+
+type detection = {
+  elem : int;  (** Offending element. *)
+  start : int;  (** Start slot of the offending execution. *)
+  nominal_finish : int;
+      (** Instant at which the budget was exhausted — when the
+          execution should have completed. *)
+  detected_at : int;  (** Check instant that flagged it. *)
+  latency : int;  (** [detected_at - nominal_finish]. *)
+}
+
+type verdict =
+  | Clean  (** Not a check instant, or within budget. *)
+  | Detected of detection  (** First check to see this overrun. *)
+  | Stalled of detection
+      (** Overshoot reached [stall_limit]; the caller must kill the
+          execution. *)
+
+type t
+(** Mutable monitor state (per run). *)
+
+val create : config -> t
+(** Raises [Invalid_argument] on non-positive configuration fields. *)
+
+val check :
+  t ->
+  now:int ->
+  elem:int ->
+  start:int ->
+  nominal_finish:int ->
+  consumed:int ->
+  budget:int ->
+  verdict
+(** [check t ~now ...] is called at the end of a slot for the
+    still-incomplete execution in flight.  Returns {!Detected} at the
+    first check instant at which [consumed >= budget] (once per
+    execution), {!Stalled} when [consumed >= budget + stall_limit],
+    {!Clean} otherwise. *)
+
+val detections : t -> detection list
+(** Every detection so far, in order of occurrence. *)
+
+val pp_detection : Format.formatter -> detection -> unit

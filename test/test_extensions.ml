@@ -592,21 +592,60 @@ let test_stats_summary () =
   checki "five invocations" 5 pz.Rt_sim.Stats.invocations;
   checki "all completed" 5 pz.Rt_sim.Stats.completed;
   checki "no misses" 0 pz.Rt_sim.Stats.misses;
-  checkb "bounds ordered" true
-    (pz.Rt_sim.Stats.min_response <= pz.Rt_sim.Stats.max_response);
+  let get = Option.get in
+  let min_r = get pz.Rt_sim.Stats.min_response
+  and max_r = get pz.Rt_sim.Stats.max_response in
+  checkb "bounds ordered" true (min_r <= max_r);
   checkb "mean within bounds" true
-    (pz.Rt_sim.Stats.mean_response
-     >= float_of_int pz.Rt_sim.Stats.min_response
-    && pz.Rt_sim.Stats.mean_response
-       <= float_of_int pz.Rt_sim.Stats.max_response);
-  checki "jitter consistent"
-    (pz.Rt_sim.Stats.max_response - pz.Rt_sim.Stats.min_response)
-    pz.Rt_sim.Stats.jitter;
-  match Rt_sim.Stats.worst_jitter summaries with
+    (pz.Rt_sim.Stats.mean_response >= float_of_int min_r
+    && pz.Rt_sim.Stats.mean_response <= float_of_int max_r);
+  checki "jitter consistent" (max_r - min_r) (get pz.Rt_sim.Stats.jitter);
+  let p95 = get pz.Rt_sim.Stats.p95_response
+  and p99 = get pz.Rt_sim.Stats.p99_response in
+  checkb "percentiles within bounds" true
+    (min_r <= p95 && p95 <= p99 && p99 <= max_r);
+  (* With five samples the nearest-rank p95 and p99 are both the
+     maximum. *)
+  checki "p99 of five samples is the max" max_r p99;
+  (match Rt_sim.Stats.worst_jitter summaries with
   | Some (_, j) ->
       checkb "worst jitter is the max" true
-        (List.for_all (fun s -> s.Rt_sim.Stats.jitter <= j) summaries)
-  | None -> Alcotest.fail "completed invocations exist"
+        (List.for_all
+           (fun s ->
+             match s.Rt_sim.Stats.jitter with
+             | None -> true
+             | Some j' -> j' <= j)
+           summaries)
+  | None -> Alcotest.fail "completed invocations exist");
+  (* A constraint that never completes must report absent response
+     statistics, not zeros. *)
+  let starved =
+    {
+      Rt_sim.Runtime.invocations =
+        [
+          {
+            Rt_sim.Runtime.constraint_name = "pz";
+            arrival = 0;
+            completion = None;
+            response = None;
+            met = false;
+          };
+        ];
+      misses = 1;
+      worst_response = [];
+    }
+  in
+  let pz' =
+    List.find
+      (fun s -> s.Rt_sim.Stats.constraint_name = "pz")
+      (Rt_sim.Stats.summarize starved)
+  in
+  checki "starved completed" 0 pz'.Rt_sim.Stats.completed;
+  checkb "starved statistics absent" true
+    (pz'.Rt_sim.Stats.min_response = None
+    && pz'.Rt_sim.Stats.max_response = None
+    && pz'.Rt_sim.Stats.p95_response = None
+    && pz'.Rt_sim.Stats.jitter = None)
 
 let test_stats_empty () =
   let m = example_plan.Synthesis.model_used in

@@ -1,0 +1,602 @@
+(* Tests for the fault-tolerant execution subsystem: Criticality,
+   Modes (derivation + mode-change protocol), Timing_fault, Watchdog
+   and the Robust_runtime replay engine. *)
+
+open Rt_core
+module Tf = Rt_sim.Timing_fault
+module Wd = Rt_sim.Watchdog
+module Rr = Rt_sim.Robust_runtime
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: the degraded-modes flight-control scenario                  *)
+(* ------------------------------------------------------------------ *)
+
+let comm =
+  Comm_graph.create
+    ~elements:
+      [
+        ("gyro", 1, true);
+        ("ctl", 2, true);
+        ("act", 1, true);
+        ("nav", 2, true);
+        ("tlm", 2, true);
+      ]
+    ~edges:[ ("gyro", "ctl"); ("ctl", "act") ]
+
+let id = Comm_graph.id_of_name comm
+let chain names = Task_graph.of_chain (List.map id names)
+
+let model =
+  Model.make ~comm
+    ~constraints:
+      [
+        Timing.make ~name:"attitude"
+          ~graph:(chain [ "gyro"; "ctl"; "act" ])
+          ~period:12 ~deadline:12 ~kind:Timing.Periodic;
+        Timing.make ~name:"navigation"
+          ~graph:(Task_graph.singleton (id "nav"))
+          ~period:24 ~deadline:24 ~kind:Timing.Periodic;
+        Timing.make ~name:"telemetry"
+          ~graph:(Task_graph.singleton (id "tlm"))
+          ~period:12 ~deadline:12 ~kind:Timing.Periodic;
+      ]
+
+let crit =
+  match
+    Criticality.make model
+      [
+        ("attitude", Criticality.High);
+        ("navigation", Criticality.Medium);
+        ("telemetry", Criticality.Low);
+      ]
+  with
+  | Ok a -> a
+  | Error errs -> failwith (String.concat "; " errs)
+
+let derivation = { Modes.stretch = 2; max_hyperperiod = 10_000 }
+
+let modes =
+  match Modes.derive ~derivation model crit with
+  | Ok ms -> ms
+  | Error e -> failwith e
+
+let watchdog = { Wd.check_period = 4; stall_limit = 16 }
+
+let overrun_faults =
+  [ Tf.overrun ~elem:(id "tlm") ~from:30 ~until:66 ~extra:6 ]
+
+let run_with ?(faults = overrun_faults) ?(horizon = 144) policy =
+  Rr.run ~crit ~faults ~policy ~watchdog ~readmit_after:24 ~horizon
+    ~arrivals:[] modes
+
+(* ------------------------------------------------------------------ *)
+(* Criticality                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_criticality_basics () =
+  checkb "order" true
+    (Criticality.compare_level Criticality.Low Criticality.High < 0);
+  checkb "at_least reflexive" true
+    (Criticality.at_least Criticality.Medium Criticality.Medium);
+  checkb "default is High" true
+    (Criticality.level_of [] "anything" = Criticality.High);
+  checkb "round trip" true
+    (List.for_all
+       (fun l ->
+         Criticality.level_of_string (Criticality.level_to_string l) = Ok l)
+       Criticality.all_levels);
+  checkb "med alias" true
+    (Criticality.level_of_string "MED" = Ok Criticality.Medium)
+
+let test_criticality_validation () =
+  checkb "unknown name rejected" true
+    (match Criticality.make model [ ("nope", Criticality.Low) ] with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "duplicate rejected" true
+    (match
+       Criticality.make model
+         [ ("attitude", Criticality.Low); ("attitude", Criticality.High) ]
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_criticality_spec () =
+  match Criticality.of_spec "telemetry=low,navigation=medium" with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      checkb "parsed" true
+        (Criticality.level_of a "telemetry" = Criticality.Low
+        && Criticality.level_of a "navigation" = Criticality.Medium);
+      let back = Criticality.of_spec (Criticality.to_spec a) in
+      checkb "round trip" true (back = Ok a);
+      checkb "garbage rejected" true
+        (match Criticality.of_spec "telemetry" with
+        | Error _ -> true
+        | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mode_family () =
+  checki "three modes" 3 (List.length modes);
+  checks "primary first" "primary" (List.hd modes).Modes.name;
+  (match Modes.find modes "degraded-medium" with
+  | None -> Alcotest.fail "degraded-medium exists"
+  | Some md ->
+      checkb "telemetry shed" true (md.Modes.dropped = [ "telemetry" ]);
+      checkb "navigation stretched 2x" true
+        (md.Modes.stretched = [ ("navigation", 24, 48) ]);
+      (* The stretched constraint really is in the degraded model. *)
+      let nav =
+        List.find
+          (fun (c : Timing.t) -> c.name = "navigation")
+          md.Modes.model.Model.constraints
+      in
+      checki "stretched period" 48 nav.Timing.period;
+      checki "stretched deadline" 48 nav.Timing.deadline);
+  match Modes.find modes "degraded-high" with
+  | None -> Alcotest.fail "degraded-high exists"
+  | Some md ->
+      checkb "only attitude retained" true
+        (List.map
+           (fun (c : Timing.t) -> c.name)
+           md.Modes.model.Model.constraints
+        = [ "attitude" ]);
+      checkb "schedule feasible" true
+        (List.for_all
+           (fun (v : Latency.verdict) -> v.ok)
+           md.Modes.plan.Synthesis.verdicts)
+
+let test_mode_async_stretch () =
+  (* Asynchronous constraints keep their separation — only the
+     deadline stretches: the environment cannot be slowed down. *)
+  let m =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"attitude"
+            ~graph:(chain [ "gyro"; "ctl"; "act" ])
+            ~period:12 ~deadline:12 ~kind:Timing.Periodic;
+          Timing.make ~name:"alarm"
+            ~graph:(Task_graph.singleton (id "tlm"))
+            ~period:20 ~deadline:8 ~kind:Timing.Asynchronous;
+        ]
+  in
+  let a =
+    match Criticality.make m [ ("alarm", Criticality.Medium) ] with
+    | Ok a -> a
+    | Error e -> failwith (String.concat ";" e)
+  in
+  match Modes.degrade ~derivation m a ~threshold:Criticality.Medium with
+  | Error e -> Alcotest.fail e
+  | Ok md ->
+      let alarm =
+        List.find
+          (fun (c : Timing.t) -> c.name = "alarm")
+          md.Modes.model.Model.constraints
+      in
+      checki "separation kept" 20 alarm.Timing.period;
+      checki "deadline stretched" 16 alarm.Timing.deadline
+
+let test_mode_all_shed_fails () =
+  let a =
+    match
+      Criticality.make model
+        [
+          ("attitude", Criticality.Low);
+          ("navigation", Criticality.Low);
+          ("telemetry", Criticality.Low);
+        ]
+    with
+    | Ok a -> a
+    | Error e -> failwith (String.concat ";" e)
+  in
+  checkb "empty mode rejected" true
+    (match Modes.degrade model a ~threshold:Criticality.High with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_transition_bound () =
+  checki "bound is the check period" 4 (Modes.transition_slots ~check_period:4);
+  checki "per-slot watchdog bound" 1 (Modes.transition_slots ~check_period:1);
+  checkb "rejects non-positive" true
+    (try
+       ignore (Modes.transition_slots ~check_period:0);
+       false
+     with Invalid_argument _ -> true);
+  (* Every mode of the fixture absorbs the transition. *)
+  checkb "fixture admits transition" true
+    (List.for_all
+       (fun md -> Modes.admits_transition ~check_period:4 md = Ok ())
+       modes);
+  (* A deadline equal to the response bound cannot absorb any
+     transition slots. *)
+  let tight =
+    Model.make ~comm
+      ~constraints:
+        [
+          Timing.make ~name:"tight"
+            ~graph:(chain [ "gyro"; "ctl"; "act" ])
+            ~period:4 ~deadline:4 ~kind:Timing.Periodic;
+        ]
+  in
+  match Modes.primary tight with
+  | Error e -> Alcotest.fail e
+  | Ok md ->
+      checkb "tight mode rejected" true
+        (match Modes.admits_transition ~check_period:4 md with
+        | Error _ -> true
+        | Ok () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Timing_fault                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_plan_validation () =
+  checkb "good plan" true (Tf.validate comm overrun_faults = Ok ());
+  checkb "bad element" true
+    (match Tf.validate comm [ Tf.overrun ~elem:99 ~from:0 ~until:5 ~extra:1 ]
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  checkb "empty window" true
+    (match Tf.validate comm [ Tf.transient ~elem:0 ~from:5 ~until:5 ] with
+    | Error _ -> true
+    | Ok () -> false);
+  checkb "non-positive extra" true
+    (match Tf.validate comm [ Tf.overrun ~elem:0 ~from:0 ~until:5 ~extra:0 ]
+     with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_fault_demand () =
+  let plan = overrun_faults in
+  let tlm = id "tlm" in
+  checki "inside window" 8 (Tf.demand plan ~weight:2 ~elem:tlm ~start:30);
+  checki "before window" 2 (Tf.demand plan ~weight:2 ~elem:tlm ~start:29);
+  checki "at until" 2 (Tf.demand plan ~weight:2 ~elem:tlm ~start:66);
+  checki "other element" 2 (Tf.demand plan ~weight:2 ~elem:(id "ctl") ~start:30);
+  let stuck = [ Tf.stuck ~elem:tlm ~from:0 ~until:10 ] in
+  checkb "stuck is unbounded" true
+    (Tf.demand stuck ~weight:2 ~elem:tlm ~start:3 = max_int);
+  let transient = [ Tf.transient ~elem:tlm ~from:0 ~until:10 ] in
+  checki "transient keeps demand" 2
+    (Tf.demand transient ~weight:2 ~elem:tlm ~start:3);
+  checkb "transient loses output" true
+    (not (Tf.yields_output transient ~elem:tlm ~start:3));
+  checkb "overrun keeps output" true (Tf.yields_output plan ~elem:tlm ~start:30)
+
+let test_fault_of_string () =
+  (match Tf.of_string comm "overrun:tlm:30-66:+6" with
+  | Error e -> Alcotest.fail e
+  | Ok f -> checkb "parsed overrun" true (f = List.hd overrun_faults));
+  (match Tf.of_string comm "stuck:nav:5-9" with
+  | Error e -> Alcotest.fail e
+  | Ok f -> checkb "parsed stuck" true (f = Tf.stuck ~elem:(id "nav") ~from:5 ~until:9));
+  checkb "unknown element rejected" true
+    (match Tf.of_string comm "overrun:zz:0-5:+1" with
+    | Error _ -> true
+    | Ok _ -> false);
+  checkb "garbage rejected" true
+    (match Tf.of_string comm "meltdown:tlm:0-5" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_detection () =
+  let wd = Wd.create { Wd.check_period = 4; stall_limit = 6 } in
+  checki "bound" 3 (Wd.detection_bound { Wd.check_period = 4; stall_limit = 6 });
+  (* Budget exhausted at t=10 (not a check instant): clean until the
+     next multiple of 4. *)
+  let v =
+    Wd.check wd ~now:10 ~elem:0 ~start:8 ~nominal_finish:10 ~consumed:2
+      ~budget:2
+  in
+  checkb "no check off-instant" true (v = Wd.Clean);
+  (match
+     Wd.check wd ~now:12 ~elem:0 ~start:8 ~nominal_finish:10 ~consumed:4
+       ~budget:2
+   with
+  | Wd.Detected d ->
+      checki "latency" 2 d.Wd.latency;
+      checki "detected at" 12 d.Wd.detected_at
+  | _ -> Alcotest.fail "expected detection");
+  (* Same execution again: deduplicated. *)
+  let v =
+    Wd.check wd ~now:16 ~elem:0 ~start:8 ~nominal_finish:10 ~consumed:7
+      ~budget:2
+  in
+  checkb "reported once" true (v = Wd.Clean);
+  (* Overshoot reaching the stall limit escalates. *)
+  (match
+     Wd.check wd ~now:20 ~elem:0 ~start:8 ~nominal_finish:10 ~consumed:8
+       ~budget:2
+   with
+  | Wd.Stalled _ -> ()
+  | _ -> Alcotest.fail "expected stall");
+  checki "one detection recorded" 1 (List.length (Wd.detections wd))
+
+let test_watchdog_per_slot () =
+  (* check_period 1 detects at the very instant the budget runs out:
+     zero latency. *)
+  let wd = Wd.create { Wd.check_period = 1; stall_limit = 4 } in
+  match
+    Wd.check wd ~now:5 ~elem:1 ~start:3 ~nominal_finish:5 ~consumed:2 ~budget:2
+  with
+  | Wd.Detected d -> checki "zero latency" 0 d.Wd.latency
+  | _ -> Alcotest.fail "expected detection"
+
+(* ------------------------------------------------------------------ *)
+(* Robust_runtime: nominal behaviour                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_robust_no_faults_matches_runtime () =
+  (* Without faults the robust engine must agree with the plain replay
+     on every completion. *)
+  let r = Rr.run ~crit ~watchdog ~horizon:96 ~arrivals:[] modes in
+  checki "no misses" 0 r.Rr.misses;
+  checki "no events" 0 (List.length r.Rr.events);
+  checki "no switches" 0 r.Rr.mode_switches;
+  let primary = List.hd modes in
+  let plain =
+    Rt_sim.Runtime.run primary.Modes.model
+      primary.Modes.plan.Synthesis.schedule ~horizon:96 ~arrivals:[]
+  in
+  let completions inv_list =
+    List.sort compare
+      (List.filter_map
+         (fun (name, arrival, completion) ->
+           Option.map (fun c -> (name, arrival, c)) completion)
+         inv_list)
+  in
+  let robust =
+    completions
+      (List.map
+         (fun (i : Rr.invocation) ->
+           (i.Rr.constraint_name, i.Rr.arrival, i.Rr.completion))
+         r.Rr.invocations)
+  and reference =
+    completions
+      (List.map
+         (fun (i : Rt_sim.Runtime.invocation) ->
+           (i.constraint_name, i.arrival, i.completion))
+         plain.Rt_sim.Runtime.invocations)
+  in
+  checkb "completions agree with Runtime" true (robust = reference)
+
+let test_robust_rejects_bad_input () =
+  let expect_invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "empty modes" true
+    (expect_invalid (fun () -> Rr.run ~horizon:10 ~arrivals:[] []));
+  checkb "bad fault plan" true
+    (expect_invalid (fun () ->
+         Rr.run ~faults:[ Tf.overrun ~elem:99 ~from:0 ~until:1 ~extra:1 ]
+           ~horizon:10 ~arrivals:[] modes));
+  checkb "unknown degrade target" true
+    (expect_invalid (fun () ->
+         Rr.run ~policy:(Rr.Degrade_to "nope") ~horizon:10 ~arrivals:[] modes));
+  checkb "degrade to primary" true
+    (expect_invalid (fun () ->
+         Rr.run ~policy:(Rr.Degrade_to "primary") ~horizon:10 ~arrivals:[]
+           modes))
+
+(* ------------------------------------------------------------------ *)
+(* Robust_runtime: detection and recovery policies                     *)
+(* ------------------------------------------------------------------ *)
+
+let detections_of r = r.Rr.detections
+
+let test_overrun_detected_within_bound () =
+  let r = run_with Rr.Abort_job in
+  let ds = detections_of r in
+  checkb "at least one detection" true (ds <> []);
+  let bound = Wd.detection_bound watchdog in
+  List.iter
+    (fun (d : Wd.detection) ->
+      checkb "latency within analyzed bound" true
+        (d.Wd.latency >= 0 && d.Wd.latency <= bound);
+      checki "offending element" (id "tlm") d.Wd.elem)
+    ds
+
+let test_abort_policy () =
+  let r = run_with Rr.Abort_job in
+  let aborted =
+    List.filter (function Rr.Aborted _ -> true | _ -> false) r.Rr.events
+  in
+  checkb "every detection aborts" true
+    (List.length aborted = List.length (detections_of r));
+  checki "never leaves primary" 0 r.Rr.mode_switches;
+  (* High criticality survives even the crude policy here: aborts cap
+     the stolen slots at budget + detection latency. *)
+  let high =
+    List.find
+      (fun c -> c.Rt_sim.Stats.level = Criticality.High)
+      (Rt_sim.Stats.by_criticality r)
+  in
+  checki "no high-criticality miss" 0 high.Rt_sim.Stats.level_misses
+
+let test_skip_next_policy () =
+  let r = run_with Rr.Skip_next in
+  checkb "skips scheduled" true
+    (List.exists (function Rr.Skip_scheduled _ -> true | _ -> false)
+       r.Rr.events);
+  (* The overrun runs to completion under Skip_next, so telemetry
+     output is preserved (at the cost of more interference). *)
+  checkb "no aborts" true
+    (not (List.exists (function Rr.Aborted _ -> true | _ -> false) r.Rr.events))
+
+let test_retry_policy () =
+  (* A stuck element defeats retry: after max_attempts the runtime
+     gives up.  The window spans several schedule cycles because each
+     failed attempt plus its backoff consumes a whole cycle's worth of
+     the element's slots. *)
+  let faults = [ Tf.stuck ~elem:(id "tlm") ~from:30 ~until:102 ] in
+  let r =
+    run_with ~faults (Rr.Retry { max_attempts = 2; backoff = 2 })
+  in
+  checkb "retries scheduled" true
+    (List.exists (function Rr.Retry_scheduled _ -> true | _ -> false)
+       r.Rr.events);
+  checkb "eventually gives up" true
+    (List.exists (function Rr.Gave_up _ -> true | _ -> false) r.Rr.events)
+
+let test_stall_killed () =
+  let faults = [ Tf.stuck ~elem:(id "tlm") ~from:30 ~until:42 ] in
+  let r = run_with ~faults Rr.Skip_next in
+  checkb "stall killed" true
+    (List.exists (function Rr.Stall_killed _ -> true | _ -> false) r.Rr.events)
+
+(* ------------------------------------------------------------------ *)
+(* Robust_runtime: degradation — the acceptance scenario               *)
+(* ------------------------------------------------------------------ *)
+
+let test_degradation_acceptance () =
+  let r = run_with (Rr.Degrade_to "degraded-high") in
+  (* 1. The injected overrun is detected within the analyzed bound. *)
+  let ds = detections_of r in
+  checkb "detected" true (ds <> []);
+  let bound = Wd.detection_bound watchdog in
+  List.iter
+    (fun (d : Wd.detection) ->
+      checkb "within bound" true (d.Wd.latency <= bound))
+    ds;
+  (* 2. The runtime switches to the degraded schedule and sheds the
+     expendable constraints instead of missing them. *)
+  checkb "degraded" true
+    (List.exists
+       (function Rr.Degraded { to_mode; _ } -> to_mode = "degraded-high" | _ -> false)
+       r.Rr.events);
+  checkb "slots spent degraded" true (r.Rr.degraded_slots > 0);
+  checkb "telemetry shed while degraded" true (r.Rr.shed > 0);
+  (* 3. Zero high-criticality misses throughout. *)
+  let high =
+    List.find
+      (fun c -> c.Rt_sim.Stats.level = Criticality.High)
+      (Rt_sim.Stats.by_criticality r)
+  in
+  checki "high-criticality misses" 0 high.Rt_sim.Stats.level_misses;
+  checki "high-criticality shed" 0 high.Rt_sim.Stats.level_shed;
+  (* 4. The primary mode is re-admitted once the fault clears, and the
+     run ends back in primary. *)
+  checkb "re-admitted" true
+    (List.exists (function Rr.Readmitted _ -> true | _ -> false) r.Rr.events);
+  checks "ends in primary" "primary" r.Rr.final_mode;
+  checki "one round trip" 2 r.Rr.mode_switches;
+  (* 5. Invocations arriving while degraded are attributed to the
+     degraded mode. *)
+  checkb "mode recorded per invocation" true
+    (List.exists
+       (fun (i : Rr.invocation) -> i.Rr.mode = "degraded-high")
+       r.Rr.invocations)
+
+let test_degradation_beats_abort () =
+  let abort = run_with Rr.Abort_job in
+  let deg = run_with (Rr.Degrade_to "degraded-high") in
+  checkb "degradation misses fewer deadlines" true
+    (deg.Rr.misses < abort.Rr.misses)
+
+let test_readmission_timing () =
+  let r = run_with (Rr.Degrade_to "degraded-high") in
+  let degrade_at =
+    List.filter_map
+      (function Rr.Degraded { at; _ } -> Some at | _ -> None)
+      r.Rr.events
+  and readmit_at =
+    List.filter_map
+      (function Rr.Readmitted { at } -> Some at | _ -> None)
+      r.Rr.events
+  in
+  match (degrade_at, readmit_at) with
+  | [ d ], [ re ] ->
+      checkb "readmission after the quiet period" true (re - d >= 24);
+      (* The fault window ends at 66; re-admission cannot precede
+         24 clean slots after the last dirty instant. *)
+      checkb "not while faults are live" true (re >= 54)
+  | _ -> Alcotest.fail "expected exactly one degrade and one readmit"
+
+(* ------------------------------------------------------------------ *)
+(* Stats integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_by_criticality () =
+  let r = run_with (Rr.Degrade_to "degraded-high") in
+  let cs = Rt_sim.Stats.by_criticality r in
+  checki "three levels, always" 3 (List.length cs);
+  List.iter
+    (fun c ->
+      checki "served + shed = total"
+        c.Rt_sim.Stats.total
+        (c.Rt_sim.Stats.served + c.Rt_sim.Stats.level_shed);
+      checkb "misses bounded by served" true
+        (c.Rt_sim.Stats.level_misses <= c.Rt_sim.Stats.served))
+    cs;
+  let totals =
+    List.fold_left (fun acc c -> acc + c.Rt_sim.Stats.total) 0 cs
+  in
+  checki "rollup covers every invocation" (List.length r.Rr.invocations) totals
+
+let () =
+  Alcotest.run "rt_robust"
+    [
+      ( "criticality",
+        [
+          Alcotest.test_case "basics" `Quick test_criticality_basics;
+          Alcotest.test_case "validation" `Quick test_criticality_validation;
+          Alcotest.test_case "spec parsing" `Quick test_criticality_spec;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "family" `Quick test_mode_family;
+          Alcotest.test_case "async stretch" `Quick test_mode_async_stretch;
+          Alcotest.test_case "all shed fails" `Quick test_mode_all_shed_fails;
+          Alcotest.test_case "transition bound" `Quick test_transition_bound;
+        ] );
+      ( "timing_fault",
+        [
+          Alcotest.test_case "validation" `Quick test_fault_plan_validation;
+          Alcotest.test_case "demand" `Quick test_fault_demand;
+          Alcotest.test_case "of_string" `Quick test_fault_of_string;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "detection" `Quick test_watchdog_detection;
+          Alcotest.test_case "per-slot" `Quick test_watchdog_per_slot;
+        ] );
+      ( "robust_runtime",
+        [
+          Alcotest.test_case "faultless = Runtime" `Quick
+            test_robust_no_faults_matches_runtime;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_robust_rejects_bad_input;
+          Alcotest.test_case "detection within bound" `Quick
+            test_overrun_detected_within_bound;
+          Alcotest.test_case "abort policy" `Quick test_abort_policy;
+          Alcotest.test_case "skip-next policy" `Quick test_skip_next_policy;
+          Alcotest.test_case "retry policy" `Quick test_retry_policy;
+          Alcotest.test_case "stall killed" `Quick test_stall_killed;
+          Alcotest.test_case "degradation acceptance" `Quick
+            test_degradation_acceptance;
+          Alcotest.test_case "degradation beats abort" `Quick
+            test_degradation_beats_abort;
+          Alcotest.test_case "readmission timing" `Quick
+            test_readmission_timing;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "by criticality" `Quick test_stats_by_criticality;
+        ] );
+    ]

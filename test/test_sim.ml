@@ -57,6 +57,79 @@ let test_heap_growth () =
   checki "1000 events" 1000 (Eq.size q);
   checkb "min first" true (Eq.peek q = Some (0, 0))
 
+(* Randomized properties against a sorted-list reference model.  Each
+   event carries a unique sequence number so FIFO tie-breaking is
+   observable; the model sorts stably by time. *)
+
+let model_sorted events =
+  List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) events
+
+let drain q =
+  let rec go acc =
+    match Eq.pop q with Some e -> go (e :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_heap_matches_model () =
+  let g = Rt_graph.Prng.create 42 in
+  for _ = 1 to 100 do
+    let n = Rt_graph.Prng.int_in g 0 60 in
+    let events =
+      List.init n (fun seq -> (Rt_graph.Prng.int_in g 0 15, seq))
+    in
+    let q = Eq.create () in
+    List.iter (fun (t, seq) -> Eq.push q ~time:t seq) events;
+    checkb "drain order = stable sort" true (drain q = model_sorted events)
+  done
+
+let test_heap_interleaved_ops () =
+  (* Random pushes and pops interleaved; after every operation the heap
+     must agree with the reference model. *)
+  let g = Rt_graph.Prng.create 7 in
+  for _ = 1 to 50 do
+    let q = Eq.create () in
+    let pending = ref [] and seq = ref 0 in
+    for _ = 1 to 200 do
+      if !pending = [] || Rt_graph.Prng.chance g 0.6 then begin
+        let t = Rt_graph.Prng.int_in g 0 20 in
+        Eq.push q ~time:t !seq;
+        pending := !pending @ [ (t, !seq) ];
+        incr seq
+      end
+      else begin
+        match (Eq.pop q, model_sorted !pending) with
+        | Some got, expect :: rest ->
+            checkb "pop matches model" true (got = expect);
+            pending := rest
+        | None, [] -> ()
+        | _ -> Alcotest.fail "heap and model disagree on emptiness"
+      end;
+      checki "size matches model" (List.length !pending) (Eq.size q);
+      checkb "peek matches model head" true
+        (Eq.peek q
+        = match model_sorted !pending with [] -> None | e :: _ -> Some e)
+    done
+  done
+
+let test_heap_pop_until_boundaries () =
+  let g = Rt_graph.Prng.create 99 in
+  for _ = 1 to 100 do
+    let n = Rt_graph.Prng.int_in g 0 40 in
+    let events =
+      List.init n (fun seq -> (Rt_graph.Prng.int_in g 0 12, seq))
+    in
+    let cut = Rt_graph.Prng.int_in g (-1) 13 in
+    let q = Eq.create () in
+    List.iter (fun (t, seq) -> Eq.push q ~time:t seq) events;
+    let early = Eq.pop_until q cut in
+    let sorted = model_sorted events in
+    let expect_early = List.filter (fun (t, _) -> t <= cut) sorted in
+    let expect_late = List.filter (fun (t, _) -> t > cut) sorted in
+    checkb "pop_until is the <= cut prefix, in order" true
+      (early = expect_early);
+    checkb "remainder drains in order" true (drain q = expect_late)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Arrivals                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -411,6 +484,20 @@ let test_fault_injectors () =
   (* chain applies left to right: offset first, then stuck overrides. *)
   checkb "chain order" true (combo ~now:12 [||] = 42.0)
 
+let test_spike_between_completions () =
+  (* Regression: [spike ~at] must hit the first completion at or after
+     [at] — once — even when no completion lands exactly on [at]. *)
+  let base ~now _ = float_of_int now in
+  let sp = Rt_sim.Fault.spike ~at:6 (-1.0) base in
+  checkb "before at unaffected" true (sp ~now:5 [||] = 5.0);
+  checkb "first completion past at is hit" true (sp ~now:7 [||] = -1.0);
+  checkb "second completion at same instant unaffected" true
+    (sp ~now:7 [||] = 7.0);
+  checkb "later completions unaffected" true (sp ~now:9 [||] = 9.0);
+  (* A fresh injector is an independent glitch. *)
+  let sp2 = Rt_sim.Fault.spike ~at:0 42.0 base in
+  checkb "fresh injector fires independently" true (sp2 ~now:3 [||] = 42.0)
+
 let test_fault_detected_by_assertions () =
   (* Inject a stuck-at fault into the source; the edge assertion must
      flag exactly the in-window transmissions. *)
@@ -437,6 +524,11 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "pop_until/clear" `Quick test_heap_pop_until;
           Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "random vs model" `Quick test_heap_matches_model;
+          Alcotest.test_case "interleaved push/pop" `Quick
+            test_heap_interleaved_ops;
+          Alcotest.test_case "pop_until boundaries" `Quick
+            test_heap_pop_until_boundaries;
         ] );
       ( "arrivals",
         [
@@ -473,6 +565,8 @@ let () =
       ( "fault",
         [
           Alcotest.test_case "injectors" `Quick test_fault_injectors;
+          Alcotest.test_case "spike between completions" `Quick
+            test_spike_between_completions;
           Alcotest.test_case "detected by assertions" `Quick
             test_fault_detected_by_assertions;
         ] );
