@@ -6,6 +6,7 @@
      analyze    latency/response report for a user-supplied schedule
      simulate   replay a synthesized schedule against random arrivals
      faultsim   replay under injected timing faults with recovery
+     distsim    multiprocessor replay under crashes and bus faults
      dot        Graphviz export
      multiproc  partition across processors and schedule the bus
      example    print the paper's example specification *)
@@ -670,6 +671,207 @@ let faultsim_cmd =
        $ stretch $ readmit $ check_period $ stall_limit))
 
 (* ------------------------------------------------------------------ *)
+(* distsim                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let distsim_cmd =
+  let procs =
+    Arg.(
+      value & opt int 2 & info [ "procs" ] ~docv:"N" ~doc:"Number of processors.")
+  in
+  let msg_cost =
+    Arg.(
+      value & opt int 1
+      & info [ "msg-cost" ] ~docv:"C"
+          ~doc:"Bus slots per cross-processor transmission.")
+  in
+  let arq =
+    Arg.(
+      value & opt int 0
+      & info [ "arq" ] ~docv:"K"
+          ~doc:
+            "ARQ retransmission slots reserved per message on top of the \
+             transmission cost; up to K lost or corrupted transmissions per \
+             message window are absorbed without a miss.")
+  in
+  let crash =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"P:AT[:RET]"
+          ~doc:
+            "Crash processor P at slot AT (repeatable); with :RET it \
+             returns at slot RET and the nominal table is re-admitted.")
+  in
+  let msg_loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "msg-loss" ] ~docv:"RATE"
+          ~doc:"Per-slot bus fault probability (deterministic in the seed).")
+  in
+  let policy =
+    Arg.(
+      value & opt string "failover"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "$(b,failover) swaps in the pre-synthesized contingency table \
+             for a detected crash; $(b,none) only detects.")
+  in
+  let crit_spec =
+    Arg.(
+      value & opt string ""
+      & info [ "criticality" ] ~docv:"SPEC"
+          ~doc:
+            "Criticality assignment, e.g. $(b,telemetry=low,nav=medium); \
+             scenarios that cannot carry the full load degrade by shedding \
+             below medium, then below high.  Unlisted constraints default \
+             to high.")
+  in
+  let stretch =
+    Arg.(
+      value & opt int 2
+      & info [ "stretch" ] ~docv:"F"
+          ~doc:"Stretch factor for sub-high constraints in degraded scenarios.")
+  in
+  let hb_period =
+    Arg.(
+      value & opt int 5
+      & info [ "hb-period" ] ~docv:"N" ~doc:"Slots between heartbeats.")
+  in
+  let hb_miss =
+    Arg.(
+      value & opt int 2
+      & info [ "hb-miss" ] ~docv:"N"
+          ~doc:"Consecutive missed heartbeats before declaring a crash.")
+  in
+  let migration =
+    Arg.(
+      value & opt int 0
+      & info [ "migration" ] ~docv:"N"
+          ~doc:"Slots to migrate the dead processor's state at failover.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 200
+      & info [ "horizon" ] ~docv:"N" ~doc:"Slots to simulate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for bus faults.")
+  in
+  let parse_crash s =
+    match String.split_on_char ':' s with
+    | [ p; at ] -> (
+        match (int_of_string_opt p, int_of_string_opt at) with
+        | Some proc, Some at ->
+            Ok { Rt_sim.Dist_runtime.proc; at; return_at = None }
+        | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT)" s))
+    | [ p; at; ret ] -> (
+        match (int_of_string_opt p, int_of_string_opt at, int_of_string_opt ret)
+        with
+        | Some proc, Some at, Some ret ->
+            Ok { Rt_sim.Dist_runtime.proc; at; return_at = Some ret }
+        | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT:RET)" s))
+    | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT[:RET])" s)
+  in
+  let run path procs msg_cost arq crash_specs msg_loss policy_s crit_s stretch
+      hb_period hb_miss migration horizon seed =
+    let m = or_die (load_model path) in
+    let crit =
+      if crit_s = "" then None
+      else
+        let a = or_die (Criticality.of_spec crit_s) in
+        Some
+          (or_die
+             (Result.map_error (String.concat "\n") (Criticality.make m a)))
+    in
+    let policy =
+      match String.lowercase_ascii policy_s with
+      | "failover" -> Ok Rt_sim.Dist_runtime.Failover
+      | "none" -> Ok Rt_sim.Dist_runtime.No_failover
+      | _ -> Error (Printf.sprintf "unknown policy %S" policy_s)
+    in
+    match policy with
+    | Error msg -> `Error (false, msg)
+    | Ok policy -> (
+        let crashes =
+          List.map (fun s -> or_die (parse_crash s)) crash_specs
+        in
+        let heartbeat =
+          { Rt_sim.Heartbeat.hb_period; miss_threshold = hb_miss }
+        in
+        let heartbeat = or_die (Rt_sim.Heartbeat.validate heartbeat) in
+        let detect_bound = Rt_sim.Heartbeat.detection_bound heartbeat in
+        match
+          Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost
+            ~arq_slack:arq m
+        with
+        | Error e ->
+            Format.eprintf "nominal synthesis failed: %s@." e;
+            `Error (false, "infeasible")
+        | Ok nominal -> (
+            let derivation =
+              { Modes.stretch; max_hyperperiod = 1_000_000 }
+            in
+            match
+              Rt_multiproc.Contingency.synthesize ?criticality:crit ~derivation
+                ~detect_bound ~migration m nominal
+            with
+            | Error e ->
+                Format.eprintf "contingency synthesis failed: %s@." e;
+                `Error (false, "infeasible")
+            | Ok table ->
+                Format.printf "=== contingency table ===@.%a@."
+                  (Rt_multiproc.Contingency.pp m)
+                  table;
+                (match
+                   Rt_multiproc.Contingency.admits_reconfiguration m table
+                 with
+                | Ok () ->
+                    Format.printf
+                      "reconfiguration admitted: the %d-slot bound fits every \
+                       in-flight invocation's slack@."
+                      table.Rt_multiproc.Contingency.reconfig_bound
+                | Error es ->
+                    Format.printf
+                      "reconfiguration NOT admitted for in-flight invocations:@.";
+                    List.iter (fun e -> Format.printf "  %s@." e) es;
+                    Format.printf
+                      "(invocations arriving after the bound are still safe)@.");
+                let net_faults =
+                  if msg_loss <= 0.0 then []
+                  else
+                    Rt_sim.Net_fault.random_plan (Rt_graph.Prng.create seed)
+                      ~horizon:(2 * horizon) ~loss_rate:msg_loss
+                in
+                let report =
+                  try
+                    Rt_sim.Dist_runtime.run ?crit ~crashes ~net_faults ~policy
+                      ~heartbeat ~horizon m table
+                  with Invalid_argument msg -> or_die (Error msg)
+                in
+                Format.printf "@.=== replay ===@.%a@."
+                  Rt_sim.Dist_runtime.pp_report report;
+                Format.printf "=== per-processor rollup ===@.";
+                List.iter
+                  (fun s ->
+                    Format.printf "%a@." Rt_sim.Stats.pp_processor_summary s)
+                  (Rt_sim.Stats.by_processor m.Model.comm report);
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "distsim"
+       ~doc:
+         "Lockstep multiprocessor replay under processor crashes and bus \
+          faults, with heartbeat detection and failover to pre-synthesized \
+          contingency schedules.")
+    Term.(
+      ret
+        (const run $ spec_file $ procs $ msg_cost $ arq $ crash $ msg_loss
+       $ policy $ crit_spec $ stretch $ hb_period $ hb_miss $ migration
+       $ horizon $ seed))
+
+(* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -706,6 +908,7 @@ let () =
             emit_c_cmd;
             simulate_cmd;
             faultsim_cmd;
+            distsim_cmd;
             dot_cmd;
             multiproc_cmd;
             example_cmd;

@@ -46,6 +46,21 @@ val default_derivation : derivation
 val primary : ?derivation:derivation -> Model.t -> (mode, string) result
 (** The undegraded mode: the model as given, synthesized and verified. *)
 
+val degraded_constraints :
+  ?derivation:derivation ->
+  Model.t ->
+  Criticality.assignment ->
+  threshold:Criticality.level ->
+  Timing.t list * string list * (string * int * int) list
+(** The model surgery behind {!degrade}, without synthesis:
+    [(kept, dropped, stretched)] where constraints below [threshold]
+    are shed and retained constraints below [High] are stretched by the
+    derivation factor (periodic: period, deadline and offset;
+    asynchronous: deadline only, the environment's separation is not
+    ours to slow down).  Exposed so multiprocessor contingency
+    synthesis can degrade a model before re-partitioning, reusing
+    exactly the uniprocessor degradation semantics. *)
+
 val degrade :
   ?derivation:derivation ->
   Model.t ->

@@ -1,0 +1,96 @@
+(** Pre-synthesized contingency schedules for single-processor crashes.
+
+    The paper decomposes multiprocessor synthesis into per-processor
+    synthesis plus a network scheduling problem; this module extends
+    the decomposition to processor failures.  For every scenario
+    "processor [p] crashed", the elements assigned to [p] are
+    re-placed on the survivors ({!Partition.repair}, keeping every
+    surviving assignment so migration only moves the dead processor's
+    state), the placement is polished with {!Partition.refine}
+    [~avoid:[p]], and the whole system — per-processor schedules plus
+    bus — is re-synthesized and window-verified offline
+    ({!Msched.synthesize_with}).  When the full constraint set does not
+    fit the surviving capacity and a criticality assignment is given,
+    the scenario degrades exactly like the uniprocessor modes do
+    ([Rt_core.Modes.degraded_constraints]): shed below a threshold,
+    stretch the retained sub-High constraints.
+
+    The run-time failover is therefore a table swap, never a search,
+    and its latency is an analyzed constant:
+
+    {v reconfig_bound = detect_bound + 1 (table swap) + migration v}
+
+    Phase alignment costs nothing because every synthesized table is
+    indexed by absolute time modulo its hyperperiod — the contingency
+    table is consulted at the same absolute slots the nominal one would
+    have been.  {!admits_reconfiguration} checks the bound against each
+    constraint's measured slack ([deadline - worst response], from
+    {!Msched.response_bounds}): an invocation already in flight when
+    the crash hits either completes under the nominal table or is the
+    (bounded) collateral of the crash; every invocation arriving
+    [reconfig_bound] slots after the crash is served entirely by the
+    verified contingency table. *)
+
+type scenario = {
+  dead : int;  (** The crashed processor this scenario covers. *)
+  threshold : Rt_core.Criticality.level option;
+      (** [None]: the full model fits the survivors.  [Some l]: the
+          scenario runs degraded at threshold [l]. *)
+  result : Msched.result;
+      (** Verified survivors + bus schedules; processor [dead] is idle
+          in [result.processor_schedules]. *)
+  dropped : string list;  (** Constraints shed by the degradation. *)
+  stretched : (string * int * int) list;
+      (** [(name, before, after)] stretched periods/deadlines. *)
+}
+
+type table = {
+  nominal : Msched.result;  (** The no-crash system. *)
+  scenarios : (scenario, string) result array;
+      (** Index = crashed processor id; [Error] carries the reason no
+          schedule (even degraded) exists for that crash. *)
+  detect_bound : int;
+      (** Slots from crash to detection (the heartbeat bound, supplied
+          by the caller — this library does not know the detector). *)
+  migration : int;  (** Slots to move the dead processor's state. *)
+  reconfig_bound : int;  (** [detect_bound + 1 + migration]. *)
+}
+
+val synthesize :
+  ?criticality:Rt_core.Criticality.assignment ->
+  ?derivation:Rt_core.Modes.derivation ->
+  ?msg_cost:int ->
+  ?max_hyperperiod:int ->
+  ?migration:int ->
+  detect_bound:int ->
+  Rt_core.Model.t ->
+  Msched.result ->
+  (table, string) result
+(** [synthesize ~detect_bound m nominal] builds the contingency table
+    for every single-processor crash of [nominal]'s partition.  Each
+    scenario first tries the full model; when that fails and
+    [criticality] is given, degraded thresholds [Medium] then [High]
+    are tried in order (with [derivation], default
+    [Modes.default_derivation]).  [msg_cost] defaults to [nominal]'s;
+    the nominal ARQ slack is inherited by every scenario.  [migration]
+    defaults to [0] (state is checkpointed over the bus continuously).
+    Errors only on invalid arguments ([detect_bound < 0], [migration <
+    0], single-processor nominal); an infeasible scenario is recorded
+    in its [scenarios] slot, not a synthesis failure. *)
+
+val feasible_scenarios : table -> scenario list
+(** The scenarios that have a verified schedule, by dead processor. *)
+
+val admits_reconfiguration :
+  Rt_core.Model.t -> table -> (unit, string list) result
+(** For every feasible scenario and every constraint it retains, check
+    [reconfig_bound <= deadline - response] where [response] is the
+    constraint's measured worst response under the {e nominal} table
+    ({!Msched.response_bounds}) — an invocation that arrived just
+    before the crash must absorb the whole reconfiguration latency and
+    still meet its (possibly stretched) scenario deadline.  Returns
+    every violation otherwise. *)
+
+val pp : Rt_core.Model.t -> Format.formatter -> table -> unit
+(** Multi-line rendering: bound accounting, then one line per crash
+    scenario (feasible / degraded-at-threshold / infeasible). *)

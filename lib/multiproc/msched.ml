@@ -9,41 +9,29 @@ type result = {
   proc_loads : float array;
   bus_load : float;
   cut : int;
+  msg_cost : int;
+  arq_slack : int;
 }
 
-let rec synthesize ?(n_procs = 2) ?(msg_cost = 1) ?(max_hyperperiod = 1_000_000)
-    (m : Model.t) =
-  match
-    List.find_opt
-      (fun (c : Timing.t) ->
-        Timing.is_periodic c && (c.deadline > c.period || c.offset <> 0))
-      m.constraints
-  with
-  | Some c ->
-      Error
-        (Printf.sprintf
-           "constraint %s has deadline > period or a nonzero offset; \
-            unsupported by the multiprocessor decomposer"
-           c.name)
-  | None -> (
-      let partition =
-        Partition.refine m.comm (Partition.greedy m.comm ~n_procs)
-      in
-      attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod
-        [ Decompose.Proportional; Decompose.Back_loaded; Decompose.Front_loaded ])
-
-and attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod = function
+let rec attempt_strategies m (partition : Partition.t) ~msg_cost ~arq_slack
+    ~max_hyperperiod = function
   | [] -> Error "no window-allotment strategy produced a feasible system"
   | strategy :: rest -> (
+      let n_procs = partition.Partition.n_procs in
       let retry e =
         match
-          attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod
+          attempt_strategies m partition ~msg_cost ~arq_slack ~max_hyperperiod
             rest
         with
         | Ok r -> Ok r
         | Error _ -> Error e
       in
-      match Decompose.decompose ~strategy m partition ~msg_cost with
+      (* Every message window (and the bus reservation) carries the ARQ
+         retransmission slack on top of the real transmission cost. *)
+      match
+        Decompose.decompose ~strategy m partition
+          ~msg_cost:(msg_cost + arq_slack)
+      with
       | Error e -> retry e
       | Ok plans -> (
           let periods = List.map (fun p -> p.Decompose.period) plans in
@@ -127,7 +115,8 @@ and attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod = functio
               | Some e -> retry e
               | None -> (
                   match Netsched.schedule ~horizon:hyperperiod !bus_items with
-                  | Error e -> retry ("bus: " ^ e)
+                  | Error misses ->
+                      retry ("bus: " ^ Netsched.misses_to_string misses)
                   | Ok bus ->
                       let processor_schedules =
                         Array.map
@@ -150,7 +139,45 @@ and attempt_strategies m partition ~n_procs ~msg_cost ~max_hyperperiod = functio
                               !bus_items;
                           cut =
                             List.length (Partition.cut_edges m.comm partition);
+                          msg_cost;
+                          arq_slack;
                         }))))
+
+let check_supported (m : Model.t) =
+  match
+    List.find_opt
+      (fun (c : Timing.t) ->
+        Timing.is_periodic c && (c.deadline > c.period || c.offset <> 0))
+      m.constraints
+  with
+  | Some c ->
+      Error
+        (Printf.sprintf
+           "constraint %s has deadline > period or a nonzero offset; \
+            unsupported by the multiprocessor decomposer"
+           c.name)
+  | None -> Ok ()
+
+let strategies =
+  [ Decompose.Proportional; Decompose.Back_loaded; Decompose.Front_loaded ]
+
+let synthesize_with ?(msg_cost = 1) ?(arq_slack = 0)
+    ?(max_hyperperiod = 1_000_000) (m : Model.t) partition =
+  match check_supported m with
+  | Error _ as e -> e
+  | Ok () ->
+      attempt_strategies m partition ~msg_cost ~arq_slack ~max_hyperperiod
+        strategies
+
+let synthesize ?(n_procs = 2) ?msg_cost ?arq_slack ?max_hyperperiod
+    (m : Model.t) =
+  match check_supported m with
+  | Error _ as e -> e
+  | Ok () ->
+      let partition =
+        Partition.refine m.comm (Partition.greedy m.comm ~n_procs)
+      in
+      synthesize_with ?msg_cost ?arq_slack ?max_hyperperiod m partition
 
 let verify (m : Model.t) r =
   let errs = ref [] in
@@ -211,6 +238,66 @@ let verify (m : Model.t) r =
       invocations 0)
     r.plans;
   match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+let response_bounds (m : Model.t) r =
+  let hyper = r.hyperperiod in
+  List.map
+    (fun (plan : Decompose.plan) ->
+      let worst = ref 0 in
+      let rec invocations t =
+        if t >= hyper then ()
+        else begin
+          let completion = ref t in
+          List.iteri
+            (fun i (w : Decompose.windowed) ->
+              let w0 = t + w.Decompose.start_off
+              and w1 = t + w.Decompose.end_off in
+              match w.Decompose.piece with
+              | Decompose.Segment s ->
+                  let sched = r.processor_schedules.(s.processor) in
+                  let cursor = ref w0 in
+                  List.iter
+                    (fun e ->
+                      let needed = ref (Comm_graph.weight m.comm e) in
+                      while !needed > 0 && !cursor < w1 do
+                        (if Schedule.slot sched !cursor = Schedule.Run e then
+                           decr needed);
+                        incr cursor
+                      done;
+                      (* On a verified result every op fits its window;
+                         fall back to the window end otherwise so the
+                         bound stays conservative. *)
+                      if !needed > 0 then cursor := w1)
+                    s.ops;
+                  completion := max !completion !cursor
+              | Decompose.Message msg ->
+                  if msg.cost > 0 then begin
+                    let name =
+                      Printf.sprintf "%s@%d/%d" plan.Decompose.constraint_name
+                        t i
+                    in
+                    (* [msg.cost] already includes the ARQ slack (the plan
+                       was decomposed at the inflated cost), so the bound
+                       charges the full reserved slots even though a
+                       fault-free run finishes earlier. *)
+                    let needed = ref msg.cost in
+                    let cursor = ref w0 in
+                    let limit = min w1 (Array.length r.bus) in
+                    while !needed > 0 && !cursor < limit do
+                      (if r.bus.(!cursor) = Some name then decr needed);
+                      incr cursor
+                    done;
+                    if !needed > 0 then cursor := w1;
+                    completion := max !completion !cursor
+                  end)
+            plan.Decompose.pieces;
+          worst := max !worst (!completion - t);
+          invocations (t + plan.Decompose.period)
+        end
+      in
+      invocations 0;
+      (plan.Decompose.constraint_name, !worst))
+    r.plans
 
 let pp_result (m : Model.t) fmt r =
   Format.fprintf fmt "@[<v>partition: %a@,hyperperiod: %d, cut edges: %d@,"

@@ -19,22 +19,55 @@ type result = {
   proc_loads : float array;  (** Busy fraction per processor. *)
   bus_load : float;
   cut : int;  (** Number of cut communication edges. *)
+  msg_cost : int;  (** Real bus slots per cross-processor transmission. *)
+  arq_slack : int;
+      (** Retransmission slots reserved {e per message} on top of
+          [msg_cost]: every message window and the bus reservation carry
+          [msg_cost + arq_slack] slots, so up to [arq_slack] lost or
+          corrupted transmissions per message window are absorbed
+          without any deadline miss (the {!Netsched.schedule_arq}
+          bound). *)
 }
 
 val synthesize :
   ?n_procs:int ->
   ?msg_cost:int ->
+  ?arq_slack:int ->
   ?max_hyperperiod:int ->
   Rt_core.Model.t ->
   (result, string) Stdlib.result
 (** [synthesize m] runs the whole flow ([n_procs] defaults to 2,
-    [msg_cost] to 1, [max_hyperperiod] to 1_000_000).  Periodic
-    constraints must have [deadline <= period] and zero offset.  Window
-    allotment strategies are tried in order (proportional, back-loaded,
-    front-loaded) until one yields feasible per-processor and bus
-    schedules; the reported error is the first strategy's when all
-    fail.  On success, every piece of every constraint meets its
-    window. *)
+    [msg_cost] to 1, [arq_slack] to 0, [max_hyperperiod] to 1_000_000).
+    Periodic constraints must have [deadline <= period] and zero
+    offset.  Window allotment strategies are tried in order
+    (proportional, back-loaded, front-loaded) until one yields feasible
+    per-processor and bus schedules; the reported error is the first
+    strategy's when all fail.  On success, every piece of every
+    constraint meets its window. *)
+
+val synthesize_with :
+  ?msg_cost:int ->
+  ?arq_slack:int ->
+  ?max_hyperperiod:int ->
+  Rt_core.Model.t ->
+  Partition.t ->
+  (result, string) Stdlib.result
+(** Like {!synthesize} but from a caller-supplied partition instead of
+    the built-in greedy+refine placement — the entry point for
+    contingency synthesis, which re-partitions around a dead processor
+    with {!Partition.repair} and must keep the surviving assignment.
+    [n_procs] is the partition's. *)
+
+val response_bounds : Rt_core.Model.t -> result -> (string * int) list
+(** [response_bounds m r] measures, per constraint (by name, in plan
+    order), the worst realized end-to-end response over one
+    hyperperiod: for every invocation, each piece's completion is
+    located in the assembled tables (processor schedules for segments,
+    the bus reservation for messages — counting the full reserved
+    [msg_cost + arq_slack] slots, conservatively) and the response is
+    the final piece's completion minus the arrival.  The slack
+    [deadline - bound] is what a reconfiguration latency must fit
+    into ({!Contingency.admits_reconfiguration}). *)
 
 val verify : Rt_core.Model.t -> result -> (unit, string list) Stdlib.result
 (** [verify m r] independently re-checks the assembled system: for

@@ -2,6 +2,8 @@ type item = { item_name : string; release : int; abs_deadline : int; cost : int 
 
 type bus_schedule = string option array
 
+type miss = { missed : string; miss_deadline : int; short : int }
+
 type live = { spec : item; mutable remaining : int }
 
 let schedule ~horizon items =
@@ -14,48 +16,73 @@ let schedule ~horizon items =
     |> Array.of_list
   in
   let slots = Array.make horizon None in
-  let failed = ref None in
+  let misses = ref [] in
+  let record l ~at =
+    misses :=
+      { missed = l.spec.item_name; miss_deadline = at; short = l.remaining }
+      :: !misses;
+    (* Drop the infeasible item so the remaining traffic is still
+       dispatched and diagnosed: the caller gets every miss, not just
+       the first. *)
+    l.remaining <- 0
+  in
   for t = 0 to horizon - 1 do
-    if !failed = None then begin
-      Array.iter
-        (fun l ->
-          if l.remaining > 0 && l.spec.release <= t && l.spec.abs_deadline <= t
-          then if !failed = None then failed := Some l.spec.item_name)
-        lives;
-      if !failed = None then begin
-        let ready =
-          Array.fold_left
-            (fun acc l ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                  if l.remaining > 0 && l.spec.release <= t then Some l
-                  else None)
-            None lives
-        in
-        match ready with
-        | None -> ()
-        | Some l ->
-            slots.(t) <- Some l.spec.item_name;
-            l.remaining <- l.remaining - 1
-      end
-    end
+    Array.iter
+      (fun l ->
+        if l.remaining > 0 && l.spec.abs_deadline <= t then
+          record l ~at:l.spec.abs_deadline)
+      lives;
+    let ready =
+      Array.fold_left
+        (fun acc l ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if l.remaining > 0 && l.spec.release <= t then Some l else None)
+        None lives
+    in
+    match ready with
+    | None -> ()
+    | Some l ->
+        slots.(t) <- Some l.spec.item_name;
+        l.remaining <- l.remaining - 1
   done;
-  match !failed with
-  | Some name -> Error (Printf.sprintf "message %s missed its deadline" name)
-  | None -> (
-      match
-        Array.fold_left
-          (fun acc l ->
-            match acc with
-            | Some _ -> acc
-            | None -> if l.remaining > 0 then Some l.spec.item_name else None)
-          None lives
-      with
-      | Some name ->
-          Error (Printf.sprintf "message %s not transmitted within the horizon" name)
-      | None -> Ok slots)
+  Array.iter
+    (fun l ->
+      if l.remaining > 0 then record l ~at:(min l.spec.abs_deadline horizon))
+    lives;
+  match !misses with
+  | [] -> Ok slots
+  | ms ->
+      Error
+        (List.sort
+           (fun a b ->
+             compare (a.miss_deadline, a.missed) (b.miss_deadline, b.missed))
+           ms)
+
+let schedule_arq ~horizon ~k items =
+  if k < 0 then invalid_arg "Netsched.schedule_arq: negative k";
+  schedule ~horizon
+    (List.map (fun i -> { i with cost = i.cost + k }) items)
+
+let arq_tolerance ~horizon ?(max_k = 16) items =
+  let rec go best k =
+    if k > max_k then best
+    else
+      match schedule_arq ~horizon ~k items with
+      | Ok _ -> go (Some k) (k + 1)
+      | Error _ -> best
+  in
+  go None 0
 
 let utilization ~horizon items =
   float_of_int (List.fold_left (fun acc i -> acc + i.cost) 0 items)
   /. float_of_int horizon
+
+let miss_to_string m =
+  Printf.sprintf "%s: %d slot(s) short at deadline %d" m.missed m.short
+    m.miss_deadline
+
+let pp_miss fmt m = Format.pp_print_string fmt (miss_to_string m)
+
+let misses_to_string ms = String.concat "; " (List.map miss_to_string ms)

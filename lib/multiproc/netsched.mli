@@ -3,7 +3,21 @@
     The "similar-looking problem" of the paper: transmissions are unit-
     slot preemptible work items with releases and deadlines, dispatched
     EDF on a single bus.  Optimality of EDF on one resource makes this
-    decision exact for the given windows. *)
+    decision exact for the given windows.
+
+    {2 Retransmission slack (ARQ)}
+
+    A bus that can lose or corrupt transmissions needs {e slack}: every
+    lost slot must be repeated.  {!schedule_arq} synthesizes the bus
+    reservation with each item's cost inflated by [k] slots.  The
+    analyzed bound: a lost slot consumes budget of exactly the item
+    transmitting it, and an item only transmits inside its own
+    [\[release, deadline)] window, so if at most [k] fault slots land in
+    every item's window, every item's realized demand is at most
+    [cost + k] — the demand the reservation was verified against.  EDF
+    optimality on one resource then guarantees every deadline is still
+    met (see {!Rt_sim.Net_fault} for the simulation side, and
+    [docs/DISTRIBUTED.md] for the full argument). *)
 
 type item = {
   item_name : string;
@@ -15,10 +29,43 @@ type item = {
 type bus_schedule = string option array
 (** Slot -> transmitting item name ([None] = bus idle). *)
 
-val schedule : horizon:int -> item list -> (bus_schedule, string) result
+type miss = {
+  missed : string;  (** Item that cannot meet its deadline. *)
+  miss_deadline : int;  (** Its absolute deadline (or the horizon). *)
+  short : int;  (** Slots still untransmitted at that instant. *)
+}
+
+val schedule : horizon:int -> item list -> (bus_schedule, miss list) result
 (** [schedule ~horizon items] dispatches all items EDF-preemptively;
-    fails naming the first item to miss its deadline.  Deterministic
+    on failure the error carries {e every} item that misses (each
+    infeasible item is dropped at its deadline so the remaining items
+    are still dispatched and diagnosed) — complete infeasibility
+    evidence for contingency synthesis, not just the first victim.
+    Misses are ordered by (deadline, name).  Deterministic
     tie-breaks. *)
+
+val schedule_arq :
+  horizon:int -> k:int -> item list -> (bus_schedule, miss list) result
+(** [schedule_arq ~horizon ~k items] is {!schedule} with every item's
+    cost inflated by [k] retransmission slots: a successful reservation
+    absorbs up to [k] lost/corrupted transmissions per item window (the
+    analyzed bound above).  [k = 0] coincides with {!schedule}.  Raises
+    [Invalid_argument] if [k < 0]. *)
+
+val arq_tolerance : horizon:int -> ?max_k:int -> item list -> int option
+(** [arq_tolerance ~horizon items] is the largest [k <= max_k] (default
+    16) for which {!schedule_arq} succeeds — the number of per-window
+    losses the bus can absorb; [None] if even [k = 0] is infeasible.
+    Monotone in [k], found by linear search from 0. *)
 
 val utilization : horizon:int -> item list -> float
 (** Total cost over horizon. *)
+
+val miss_to_string : miss -> string
+(** ["m1: 2 slot(s) short at deadline 7"]. *)
+
+val pp_miss : Format.formatter -> miss -> unit
+
+val misses_to_string : miss list -> string
+(** Semicolon-joined {!miss_to_string} — for embedding in error
+    strings. *)

@@ -49,7 +49,7 @@ let greedy g ~n_procs =
     order;
   { n_procs; assignment }
 
-let refine g t =
+let refine ?(avoid = []) g t =
   let assignment = Array.copy t.assignment in
   let t' = { t with assignment } in
   let digraph = Comm_graph.graph g in
@@ -67,7 +67,7 @@ let refine g t =
       let here = assignment.(e) in
       let current_cut = cut_count assignment in
       for proc = 0 to t.n_procs - 1 do
-        if proc <> assignment.(e) then begin
+        if proc <> assignment.(e) && not (List.mem proc avoid) then begin
           let old = assignment.(e) in
           assignment.(e) <- proc;
           let new_cut = cut_count assignment in
@@ -81,6 +81,50 @@ let refine g t =
     done
   done;
   t'
+
+let repair g t ~dead =
+  if t.n_procs < 2 then Error "Partition.repair: no surviving processor"
+  else if dead < 0 || dead >= t.n_procs then
+    Error (Printf.sprintf "Partition.repair: processor %d out of range" dead)
+  else begin
+    let assignment = Array.copy t.assignment in
+    let load = Array.make t.n_procs 0 in
+    Array.iteri
+      (fun e proc ->
+        if proc <> dead then load.(proc) <- load.(proc) + Comm_graph.weight g e)
+      assignment;
+    let displaced =
+      List.filter
+        (fun e -> assignment.(e) = dead)
+        (List.init (Comm_graph.n_elements g) Fun.id)
+      |> List.sort (fun a b ->
+             compare
+               (- Comm_graph.weight g a, a)
+               (- Comm_graph.weight g b, b))
+    in
+    let digraph = Comm_graph.graph g in
+    List.iter
+      (fun e ->
+        assignment.(e) <- -1;
+        let affinity proc =
+          let count rel =
+            List.length (List.filter (fun x -> assignment.(x) = proc) rel)
+          in
+          count (Rt_graph.Digraph.succ digraph e)
+          + count (Rt_graph.Digraph.pred digraph e)
+        in
+        let best = ref (if dead = 0 then 1 else 0) in
+        for proc = 0 to t.n_procs - 1 do
+          if proc <> dead then begin
+            let score p = (load.(p) - affinity p, p) in
+            if score proc < score !best then best := proc
+          end
+        done;
+        assignment.(e) <- !best;
+        load.(!best) <- load.(!best) + Comm_graph.weight g e)
+      displaced;
+    Ok { t with assignment }
+  end
 
 let pp g fmt t =
   for proc = 0 to t.n_procs - 1 do

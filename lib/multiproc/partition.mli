@@ -22,11 +22,25 @@ val greedy : Rt_core.Comm_graph.t -> n_procs:int -> t
     [load - affinity], where affinity counts communication-graph
     neighbours already resident.  Deterministic. *)
 
-val refine : Rt_core.Comm_graph.t -> t -> t
+val refine : ?avoid:int list -> Rt_core.Comm_graph.t -> t -> t
 (** One hill-climbing pass: move single elements between processors when
     that strictly reduces the number of cut edges without pushing any
     processor's load above the current maximum.  Idempotent when no such
-    move exists. *)
+    move exists.  Invariants (property-tested): the refined partition's
+    [max_load] never exceeds the input's, and its [cut_edges] list never
+    grows.  Moves never target a processor in [avoid] (default none) —
+    used by contingency synthesis to keep elements off a crashed
+    processor. *)
+
+val repair : Rt_core.Comm_graph.t -> t -> dead:int -> (t, string) result
+(** [repair g t ~dead] re-places the elements assigned to processor
+    [dead] onto the survivors, keeping every surviving assignment
+    untouched: the displaced elements are placed heaviest-first on the
+    surviving processor minimizing [load - affinity] — the same
+    heuristic as {!greedy}, seeded with the surviving assignment.  The
+    result keeps [n_procs] (processor ids stay stable); processor
+    [dead] ends up empty.  Errors when [t.n_procs < 2] or [dead] is out
+    of range.  Deterministic. *)
 
 val loads : Rt_core.Comm_graph.t -> t -> int array
 (** Summed element weight per processor. *)

@@ -1,0 +1,125 @@
+(** Lockstep distributed replay: processor crashes, bus faults,
+    heartbeat detection, and failover to pre-synthesized contingency
+    tables.
+
+    {!Robust_runtime} handles a single processor whose {e executions}
+    misbehave; this engine handles a multiprocessor system whose
+    {e processors} and {e bus} misbehave.  All [n] processors and the
+    bus advance in lockstep, one slot at a time:
+
+    - every live processor runs its slot of the table in force (tables
+      are indexed by absolute time modulo their hyperperiod, so a table
+      swap needs no phase alignment);
+    - the bus transmits one unit of the earliest-deadline pending
+      message under the ARQ discipline — a faulty slot
+      ({!Net_fault.plan}) wastes the unit and the sender retransmits;
+      messages whose source processor is dead cannot transmit at all;
+    - a heartbeat monitor ({!Heartbeat}) observes liveness and declares
+      crashes/recoveries within the analyzed
+      {!Heartbeat.detection_bound}.
+
+    Under the {!Failover} policy a declared crash of processor [p]
+    swaps in the pre-synthesized scenario table for [p]
+    ({!Rt_multiproc.Contingency}) after [1 + migration] further slots
+    — one for the table swap, the rest to move the dead processor's
+    state — so the whole crash-to-contingency latency is the table's
+    [reconfig_bound].  Pending bus traffic of the old configuration is
+    cleared at the swap: its invocations are the crash's (bounded)
+    collateral, and stale messages must not steal verified slots from
+    the new table.  When the crashed processor returns and its
+    heartbeats resume, the nominal table is re-admitted through the
+    same swap protocol.
+
+    The guarantee replayed here is the contingency contract: with an
+    admissible fault load ({!Net_fault.admit} at the synthesized ARQ
+    slack) every invocation of a scenario-retained constraint arriving
+    at or after [crash + reconfig_bound] is served entirely by the
+    verified contingency table and meets its deadline — zero
+    high-criticality misses after the bound, for a crash at any slot.
+    Everything is deterministic: same inputs, same report. *)
+
+type crash = {
+  proc : int;
+  at : int;  (** First slot the processor no longer executes. *)
+  return_at : int option;  (** Slot it resumes (heartbeats restart). *)
+}
+
+type policy =
+  | No_failover  (** Detection only; the nominal tables stay in force. *)
+  | Failover  (** Swap to the contingency table for the dead processor. *)
+
+type config_tag = Nominal | Scenario of int  (** The dead processor. *)
+
+type event =
+  | Crashed of { proc : int; at : int }
+  | Returned of { proc : int; at : int }
+  | Detected of { proc : int; at : int; latency : int }
+      (** Heartbeat declaration; [latency = at - crash slot], always
+          [<= Heartbeat.detection_bound]. *)
+  | Failover_complete of { proc : int; at : int }
+      (** The scenario table for [proc] is in force from slot [at]. *)
+  | Failover_unavailable of { proc : int; at : int; reason : string }
+  | Readmitted of { proc : int; at : int }
+      (** Nominal table back in force after the processor returned. *)
+
+type invocation = {
+  constraint_name : string;
+  criticality : Rt_core.Criticality.level;
+  arrival : int;
+  deadline : int;  (** Relative, of the plan in force at arrival. *)
+  processor : int;  (** Owner: the final segment's processor. *)
+  completion : int option;
+  response : int option;
+  met : bool;
+  shed : bool;
+      (** Arrived while the scenario in force had shed the constraint;
+          not served, not a miss. *)
+  config : config_tag;  (** Configuration in force at arrival. *)
+}
+
+type report = {
+  invocations : invocation list;  (** By arrival, then name. *)
+  events : event list;  (** Chronological. *)
+  realized : Rt_core.Schedule.t array;
+      (** Realized execution log per processor over the replay span
+          (horizon plus an internal margin); crashed spans are idle. *)
+  bus_retransmissions : int;  (** Bus slots wasted to faults. *)
+  misses : int;  (** Non-shed invocations that missed. *)
+  shed : int;
+  config_switches : int;
+  detection_bound : int;  (** The heartbeat analysis bound. *)
+  reconfig_bound : int;  (** The contingency table's. *)
+  final_config : config_tag;
+}
+
+val run :
+  ?crit:Rt_core.Criticality.assignment ->
+  ?crashes:crash list ->
+  ?net_faults:Net_fault.plan ->
+  ?policy:policy ->
+  ?heartbeat:Heartbeat.config ->
+  horizon:int ->
+  Rt_core.Model.t ->
+  Rt_multiproc.Contingency.table ->
+  report
+(** [run ~horizon m table] replays the system for [horizon] slots of
+    arrivals (invocations with windows past the horizon are replayed
+    to completion over an internal margin).  [policy] defaults to
+    {!Failover}, [heartbeat] to {!Heartbeat.default}.  Constraints
+    release at the period of the plan in force at each release (shed
+    constraints keep their nominal rhythm); when a swap changes a
+    constraint's period — stretched degradation — its next release
+    rounds up to the next absolute multiple of the new period, the
+    phases the swapped-in table is verified for.  High-criticality
+    constraints are never stretched, so their rhythm never skips.
+    Raises [Invalid_argument]
+    when a crash names an out-of-range processor or slot, two crashes
+    overlap on one processor, or the heartbeat's
+    {!Heartbeat.detection_bound} exceeds the [detect_bound] the
+    contingency table was synthesized for (the analysis would be
+    vacuous). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Counters, bound accounting, then the chronological event log. *)

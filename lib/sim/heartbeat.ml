@@ -1,0 +1,56 @@
+type config = { hb_period : int; miss_threshold : int }
+
+let default = { hb_period = 5; miss_threshold = 2 }
+
+let validate c =
+  if c.hb_period <= 0 then Error "heartbeat period must be positive"
+  else if c.miss_threshold <= 0 then Error "miss threshold must be positive"
+  else Ok c
+
+let detection_bound c =
+  match validate c with
+  | Error e -> invalid_arg ("Heartbeat.detection_bound: " ^ e)
+  | Ok c -> (c.hb_period * c.miss_threshold) - 1
+
+type event = Died of int | Recovered of int
+
+type state = {
+  config : config;
+  misses : int array;  (** Consecutive missed beats per processor. *)
+  declared_dead : bool array;
+}
+
+let make config ~n_procs =
+  (match validate config with
+  | Error e -> invalid_arg ("Heartbeat.make: " ^ e)
+  | Ok _ -> ());
+  if n_procs <= 0 then invalid_arg "Heartbeat.make: n_procs must be positive";
+  { config; misses = Array.make n_procs 0; declared_dead = Array.make n_procs false }
+
+let observe st ~t ~alive =
+  if t mod st.config.hb_period <> 0 then []
+  else begin
+    let events = ref [] in
+    for proc = Array.length st.misses - 1 downto 0 do
+      if alive proc then begin
+        st.misses.(proc) <- 0;
+        if st.declared_dead.(proc) then begin
+          st.declared_dead.(proc) <- false;
+          events := Recovered proc :: !events
+        end
+      end
+      else begin
+        st.misses.(proc) <- st.misses.(proc) + 1;
+        if
+          (not st.declared_dead.(proc))
+          && st.misses.(proc) >= st.config.miss_threshold
+        then begin
+          st.declared_dead.(proc) <- true;
+          events := Died proc :: !events
+        end
+      end
+    done;
+    !events
+  end
+
+let believed_alive st proc = not st.declared_dead.(proc)

@@ -1,0 +1,50 @@
+(** Heartbeat-based crash detection with an analyzed bound.
+
+    Every processor transmits a heartbeat in the slots [t] with
+    [t mod hb_period = 0] (the bus reservation for heartbeats is
+    outside this module's scope — one slot per processor per period is
+    the usual provision).  A monitor declares a processor dead after
+    [miss_threshold] consecutive missed heartbeats, and alive again at
+    its first heartbeat after a declaration.
+
+    The detection latency is bounded: the worst case is a crash in the
+    slot just after a heartbeat, so the dead processor stays silent for
+    [hb_period - 1] slots before its first missed beat, and
+    [miss_threshold] beats must be missed —
+
+    {v detection_bound = hb_period * miss_threshold - 1 v}
+
+    slots from crash to declaration, which {!Dist_runtime} feeds to
+    {!Rt_multiproc.Contingency.synthesize} as [detect_bound]. *)
+
+type config = {
+  hb_period : int;  (** Slots between heartbeats; [> 0]. *)
+  miss_threshold : int;  (** Consecutive misses before declaring; [> 0]. *)
+}
+
+val default : config
+(** [{hb_period = 5; miss_threshold = 2}]. *)
+
+val validate : config -> (config, string) result
+
+val detection_bound : config -> int
+(** [hb_period * miss_threshold - 1]; raises [Invalid_argument] on an
+    invalid config. *)
+
+type event = Died of int | Recovered of int  (** Processor id. *)
+
+type state
+
+val make : config -> n_procs:int -> state
+(** All processors initially believed alive.  Raises
+    [Invalid_argument] on an invalid config or [n_procs <= 0]. *)
+
+val observe : state -> t:int -> alive:(int -> bool) -> event list
+(** Advance the monitor to slot [t]: on heartbeat slots each
+    processor's beat is received iff [alive] says it is up, and the
+    declarations that flip are returned (deterministic order by
+    processor id).  Non-heartbeat slots return [[]].  Call once per
+    slot with increasing [t]. *)
+
+val believed_alive : state -> int -> bool
+(** The monitor's current belief for a processor. *)

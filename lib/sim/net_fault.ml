@@ -1,0 +1,113 @@
+module Ns = Rt_multiproc.Netsched
+
+type kind = Lost | Corrupted
+
+type fault = { slot : int; kind : kind }
+
+type plan = fault list
+
+let random_plan g ~horizon ~loss_rate =
+  let faults = ref [] in
+  for slot = horizon - 1 downto 0 do
+    if Rt_graph.Prng.chance g loss_rate then
+      faults :=
+        { slot; kind = (if Rt_graph.Prng.bool g then Lost else Corrupted) }
+        :: !faults
+  done;
+  !faults
+
+let faulty plan slot = List.exists (fun f -> f.slot = slot) plan
+
+let admit ~k items plan =
+  if k < 0 then invalid_arg "Net_fault.admit: negative k";
+  let errs =
+    List.sort
+      (fun (a : Ns.item) b ->
+        compare (a.abs_deadline, a.item_name) (b.abs_deadline, b.item_name))
+      items
+    |> List.filter_map (fun (i : Ns.item) ->
+           let hits =
+             List.length
+               (List.filter
+                  (fun f -> f.slot >= i.release && f.slot < i.abs_deadline)
+                  plan)
+           in
+           if hits > k then
+             Some
+               (Printf.sprintf
+                  "%s: %d fault(s) in window [%d,%d) exceed the ARQ slack %d"
+                  i.item_name hits i.release i.abs_deadline k)
+           else None)
+  in
+  match errs with [] -> Ok () | es -> Error es
+
+type live = { spec : Ns.item; mutable remaining : int }
+
+type outcome = {
+  delivered : (string * int) list;
+  missed : Ns.miss list;
+  retransmissions : int;
+}
+
+let simulate ~horizon items plan =
+  let lives =
+    List.map (fun (i : Ns.item) -> { spec = i; remaining = i.cost }) items
+    |> List.sort (fun a b ->
+           compare
+             (a.spec.Ns.abs_deadline, a.spec.Ns.release, a.spec.Ns.item_name)
+             (b.spec.Ns.abs_deadline, b.spec.Ns.release, b.spec.Ns.item_name))
+    |> Array.of_list
+  in
+  let delivered = ref [] and missed = ref [] and retrans = ref 0 in
+  let record_miss l ~at =
+    missed :=
+      {
+        Ns.missed = l.spec.Ns.item_name;
+        miss_deadline = at;
+        short = l.remaining;
+      }
+      :: !missed;
+    l.remaining <- 0
+  in
+  for t = 0 to horizon - 1 do
+    Array.iter
+      (fun l ->
+        if l.remaining > 0 && l.spec.Ns.abs_deadline <= t then
+          record_miss l ~at:l.spec.Ns.abs_deadline)
+      lives;
+    let ready =
+      Array.fold_left
+        (fun acc l ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if l.remaining > 0 && l.spec.Ns.release <= t then Some l
+              else None)
+        None lives
+    in
+    match ready with
+    | None -> ()
+    | Some l ->
+        if faulty plan t then incr retrans
+        else begin
+          l.remaining <- l.remaining - 1;
+          if l.remaining = 0 then
+            delivered := (l.spec.Ns.item_name, t + 1) :: !delivered
+        end
+  done;
+  Array.iter
+    (fun l ->
+      if l.remaining > 0 then
+        record_miss l ~at:(min l.spec.Ns.abs_deadline horizon))
+    lives;
+  {
+    delivered =
+      List.sort (fun (na, ta) (nb, tb) -> compare (ta, na) (tb, nb))
+        !delivered;
+    missed =
+      List.sort
+        (fun (a : Ns.miss) b ->
+          compare (a.miss_deadline, a.missed) (b.miss_deadline, b.missed))
+        !missed;
+    retransmissions = !retrans;
+  }

@@ -1,0 +1,64 @@
+(** Deterministic bus-fault injection and the ARQ admission bound.
+
+    A fault hits a {e slot} of the shared bus: the transmission
+    scheduled there (if any) does not arrive — either [Lost] outright
+    or [Corrupted] and discarded by the receiver's checksum.  Both
+    kinds cost the sender exactly one retransmission under the ARQ
+    (automatic repeat request) discipline, so the analysis treats them
+    identically; the distinction is kept for reporting.
+
+    The offline side ({!Rt_multiproc.Netsched.schedule_arq},
+    {!Rt_multiproc.Msched}'s [arq_slack]) reserves [cost + k] slots
+    per message window.  {!admit} is the matching analyzer: a fault
+    plan is admissible at tolerance [k] iff no item's
+    [\[release, abs_deadline)] window contains more than [k] faulty
+    slots.  Because an item only ever transmits inside its own window
+    and a faulty slot consumes exactly one retransmission of whichever
+    item held it, an admissible plan keeps every realized demand within
+    the reserved [cost + k] — EDF feasibility of the inflated set then
+    guarantees no deadline miss ({!simulate} validates this bound by
+    construction on every run).  With [k + 1] faults in some window,
+    {!admit} reports the violation — the bound is tight. *)
+
+type kind = Lost | Corrupted
+
+type fault = { slot : int; kind : kind }
+
+type plan = fault list
+
+val random_plan :
+  Rt_graph.Prng.t -> horizon:int -> loss_rate:float -> plan
+(** Each slot in [[0, horizon)] is faulty independently with
+    probability [loss_rate] (corrupted instead of lost with
+    probability 1/2).  Deterministic in the generator state; slots
+    ascend. *)
+
+val faulty : plan -> int -> bool
+(** Membership test. *)
+
+val admit :
+  k:int -> Rt_multiproc.Netsched.item list -> plan -> (unit, string list) result
+(** [admit ~k items plan]: check that every item's
+    [\[release, abs_deadline)] window contains at most [k] faulty
+    slots.  Returns one diagnostic per violating item (by deadline
+    order) — the certificate that the ARQ slack can be exceeded. *)
+
+type outcome = {
+  delivered : (string * int) list;
+      (** Item name -> completion slot (exclusive): all [cost] units
+          received.  Deterministic order by completion then name. *)
+  missed : Rt_multiproc.Netsched.miss list;
+      (** Items whose full cost did not arrive by their deadline. *)
+  retransmissions : int;  (** Slots wasted to faults. *)
+}
+
+val simulate :
+  horizon:int -> Rt_multiproc.Netsched.item list -> plan -> outcome
+(** Online ARQ EDF replay of the bus: each slot transmits one unit of
+    the earliest-deadline ready item with outstanding {e real} cost; a
+    faulty slot wastes the unit (the sender learns from the missing
+    acknowledgement and retransmits).  An item past its deadline with
+    outstanding cost is recorded missed and dropped.  The simulation is
+    the ground truth the {!admit} bound is tested against: an
+    admissible plan on an instance feasible at slack [k] yields
+    [missed = \[\]]. *)

@@ -152,6 +152,83 @@ let by_criticality (r : Robust_runtime.report) =
       })
     Rt_core.Criticality.all_levels
 
+(* ------------------------------------------------------------------ *)
+(* Per-processor rollups over distributed replays                      *)
+(* ------------------------------------------------------------------ *)
+
+type processor_summary = {
+  processor : int;
+  proc_invocations : int;
+  proc_misses : int;
+  proc_shed : int;
+  busy : int;
+  idle : int;
+  preemptions : int;
+  proc_p95 : int option;
+  proc_p99 : int option;
+}
+
+let by_processor g (r : Dist_runtime.report) =
+  List.init (Array.length r.Dist_runtime.realized) (fun proc ->
+      let slots =
+        Rt_core.Schedule.slots r.Dist_runtime.realized.(proc)
+      in
+      let busy = ref 0 and preemptions = ref 0 in
+      (* Progress of the in-flight execution per element: an element
+         completes an execution on accruing its full weight; losing the
+         processor before that is a preemption. *)
+      let acc = Array.make (Rt_core.Comm_graph.n_elements g) 0 in
+      Array.iteri
+        (fun t slot ->
+          match slot with
+          | Rt_core.Schedule.Idle -> ()
+          | Rt_core.Schedule.Run e ->
+              incr busy;
+              acc.(e) <- acc.(e) + 1;
+              if acc.(e) >= Rt_core.Comm_graph.weight g e then acc.(e) <- 0
+              else if
+                t + 1 >= Array.length slots
+                || slots.(t + 1) <> Rt_core.Schedule.Run e
+              then incr preemptions)
+        slots;
+      let here =
+        List.filter
+          (fun (i : Dist_runtime.invocation) -> i.processor = proc)
+          r.Dist_runtime.invocations
+      in
+      let shed =
+        List.length
+          (List.filter (fun (i : Dist_runtime.invocation) -> i.shed) here)
+      in
+      let misses =
+        List.length
+          (List.filter
+             (fun (i : Dist_runtime.invocation) -> (not i.shed) && not i.met)
+             here)
+      in
+      let responses =
+        List.filter_map (fun (i : Dist_runtime.invocation) -> i.response) here
+        |> List.sort compare
+      in
+      {
+        processor = proc;
+        proc_invocations = List.length here;
+        proc_misses = misses;
+        proc_shed = shed;
+        busy = !busy;
+        idle = Array.length slots - !busy;
+        preemptions = !preemptions;
+        proc_p95 = percentile_sorted responses ~q:95;
+        proc_p99 = percentile_sorted responses ~q:99;
+      })
+
+let pp_processor_summary fmt p =
+  Format.fprintf fmt
+    "p%d: %d invocations (%d missed, %d shed), busy %d / idle %d, %d \
+     preemptions, p95 %a, p99 %a"
+    p.processor p.proc_invocations p.proc_misses p.proc_shed p.busy p.idle
+    p.preemptions pp_response p.proc_p95 pp_response p.proc_p99
+
 let pp_criticality_summary fmt c =
   Format.fprintf fmt
     "%a: %d invocations (%d served, %d shed), %d misses (ratio %.3f)"

@@ -57,3 +57,32 @@ val by_criticality : Robust_runtime.report -> criticality_summary list
     contrast between levels. *)
 
 val pp_criticality_summary : Format.formatter -> criticality_summary -> unit
+
+(** {2 Per-processor rollups over distributed replays} *)
+
+type processor_summary = {
+  processor : int;
+  proc_invocations : int;
+      (** Invocations owned by this processor (final segment here);
+          shed ones included in this count only. *)
+  proc_misses : int;
+  proc_shed : int;
+  busy : int;  (** Realized busy slots. *)
+  idle : int;
+  preemptions : int;
+      (** Times an incomplete execution lost the processor (to another
+          element or to an idle slot) before accruing its element's
+          full weight — table-driven preemptions plus crash cut-offs. *)
+  proc_p95 : int option;
+      (** Nearest-rank percentiles of this processor's completed
+          response times. *)
+  proc_p99 : int option;
+}
+
+val by_processor :
+  Rt_core.Comm_graph.t -> Dist_runtime.report -> processor_summary list
+(** One entry per processor (ascending id), even when idle: crashes
+    show up as a processor whose busy count stops growing.  The graph
+    supplies element weights for preemption counting. *)
+
+val pp_processor_summary : Format.formatter -> processor_summary -> unit
