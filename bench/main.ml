@@ -21,6 +21,42 @@ let time_it f =
   let r = f () in
   (r, Sys.time () -. t0)
 
+(* Wall-clock timer for the parallel experiments: [Sys.time] is CPU
+   time summed over domains, which cannot show a speedup. *)
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let speedup seq par = if par > 0.0 then seq /. par else 0.0
+
+(* --json support: E14 records its measurements here; the driver writes
+   them to BENCH_synthesis.json after the selected experiments ran. *)
+let json_rows : string list ref = ref []
+
+let json_bench ~name ~baseline ~optimized ~jobs ~extra =
+  let extras =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %d" k v) extra)
+  in
+  json_rows :=
+    Printf.sprintf
+      "    { \"name\": \"%s\", \"baseline_seconds\": %.6f, \
+       \"optimized_seconds\": %.6f, \"speedup\": %.3f, \"jobs\": %d%s }"
+      name baseline optimized (speedup baseline optimized) jobs extras
+    :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ],\n  \"counters\": {\n%s\n  }\n}\n"
+    (String.concat ",\n" (List.rev !json_rows))
+    (String.concat ",\n"
+       (List.map
+          (fun (k, v) -> Printf.sprintf "    \"%s\": %d" k v)
+          (Rt_par.Perf.snapshot ())));
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
 (* ------------------------------------------------------------------ *)
 (* E1: the example control system (Figures 1 and 2)                    *)
 (* ------------------------------------------------------------------ *)
@@ -558,24 +594,31 @@ let e9 () =
           ~private_weight:1
           ~period:(14 + (2 * Prng.int prng 6)))
   in
-  List.iter
-    (fun (label, merge, pipeline) ->
-      let ok =
-        List.length
-          (List.filter
-             (fun m ->
-               match Synthesis.synthesize ~merge ~pipeline m with
-               | Ok _ -> true
-               | Error _ -> false)
-             models)
-      in
-      row "%-22s %10s" label (Printf.sprintf "%d/20" ok))
-    [
-      ("full", true, true);
-      ("no merge", false, true);
-      ("no pipeline", true, false);
-      ("neither", false, false);
-    ];
+  (* The 20 models are independent, so each row's sweep fans out over
+     the domain pool; parallel_map preserves order, so the counts are
+     identical to the sequential fold at any job count. *)
+  let marr = Array.of_list models in
+  Rt_par.Pool.with_pool (fun pool ->
+      List.iter
+        (fun (label, merge, pipeline) ->
+          let feasible =
+            Rt_par.Pool.parallel_map pool
+              (fun m ->
+                match Synthesis.synthesize ~merge ~pipeline m with
+                | Ok _ -> true
+                | Error _ -> false)
+              marr
+          in
+          let ok =
+            Array.fold_left (fun n b -> if b then n + 1 else n) 0 feasible
+          in
+          row "%-22s %10s" label (Printf.sprintf "%d/20" ok))
+        [
+          ("full", true, true);
+          ("no merge", false, true);
+          ("no pipeline", true, false);
+          ("neither", false, false);
+        ]);
   Printf.printf
     "\n(c) admission-test coverage on the same models (fast analytic path)\n";
   let counts = Hashtbl.create 4 in
@@ -975,6 +1018,141 @@ let e13 () =
     horizon
 
 (* ------------------------------------------------------------------ *)
+(* E14: parallel + cache-aware engine — speedup and bit-identity       *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section
+    "E14 Parallel, cache-aware engine: domain pool vs sequential, cached vs \
+     uncached verification";
+  let jobs = Rt_par.Pool.default_jobs () in
+  row "domains for the parallel runs: %d (RTSYN_JOBS, else recommended %d)"
+    jobs
+    (Domain.recommended_domain_count ());
+  row "%-28s %12s %12s %9s" "benchmark" "baseline(s)" "optimized(s)"
+    "speedup";
+  (* (a) exact enumeration on E3(b)'s largest published family member:
+     sequential vs the domain pool, same instance, plan equality
+     asserted. *)
+  let m = Rt_workload.Suite.exact_stress ~n_constraints:4 () in
+  let exact_iters = 25 in
+  let repeat_exact ?pool () =
+    let last = ref None in
+    for _ = 1 to exact_iters do
+      last := Some (Exact.enumerate ?pool ~max_len:6 m)
+    done;
+    Option.get !last
+  in
+  Rt_par.Perf.reset ();
+  let (s_seq : Exact.stats), t_seq = time_wall (repeat_exact ?pool:None) in
+  let nodes_seq = Rt_par.Perf.value Rt_par.Perf.dfs_nodes / exact_iters in
+  let s_par, t_par =
+    Rt_par.Pool.with_pool ~jobs (fun p ->
+        time_wall (repeat_exact ~pool:p))
+  in
+  (match (s_seq.Exact.outcome, s_par.Exact.outcome) with
+  | Exact.Feasible a, Exact.Feasible b when Schedule.equal a b -> ()
+  | Exact.Infeasible, Exact.Infeasible -> ()
+  | Exact.Unknown _, Exact.Unknown _ -> ()
+  | _ -> failwith "E14: parallel exact solver diverged from sequential");
+  row "%-28s %12.4f %12.4f %8.2fx" "exact/unit-chains(nc=4)" t_seq t_par
+    (speedup t_seq t_par);
+  json_bench ~name:"exact/unit-chains-nc4" ~baseline:t_seq ~optimized:t_par
+    ~jobs
+    ~extra:[ ("dfs_nodes", nodes_seq); ("explored", s_seq.Exact.explored) ];
+  (* (b) 16-scenario contingency synthesis: one crash scenario per
+     processor, scenario-table equality asserted schedule by
+     schedule. *)
+  let model = Rt_workload.Suite.replicated_control ~n:16 in
+  let nominal =
+    match Rt_multiproc.Msched.synthesize ~n_procs:16 ~msg_cost:1 model with
+    | Ok r -> r
+    | Error e -> failwith ("E14 nominal 16-processor synthesis: " ^ e)
+  in
+  let module Cg = Rt_multiproc.Contingency in
+  let module Ms = Rt_multiproc.Msched in
+  let contingency pool () =
+    match Cg.synthesize ?pool ~detect_bound:3 model nominal with
+    | Ok t -> t
+    | Error e -> failwith ("E14 contingency synthesis: " ^ e)
+  in
+  let tbl_seq, t_cseq = time_wall (contingency None) in
+  let tbl_par, t_cpar =
+    Rt_par.Pool.with_pool ~jobs (fun p -> time_wall (contingency (Some p)))
+  in
+  let scenario_equal a b =
+    match (a, b) with
+    | Ok (sa : Cg.scenario), Ok (sb : Cg.scenario) ->
+        sa.Cg.dead = sb.Cg.dead
+        && sa.Cg.threshold = sb.Cg.threshold
+        && sa.Cg.dropped = sb.Cg.dropped
+        &&
+        let pa = sa.Cg.result.Ms.processor_schedules
+        and pb = sb.Cg.result.Ms.processor_schedules in
+        Array.length pa = Array.length pb
+        && Array.for_all2 Schedule.equal pa pb
+    | Error ea, Error eb -> ea = eb
+    | _ -> false
+  in
+  if
+    not
+      (Array.for_all2 scenario_equal tbl_seq.Cg.scenarios tbl_par.Cg.scenarios)
+  then failwith "E14: parallel contingency table diverged from sequential";
+  row "%-28s %12.4f %12.4f %8.2fx  (%d/16 scenarios feasible)"
+    "contingency/16-scenarios" t_cseq t_cpar (speedup t_cseq t_cpar)
+    (List.length (Cg.feasible_scenarios tbl_seq));
+  json_bench ~name:"contingency/16-scenarios" ~baseline:t_cseq
+    ~optimized:t_cpar ~jobs
+    ~extra:[ ("feasible_scenarios", List.length (Cg.feasible_scenarios tbl_seq)) ];
+  (* (c) cached vs uncached verification on an unrolled schedule (the
+     shape multiprocessor synthesis produces): the cached engine keys
+     its residue memo and argmax candidates on the underlying pattern,
+     the reference engine re-derives every window.  Verdict equality
+     asserted. *)
+  let example =
+    Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+  in
+  let plan =
+    match Synthesis.synthesize example with
+    | Ok p -> p
+    | Error _ -> failwith "E14: example synthesis failed"
+  in
+  let mu = plan.Synthesis.model_used in
+  let unrolled = Schedule.repeat plan.Synthesis.schedule 8 in
+  let iters = 3 in
+  let run_verify cached () =
+    let last = ref [] in
+    for _ = 1 to iters do
+      last := Latency.verify ~cached mu unrolled
+    done;
+    !last
+  in
+  Rt_par.Perf.reset ();
+  let v_ref, t_ref = time_wall (run_verify false) in
+  let w_ref = Rt_par.Perf.value Rt_par.Perf.windows_checked in
+  Rt_par.Perf.reset ();
+  let v_cached, t_cached = time_wall (run_verify true) in
+  let w_cached = Rt_par.Perf.value Rt_par.Perf.windows_checked in
+  let hits = Rt_par.Perf.value Rt_par.Perf.cache_hits in
+  if v_ref <> v_cached then
+    failwith "E14: cached verification verdicts diverged from reference";
+  row "%-28s %12.4f %12.4f %8.2fx  (windows %d -> %d, memo hits %d)"
+    (Printf.sprintf "verify/unrolled-x8 (x%d)" iters)
+    t_ref t_cached (speedup t_ref t_cached) w_ref w_cached hits;
+  json_bench ~name:"verify/cached-unrolled-x8" ~baseline:t_ref
+    ~optimized:t_cached ~jobs:1
+    ~extra:
+      [
+        ("windows_uncached", w_ref); ("windows_cached", w_cached);
+        ("cache_hits", hits);
+      ];
+  row
+    "(baseline = sequential / uncached reference engine; optimized = %d-domain \
+     pool / cached engine.  Equality of plans, scenario tables and verdicts \
+     is asserted, not sampled.)"
+    jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1048,14 +1226,17 @@ let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13);
+    ("E12", e12); ("E13", e13); ("E14", e14);
     ("micro", micro);
   ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] -> List.iter (fun (_, f) -> f ()) all
-  | _ :: names ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let names = List.filter (fun a -> a <> "--json") args in
+  (match names with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name all with
@@ -1064,4 +1245,5 @@ let () =
               Printf.eprintf "unknown experiment %s (use %s)\n" name
                 (String.concat " " (List.map fst all));
               exit 1)
-        names
+        names);
+  if json then write_json "BENCH_synthesis.json"

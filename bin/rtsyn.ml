@@ -54,6 +54,47 @@ let max_hyperperiod =
     & info [ "max-hyperperiod" ] ~docv:"N"
         ~doc:"Abort if the cyclic schedule would exceed $(docv) slots.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel search engine.  Defaults to the \
+           $(b,RTSYN_JOBS) environment variable if set, else 1 \
+           (sequential).  Results are identical at every setting; only \
+           wall-clock time changes.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the engine's performance counters (windows checked, cache \
+           hits, DFS nodes, wall time per stage) after the run.")
+
+(* --jobs beats RTSYN_JOBS beats 1.  The CLI default is sequential even
+   on many-core machines so that output (including explored-state
+   counts) is reproducible unless parallelism is asked for. *)
+let resolve_jobs = function
+  | Some j -> max 1 j
+  | None -> (
+      match Sys.getenv_opt "RTSYN_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some j when j >= 1 -> j
+          | _ -> 1)
+      | None -> 1)
+
+let with_jobs jobs f =
+  match resolve_jobs jobs with
+  | 1 -> f None
+  | jobs -> Rt_par.Pool.with_pool ~jobs (fun p -> f (Some p))
+
+let print_stats stats =
+  if stats then
+    Format.printf "=== engine counters ===@.%a@." Rt_par.Perf.pp ()
+
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -115,11 +156,12 @@ let synth_cmd =
       & info [ "o"; "output" ] ~docv:"PLAN"
           ~doc:"Write the verified plan (model + schedule) to $(docv).")
   in
-  let run path no_merge no_pipeline max_hyperperiod output =
+  let run path no_merge no_pipeline max_hyperperiod output jobs stats =
     let m = or_die (load_model path) in
     match
-      Synthesis.synthesize ~merge:(not no_merge) ~pipeline:(not no_pipeline)
-        ~max_hyperperiod m
+      with_jobs jobs (fun pool ->
+          Synthesis.synthesize ?pool ~merge:(not no_merge)
+            ~pipeline:(not no_pipeline) ~max_hyperperiod m)
     with
     | Error e ->
         Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
@@ -132,6 +174,7 @@ let synth_cmd =
             Rt_spec.Persist.save_file out plan.Synthesis.model_used
               plan.Synthesis.schedule;
             Format.printf "plan written to %s@." out);
+        print_stats stats;
         `Ok ()
   in
   Cmd.v
@@ -139,7 +182,7 @@ let synth_cmd =
     Term.(
       ret
         (const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
-       $ output))
+       $ output $ jobs_arg $ stats_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -409,33 +452,40 @@ let exact_cmd =
       & info [ "budget" ] ~docv:"N"
           ~doc:"State budget (game) or maximum schedule length (enumerations).")
   in
-  let run path solver budget =
+  let run path solver budget jobs stats_flag =
     let m = or_die (load_model path) in
     let stats =
-      match solver with
-      | `Game -> Exact.solve_single_ops ~max_states:budget m
-      | `Atomic -> Exact.enumerate_atomic ~max_len:(min budget 64) m
-      | `Unit -> Exact.enumerate ~max_len:(min budget 64) m
+      with_jobs jobs (fun pool ->
+          match solver with
+          | `Game -> Exact.solve_single_ops ~max_states:budget m
+          | `Atomic -> Exact.enumerate_atomic ?pool ~max_len:(min budget 64) m
+          | `Unit -> Exact.enumerate ?pool ~max_len:(min budget 64) m)
     in
     Format.printf "explored: %d@." stats.Exact.explored;
-    match stats.Exact.outcome with
-    | Exact.Feasible sched ->
-        Format.printf "FEASIBLE: %s@." (Schedule.to_string m.Model.comm sched);
-        List.iter
-          (fun v -> Format.printf "%a@." Latency.pp_verdict v)
-          (Latency.verify m sched);
-        `Ok ()
-    | Exact.Infeasible ->
-        Format.printf "INFEASIBLE (no execution trace meets the latencies)@.";
-        `Ok ()
-    | Exact.Unknown msg ->
-        Format.printf "UNKNOWN: %s@." msg;
-        `Ok ()
+    let ret =
+      match stats.Exact.outcome with
+      | Exact.Feasible sched ->
+          Format.printf "FEASIBLE: %s@."
+            (Schedule.to_string m.Model.comm sched);
+          List.iter
+            (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+            (Latency.verify m sched);
+          `Ok ()
+      | Exact.Infeasible ->
+          Format.printf
+            "INFEASIBLE (no execution trace meets the latencies)@.";
+          `Ok ()
+      | Exact.Unknown msg ->
+          Format.printf "UNKNOWN: %s@." msg;
+          `Ok ()
+    in
+    print_stats stats_flag;
+    ret
   in
   Cmd.v
     (Cmd.info "exact"
        ~doc:"Exact feasibility decision (asynchronous constraints).")
-    Term.(ret (const run $ spec_file $ solver $ budget))
+    Term.(ret (const run $ spec_file $ solver $ budget $ jobs_arg $ stats_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)
@@ -775,7 +825,7 @@ let distsim_cmd =
     | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT[:RET])" s)
   in
   let run path procs msg_cost arq crash_specs msg_loss policy_s crit_s stretch
-      hb_period hb_miss migration horizon seed =
+      hb_period hb_miss migration horizon seed jobs =
     let m = or_die (load_model path) in
     let crit =
       if crit_s = "" then None
@@ -814,8 +864,9 @@ let distsim_cmd =
               { Modes.stretch; max_hyperperiod = 1_000_000 }
             in
             match
-              Rt_multiproc.Contingency.synthesize ?criticality:crit ~derivation
-                ~detect_bound ~migration m nominal
+              with_jobs jobs (fun pool ->
+                  Rt_multiproc.Contingency.synthesize ?pool ?criticality:crit
+                    ~derivation ~detect_bound ~migration m nominal)
             with
             | Error e ->
                 Format.eprintf "contingency synthesis failed: %s@." e;
@@ -869,7 +920,7 @@ let distsim_cmd =
       ret
         (const run $ spec_file $ procs $ msg_cost $ arq $ crash $ msg_loss
        $ policy $ crit_spec $ stretch $ hb_period $ hb_miss $ migration
-       $ horizon $ seed))
+       $ horizon $ seed $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* example                                                             *)

@@ -1,3 +1,6 @@
+module Perf = Rt_par.Perf
+module Pool = Rt_par.Pool
+
 type outcome = Feasible of Schedule.t | Infeasible | Unknown of string
 
 type stats = { explored : int; outcome : outcome }
@@ -6,7 +9,31 @@ type stats = { explored : int; outcome : outcome }
 (* Exhaustive enumeration for unit-weight models (Theorem 2 case (i)). *)
 (* ------------------------------------------------------------------ *)
 
-let enumerate ?(max_len = 12) (m : Model.t) =
+(* Both enumerators share one parallelization scheme: the search space
+   is flattened into branches indexed by (schedule length, first
+   decision), in the lexicographic order the sequential search visits
+   them, and the answer is the lowest-index branch that finds a
+   schedule.  Run left-to-right this visits exactly the sequential
+   search's schedules in the sequential order; run on a pool, branches
+   proceed concurrently but the lowest-index success still wins
+   ([Pool.parallel_find_first]) and a shared {!Rt_par.Bound} cell lets
+   branches that can no longer win abandon their DFS mid-flight.
+   Either way the returned schedule is bit-identical to the sequential
+   one; only [explored] may differ under a pool (losing branches may
+   have tested schedules the sequential search never reached). *)
+
+let find_branches pool n_tasks branch =
+  match pool with
+  | Some p when Pool.jobs p > 1 ->
+      Pool.parallel_find_first p branch (Array.init n_tasks Fun.id)
+  | _ ->
+      let rec go i =
+        if i >= n_tasks then None
+        else match branch i with Some _ as r -> r | None -> go (i + 1)
+      in
+      go 0
+
+let enumerate ?pool ?(max_len = 12) (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let elements =
     List.concat_map
@@ -27,7 +54,7 @@ let enumerate ?(max_len = 12) (m : Model.t) =
   if asyncs = [] then
     { explored = 0; outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]) }
   else begin
-    let explored = ref 0 in
+    let explored = Atomic.make 0 in
     let symbols = Array.of_list (List.map (fun e -> Schedule.Run e) elements) in
     let feasible sched =
       List.for_all (fun c -> Latency.meets_asynchronous m.comm sched c) asyncs
@@ -45,42 +72,51 @@ let enumerate ?(max_len = 12) (m : Model.t) =
                ~t0:(len - c.deadline) ~t1:len)
         asyncs
     in
-    let result = ref None in
-    let rec dfs slots pos n =
-      if !result <> None then ()
-      else if pos = n then begin
-        incr explored;
-        let sched = Schedule.of_array slots in
-        if feasible sched then result := Some sched
-      end
-      else begin
-        let candidates =
-          if pos = 0 then Array.to_list symbols
-          else Array.to_list symbols @ [ Schedule.Idle ]
-        in
-        List.iter
-          (fun sym ->
-            if !result = None then begin
-              slots.(pos) <- sym;
-              if prefix_ok slots (pos + 1) then dfs slots (pos + 1) n
-            end)
-          candidates
-      end
+    let n_sym = Array.length symbols in
+    let best = Rt_par.Bound.create () in
+    let exception Aborted in
+    (* Branch [idx]: schedules of length [idx / n_sym + 1] whose first
+       slot is [symbols.(idx mod n_sym)] (slot 0 is never idle:
+       feasibility is rotation-invariant). *)
+    let branch idx =
+      let n = (idx / n_sym) + 1 in
+      let first = symbols.(idx mod n_sym) in
+      let slots = Array.make n Schedule.Idle in
+      let local = ref 0 in
+      let nodes = ref 0 in
+      let result = ref None in
+      let rec dfs pos =
+        if Rt_par.Bound.get best < idx then raise Aborted;
+        incr nodes;
+        if !result <> None then ()
+        else if pos = n then begin
+          incr local;
+          let sched = Schedule.of_array slots in
+          if feasible sched then begin
+            result := Some sched;
+            Rt_par.Bound.update_min best idx
+          end
+        end
+        else
+          List.iter
+            (fun sym ->
+              if !result = None then begin
+                slots.(pos) <- sym;
+                if prefix_ok slots (pos + 1) then dfs (pos + 1)
+              end)
+            (Array.to_list symbols @ [ Schedule.Idle ])
+      in
+      slots.(0) <- first;
+      (try if prefix_ok slots 1 then dfs 1 with Aborted -> ());
+      Perf.add Perf.dfs_nodes !nodes;
+      ignore (Atomic.fetch_and_add explored !local);
+      !result
     in
-    let rec try_len n =
-      if n > max_len then None
-      else begin
-        let slots = Array.make n Schedule.Idle in
-        result := None;
-        dfs slots 0 n;
-        match !result with Some s -> Some s | None -> try_len (n + 1)
-      end
-    in
-    match try_len 1 with
-    | Some sched -> { explored = !explored; outcome = Feasible sched }
+    match find_branches pool (max_len * n_sym) branch with
+    | Some sched -> { explored = Atomic.get explored; outcome = Feasible sched }
     | None ->
         {
-          explored = !explored;
+          explored = Atomic.get explored;
           outcome =
             Unknown
               (Printf.sprintf "no feasible schedule of length <= %d" max_len);
@@ -91,7 +127,7 @@ let enumerate ?(max_len = 12) (m : Model.t) =
 (* Execution-granularity enumeration: complete for atomic elements.    *)
 (* ------------------------------------------------------------------ *)
 
-let enumerate_atomic ?(max_len = 16) (m : Model.t) =
+let enumerate_atomic ?pool ?(max_len = 16) (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let elements =
     List.concat_map
@@ -102,8 +138,9 @@ let enumerate_atomic ?(max_len = 16) (m : Model.t) =
   if asyncs = [] then
     { explored = 0; outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]) }
   else begin
-    let explored = ref 0 in
+    let explored = Atomic.make 0 in
     let weights = List.map (fun e -> (e, Comm_graph.weight m.comm e)) elements in
+    let warr = Array.of_list weights in
     let feasible sched =
       List.for_all (fun c -> Latency.meets_asynchronous m.comm sched c) asyncs
     in
@@ -117,50 +154,71 @@ let enumerate_atomic ?(max_len = 16) (m : Model.t) =
                ~t0:(len - c.deadline) ~t1:len)
         asyncs
     in
-    let result = ref None in
-    (* Choices: one whole execution of an element (w slots) or one idle
-       slot; position 0 must start an execution (rotation symmetry). *)
-    let rec dfs slots pos n =
-      if !result <> None then ()
-      else if pos = n then begin
-        incr explored;
-        let sched = Schedule.of_array slots in
-        if feasible sched then result := Some sched
-      end
-      else begin
-        List.iter
-          (fun (e, w) ->
-            if !result = None && pos + w <= n then begin
-              for i = pos to pos + w - 1 do
-                slots.(i) <- Schedule.Run e
-              done;
-              (* Check every window completed while laying the block. *)
-              let rec all_ok l =
-                l > pos + w || (prefix_ok slots l && all_ok (l + 1))
-              in
-              if all_ok (pos + 1) then dfs slots (pos + w) n
-            end)
-          weights;
-        if !result = None && pos > 0 then begin
-          slots.(pos) <- Schedule.Idle;
-          if prefix_ok slots (pos + 1) then dfs slots (pos + 1) n
-        end
-      end
-    in
-    let rec try_len n =
-      if n > max_len then None
+    let n_w = Array.length warr in
+    let best = Rt_par.Bound.create () in
+    let exception Aborted in
+    (* Branch [idx]: schedules of length [idx / n_w + 1] opening with a
+       whole execution of element [warr.(idx mod n_w)] (position 0 must
+       start an execution — rotation symmetry).  Choices thereafter:
+       one whole execution of an element (w slots) or one idle slot. *)
+    let branch idx =
+      let n = (idx / n_w) + 1 in
+      let e0, w0 = warr.(idx mod n_w) in
+      if w0 > n then None
       else begin
         let slots = Array.make n Schedule.Idle in
-        result := None;
-        dfs slots 0 n;
-        match !result with Some s -> Some s | None -> try_len (n + 1)
+        let local = ref 0 in
+        let nodes = ref 0 in
+        let result = ref None in
+        let rec dfs pos =
+          if Rt_par.Bound.get best < idx then raise Aborted;
+          incr nodes;
+          if !result <> None then ()
+          else if pos = n then begin
+            incr local;
+            let sched = Schedule.of_array slots in
+            if feasible sched then begin
+              result := Some sched;
+              Rt_par.Bound.update_min best idx
+            end
+          end
+          else begin
+            List.iter
+              (fun (e, w) ->
+                if !result = None && pos + w <= n then begin
+                  for i = pos to pos + w - 1 do
+                    slots.(i) <- Schedule.Run e
+                  done;
+                  (* Check every window completed while laying the block. *)
+                  let rec all_ok l =
+                    l > pos + w || (prefix_ok slots l && all_ok (l + 1))
+                  in
+                  if all_ok (pos + 1) then dfs (pos + w)
+                end)
+              weights;
+            if !result = None && pos > 0 then begin
+              slots.(pos) <- Schedule.Idle;
+              if prefix_ok slots (pos + 1) then dfs (pos + 1)
+            end
+          end
+        in
+        (try
+           for i = 0 to w0 - 1 do
+             slots.(i) <- Schedule.Run e0
+           done;
+           let rec all_ok l = l > w0 || (prefix_ok slots l && all_ok (l + 1)) in
+           if all_ok 1 then dfs w0
+         with Aborted -> ());
+        Perf.add Perf.dfs_nodes !nodes;
+        ignore (Atomic.fetch_and_add explored !local);
+        !result
       end
     in
-    match try_len 1 with
-    | Some sched -> { explored = !explored; outcome = Feasible sched }
+    match find_branches pool (max_len * n_w) branch with
+    | Some sched -> { explored = Atomic.get explored; outcome = Feasible sched }
     | None ->
         {
-          explored = !explored;
+          explored = Atomic.get explored;
           outcome =
             Unknown
               (Printf.sprintf "no feasible schedule of length <= %d" max_len);
@@ -349,6 +407,7 @@ let solve_single_ops ?(max_states = 1_000_000) (m : Model.t) =
         | Out_of_budget ->
             Unknown (Printf.sprintf "state budget %d exhausted" max_states)
       in
+      Perf.add Perf.dfs_nodes !explored;
       { explored = !explored; outcome = result }
     end
   end

@@ -35,7 +35,7 @@ type stats = {
   outcome : outcome;
 }
 
-val enumerate : ?max_len:int -> Model.t -> stats
+val enumerate : ?pool:Rt_par.Pool.t -> ?max_len:int -> Model.t -> stats
 (** [enumerate m] searches schedule lengths [1 .. max_len] (default 12)
     in increasing order; within a length, depth-first over slot strings
     with two prunings that preserve completeness: slot 0 is never idle
@@ -45,9 +45,16 @@ val enumerate : ?max_len:int -> Model.t -> stats
     constraint does not have unit weight.  [Infeasible] here means "no
     feasible schedule of length <= max_len"; it is reported as
     [Unknown] instead, since longer schedules could exist, unless
-    [max_len] exceeds the instance's trivial upper bound. *)
+    [max_len] exceeds the instance's trivial upper bound.
 
-val enumerate_atomic : ?max_len:int -> Model.t -> stats
+    With [pool], top-level (length, first slot) branches of the search
+    run concurrently; the lowest-index successful branch wins, so the
+    returned schedule is bit-identical to the sequential one.  Only
+    [explored] may differ (concurrent losing branches may test
+    schedules the sequential search never reaches); with a pool of one
+    lane it, too, is identical. *)
+
+val enumerate_atomic : ?pool:Rt_par.Pool.t -> ?max_len:int -> Model.t -> stats
 (** [enumerate_atomic m] searches for feasible schedules of up to
     [max_len] slots (default 16) at {e execution granularity}: each
     decision appends either one idle slot or one whole contiguous
@@ -55,8 +62,9 @@ val enumerate_atomic : ?max_len:int -> Model.t -> stats
     non-pipelinable this enumeration is complete up to the length bound
     (any well-formed schedule is, after rotation, such a concatenation);
     for pipelinable elements it is sound but may miss schedules that
-    interleave executions.  Same outcome conventions as
-    {!enumerate}. *)
+    interleave executions.  Same outcome and [pool] conventions as
+    {!enumerate} (branches here are (length, opening execution)
+    pairs). *)
 
 val solve_single_ops : ?max_states:int -> Model.t -> stats
 (** [solve_single_ops m] runs the simulation game (default bound: one

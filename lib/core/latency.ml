@@ -5,14 +5,84 @@
    search space is tiny in practice; backtracking is required for
    correctness when several nodes map to the same element or when an
    early greedy choice starves a successor (see test_latency.ml for a
-   concrete such case). *)
+   concrete such case).
 
-let executes_within g tg trace ~t0 ~t1 =
-  let order = Array.of_list (Task_graph.topological_order tg) in
+   Analyses that ask many window questions against one trace share a
+   [ctx]: the topological order, predecessor function, sorted finish
+   array and backtracking scratch are computed once per
+   (trace, task graph) and reused across questions, instead of being
+   rebuilt inside every call as the original implementation did.
+   [periodic_response] additionally memoizes answers per
+   (window start mod cycle): a well-formed schedule's instance
+   structure repeats with the cycle, so the response of an invocation
+   depends only on its phase residue.  The memo is keyed on the
+   schedule's minimal repeating pattern, not its nominal length: an
+   unrolled schedule (a short table repeated to some hyperperiod, as
+   multiprocessor synthesis produces) answers every question with the
+   period of the underlying pattern, so invocation phases that are
+   distinct modulo the nominal length collapse onto few residues. *)
+
+module Perf = Rt_par.Perf
+
+type scratch = {
+  assignment : Trace.instance option array;
+  used : (int * int, unit) Hashtbl.t;
+}
+
+type ctx = {
+  g : Comm_graph.t;
+  tg : Task_graph.t;
+  trace : Trace.t;
+  order : int array;
+  preds : int -> int list;
+  scratch : scratch;
+  mutable finishes : int array option;
+      (* All distinct instance finishes of the task graph's elements,
+         ascending; built lazily on the first completion question so
+         pure containment checks don't pay for it. *)
+}
+
+let make_ctx g tg trace =
+  {
+    g;
+    tg;
+    trace;
+    order = Array.of_list (Task_graph.topological_order tg);
+    preds = Rt_graph.Digraph.pred (Task_graph.graph tg);
+    scratch =
+      {
+        assignment = Array.make (Task_graph.size tg) None;
+        used = Hashtbl.create 16;
+      };
+    finishes = None;
+  }
+
+let finishes_of ctx =
+  match ctx.finishes with
+  | Some a -> a
+  | None ->
+      let a =
+        Task_graph.elements_used ctx.tg
+        |> List.concat_map (fun e ->
+               Array.to_list (Trace.instances ctx.trace e)
+               |> List.map (fun (i : Trace.instance) -> i.finish))
+        |> List.sort_uniq Int.compare
+        |> Array.of_list
+      in
+      ctx.finishes <- Some a;
+      a
+
+(* Core backtracking search; on success the witness assignment is left
+   in [ctx.scratch.assignment]. *)
+let search ctx ~t0 ~t1 =
+  Perf.incr Perf.windows_checked;
+  let { assignment; used } = ctx.scratch in
+  Array.fill assignment 0 (Array.length assignment) None;
+  Hashtbl.reset used;
+  let order = ctx.order in
   let n = Array.length order in
-  let assignment = Array.make (Task_graph.size tg) None in
-  let used : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let preds = Rt_graph.Digraph.pred (Task_graph.graph tg) in
+  let tg = ctx.tg in
+  let trace = ctx.trace in
   let rec assign pos =
     if pos = n then true
     else
@@ -24,7 +94,7 @@ let executes_within g tg trace ~t0 ~t1 =
             match assignment.(u) with
             | Some (inst : Trace.instance) -> max acc inst.finish
             | None -> assert false)
-          t0 (preds v)
+          t0 (ctx.preds v)
       in
       let insts = Trace.instances trace e in
       let start_idx =
@@ -52,44 +122,67 @@ let executes_within g tg trace ~t0 ~t1 =
       in
       try_from start_idx
   in
-  ignore g;
-  if assign 0 then
+  assign 0
+
+let executes_within g tg trace ~t0 ~t1 =
+  let ctx = make_ctx g tg trace in
+  if search ctx ~t0 ~t1 then
     Some
       (List.init (Task_graph.size tg) (fun v ->
-           match assignment.(v) with
+           match ctx.scratch.assignment.(v) with
            | Some inst -> (v, inst)
            | None -> assert false))
   else None
 
 let contains_execution g tg trace ~t0 ~t1 =
-  Option.is_some (executes_within g tg trace ~t0 ~t1)
+  let ctx = make_ctx g tg trace in
+  search ctx ~t0 ~t1
 
-let next_completion g tg trace ~from =
-  (* Binary search over the candidate window ends: containment in
-     [from, t1) is monotone in t1.  Candidates are instance finishes. *)
-  let horizon = Trace.horizon trace in
-  if contains_execution g tg trace ~t0:from ~t1:horizon then begin
-    let finishes =
-      Task_graph.elements_used tg
-      |> List.concat_map (fun e ->
-             Array.to_list (Trace.instances trace e)
-             |> List.filter_map (fun (i : Trace.instance) ->
-                    if i.finish > from then Some i.finish else None))
-      |> List.sort_uniq Int.compare
-      |> Array.of_list
-    in
+(* First index with [a.(i) > v] (array ascending), or [length a]. *)
+let first_above a v =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) > v then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Smallest window end: containment in [from, t1) is monotone in t1 and
+   candidate ends are instance finishes.  [limit] bounds the trace
+   horizon this question may look at (so several constraints can share
+   one long trace and still answer exactly as if each had built its own
+   shorter one). *)
+let next_completion_ctx ctx ~limit ~from =
+  if search ctx ~t0:from ~t1:limit then begin
+    let finishes = finishes_of ctx in
+    let lo0 = first_above finishes from in
+    let hi0 = first_above finishes limit - 1 in
     let rec bsearch lo hi =
       (* invariant: containment holds for finishes.(hi), fails below lo *)
       if lo >= hi then finishes.(hi)
       else
         let mid = (lo + hi) / 2 in
-        if contains_execution g tg trace ~t0:from ~t1:finishes.(mid) then
-          bsearch lo mid
+        if search ctx ~t0:from ~t1:finishes.(mid) then bsearch lo mid
         else bsearch (mid + 1) hi
     in
-    Some (bsearch 0 (Array.length finishes - 1))
+    Some (bsearch lo0 hi0)
   end
   else None
+
+let next_completion g tg trace ~from =
+  let ctx = make_ctx g tg trace in
+  next_completion_ctx ctx ~limit:(Trace.horizon trace) ~from
+
+module Cache = struct
+  type t = ctx
+
+  let create g tg trace = make_ctx g tg trace
+
+  let next_completion c ~from =
+    next_completion_ctx c ~limit:(Trace.horizon c.trace) ~from
+
+  let contains_execution c ~t0 ~t1 = search c ~t0 ~t1
+end
 
 (* Horizon sufficient for every next_completion question asked below:
    each task-graph node's instance lies within (its weight + 1) cycles of
@@ -106,38 +199,106 @@ let elements_all_present g tg sched =
     (fun e -> Comm_graph.weight g e > 0 && Schedule.occurrences sched e > 0)
     (Task_graph.elements_used tg)
 
+(* Instance periodicity: when each element's slot count per cycle is a
+   whole number of executions, the trace's instance decomposition
+   repeats with the cycle, so completion questions depend only on the
+   question time modulo the cycle.  True for every schedule that passes
+   [Schedule.validate]; checked explicitly so the memo is never applied
+   to a trace where it would be unsound. *)
+let instance_periodic g tg sched =
+  List.for_all
+    (fun e ->
+      let w = Comm_graph.weight g e in
+      w > 0 && Schedule.occurrences sched e mod w = 0)
+    (Task_graph.elements_used tg)
+
+(* Smallest divisor d of the schedule length such that the slot array
+   repeats with period d.  Equals the length for schedules with no
+   shorter pattern; strictly smaller for unrolled schedules. *)
+let slot_period sched =
+  let n = Schedule.length sched in
+  let slots = Schedule.slots sched in
+  let repeats d =
+    n mod d = 0
+    &&
+    try
+      for i = d to n - 1 do
+        if slots.(i) <> slots.(i - d) then raise Exit
+      done;
+      true
+    with Exit -> false
+  in
+  let rec first d = if d >= n then n else if repeats d then d else first (d + 1) in
+  if n <= 1 then n else first 1
+
+(* The soundness condition of [instance_periodic], checked at an
+   arbitrary candidate period [d] dividing the length: slots must repeat
+   with [d] and each element's occurrence count within one [d]-window
+   must be a whole number of executions — then the trace's instance
+   decomposition repeats with [d] and any completion question depends
+   only on its time modulo [d]. *)
+let instance_periodic_at g tg sched ~d =
+  let slots = Schedule.slots sched in
+  List.for_all
+    (fun e ->
+      let w = Comm_graph.weight g e in
+      let occ = ref 0 in
+      for i = 0 to d - 1 do
+        match slots.(i) with
+        | Schedule.Run e' when e' = e -> incr occ
+        | _ -> ()
+      done;
+      w > 0 && !occ mod w = 0)
+    (Task_graph.elements_used tg)
+
+(* The period at which the residue memo (and the candidate enumeration
+   of [latency_argmax_ctx]) may safely operate: the slot period when
+   the instance decomposition also repeats there, the full length when
+   only the full cycle qualifies, [None] when even the full cycle's
+   decomposition is aperiodic (ill-formed schedule — no memo). *)
+let memo_cycle ~slot_period:d g tg sched =
+  let n = Schedule.length sched in
+  if d < n && instance_periodic_at g tg sched ~d then Some d
+  else if instance_periodic g tg sched then Some n
+  else None
+
+let latency_argmax_ctx ctx ~cycle ~limit =
+  let trace = ctx.trace in
+  (* next_completion is a non-decreasing step function of the window
+     start t, constant except where an instance of one of the task
+     graph's elements stops being available — i.e. at t = start + 1.
+     On each constancy interval, completion - t peaks at the left end,
+     so it suffices to evaluate t = 0 and t = s + 1 for every instance
+     start s within the first cycle. *)
+  let candidates =
+    0
+    :: (Task_graph.elements_used ctx.tg
+       |> List.concat_map (fun e ->
+              Array.to_list (Trace.instances trace e)
+              |> List.filter_map (fun (i : Trace.instance) ->
+                     if i.start + 1 < cycle then Some (i.start + 1) else None)))
+    |> List.sort_uniq Int.compare
+  in
+  let rec worst ts acc =
+    match ts with
+    | [] -> Some acc
+    | t :: rest -> (
+        match next_completion_ctx ctx ~limit ~from:t with
+        | None -> None
+        | Some f ->
+            let _, best_lat = acc in
+            worst rest (if f - t > best_lat then (t, f - t) else acc))
+  in
+  worst candidates (0, 0)
+
 let latency_argmax g sched tg =
   if not (elements_all_present g tg sched) then None
   else begin
     let cycle = Schedule.length sched in
     let horizon = analysis_horizon g tg sched ~last_question:cycle in
     let trace = Trace.of_schedule g sched ~horizon in
-    (* next_completion is a non-decreasing step function of the window
-       start t, constant except where an instance of one of the task
-       graph's elements stops being available — i.e. at t = start + 1.
-       On each constancy interval, completion - t peaks at the left end,
-       so it suffices to evaluate t = 0 and t = s + 1 for every instance
-       start s within the first cycle. *)
-    let candidates =
-      0
-      :: (Task_graph.elements_used tg
-         |> List.concat_map (fun e ->
-                Array.to_list (Trace.instances trace e)
-                |> List.filter_map (fun (i : Trace.instance) ->
-                       if i.start + 1 < cycle then Some (i.start + 1) else None)))
-      |> List.sort_uniq Int.compare
-    in
-    let rec worst ts acc =
-      match ts with
-      | [] -> Some acc
-      | t :: rest -> (
-          match next_completion g tg trace ~from:t with
-          | None -> None
-          | Some f ->
-              let _, best_lat = acc in
-              worst rest (if f - t > best_lat then (t, f - t) else acc))
-    in
-    worst candidates (0, 0)
+    let ctx = make_ctx g tg trace in
+    latency_argmax_ctx ctx ~cycle ~limit:horizon
   end
 
 let latency g sched tg = Option.map snd (latency_argmax g sched tg)
@@ -149,6 +310,36 @@ let meets_asynchronous g sched (c : Timing.t) =
   match latency g sched c.graph with
   | Some k -> k <= c.deadline
   | None -> false
+
+(* Worst response over the periodic invocations, optionally memoized
+   per (invocation time mod cycle).  [memo] must only be supplied when
+   [instance_periodic] holds for the schedule the trace unrolls. *)
+let periodic_response_ctx ?memo ctx ~limit (c : Timing.t) ~super =
+  let n_invocations = super / c.period in
+  let question t =
+    match memo with
+    | None -> next_completion_ctx ctx ~limit ~from:t
+    | Some (cycle, table) -> (
+        let r = t mod cycle in
+        match Hashtbl.find_opt table r with
+        | Some rel ->
+            Perf.incr Perf.cache_hits;
+            Option.map (fun d -> t + d) rel
+        | None ->
+            Perf.incr Perf.cache_misses;
+            let answer = next_completion_ctx ctx ~limit ~from:t in
+            Hashtbl.replace table r (Option.map (fun f -> f - t) answer);
+            answer)
+  in
+  let rec worst k acc =
+    if k >= n_invocations then Some acc
+    else
+      let t = c.offset + (k * c.period) in
+      match question t with
+      | None -> None
+      | Some f -> worst (k + 1) (max acc (f - t))
+  in
+  worst 0 0
 
 let periodic_response g sched (c : Timing.t) =
   if not (elements_all_present g c.graph sched) then None
@@ -162,16 +353,15 @@ let periodic_response g sched (c : Timing.t) =
     | super ->
         let horizon = analysis_horizon g c.graph sched ~last_question:super in
         let trace = Trace.of_schedule g sched ~horizon in
-        let n_invocations = super / c.period in
-        let rec worst k acc =
-          if k >= n_invocations then Some acc
-          else
-            let t = c.offset + (k * c.period) in
-            match next_completion g c.graph trace ~from:t with
-            | None -> None
-            | Some f -> worst (k + 1) (max acc (f - t))
+        let ctx = make_ctx g c.graph trace in
+        let memo =
+          match
+            memo_cycle ~slot_period:(slot_period sched) g c.graph sched
+          with
+          | Some d -> Some (d, Hashtbl.create 64)
+          | None -> None
         in
-        worst 0 0
+        periodic_response_ctx ?memo ctx ~limit:horizon c ~super
   end
 
 let meets_periodic g sched (c : Timing.t) =
@@ -187,21 +377,102 @@ type verdict = {
   ok : bool;
 }
 
-let verify (m : Model.t) sched =
+let verdict_of (c : Timing.t) achieved =
+  let ok = match achieved with Some k -> k <= c.deadline | None -> false in
+  { constraint_name = c.name; kind = c.kind; bound = c.deadline; achieved; ok }
+
+(* Cached verification: one trace long enough for every constraint's
+   questions is unrolled once and shared; each constraint's questions
+   are clamped to the horizon it would have used on its own, so the
+   verdicts are identical to the uncached path. *)
+let verify_cached (m : Model.t) sched =
+  let g = m.comm in
+  let cycle = Schedule.length sched in
+  let plans =
+    List.map
+      (fun (c : Timing.t) ->
+        if not (elements_all_present g c.graph sched) then `Unbounded c
+        else
+          match c.kind with
+          | Timing.Asynchronous ->
+              `Async (c, analysis_horizon g c.graph sched ~last_question:cycle)
+          | Timing.Periodic -> (
+              match Rt_graph.Intmath.lcm c.period cycle with
+              | exception Rt_graph.Intmath.Overflow -> `Unbounded c
+              | super ->
+                  `Periodic
+                    ( c,
+                      super,
+                      analysis_horizon g c.graph sched ~last_question:super )))
+      m.constraints
+  in
+  let max_horizon =
+    List.fold_left
+      (fun acc -> function
+        | `Unbounded _ -> acc
+        | `Async (_, h) -> max acc h
+        | `Periodic (_, _, h) -> max acc h)
+      cycle plans
+  in
+  let trace = Trace.of_schedule g sched ~horizon:max_horizon in
+  let sp = slot_period sched in
+  List.map
+    (function
+      | `Unbounded c -> verdict_of c None
+      | `Async ((c : Timing.t), h) ->
+          let ctx = make_ctx g c.graph trace in
+          (* The trace repeats with the memo cycle, so the worst window
+             start lies within the first such cycle; enumerating only
+             those candidates yields the same argmax. *)
+          let acycle =
+            match memo_cycle ~slot_period:sp g c.graph sched with
+            | Some d -> d
+            | None -> cycle
+          in
+          verdict_of c
+            (Option.map snd (latency_argmax_ctx ctx ~cycle:acycle ~limit:h))
+      | `Periodic ((c : Timing.t), super, h) ->
+          let ctx = make_ctx g c.graph trace in
+          let memo =
+            match memo_cycle ~slot_period:sp g c.graph sched with
+            | Some d -> Some (d, Hashtbl.create 64)
+            | None -> None
+          in
+          verdict_of c (periodic_response_ctx ?memo ctx ~limit:h c ~super))
+    plans
+
+let verify ?(cached = true) (m : Model.t) sched =
   (match Schedule.validate m.comm sched with
   | Ok () -> ()
   | Error errs ->
       invalid_arg ("Latency.verify: ill-formed schedule: " ^ String.concat "; " errs));
-  List.map
-    (fun (c : Timing.t) ->
-      let achieved =
-        match c.kind with
-        | Timing.Asynchronous -> latency m.comm sched c.graph
-        | Timing.Periodic -> periodic_response m.comm sched c
-      in
-      let ok = match achieved with Some k -> k <= c.deadline | None -> false in
-      { constraint_name = c.name; kind = c.kind; bound = c.deadline; achieved; ok })
-    m.constraints
+  if cached then verify_cached m sched
+  else
+    (* Reference path: per-constraint traces, no periodicity memo —
+       the pre-cache engine, kept as an independent oracle for the
+       property tests and the E14 baseline. *)
+    let g = m.comm in
+    let cycle = Schedule.length sched in
+    List.map
+      (fun (c : Timing.t) ->
+        let achieved =
+          if not (elements_all_present g c.graph sched) then None
+          else
+            match c.kind with
+            | Timing.Asynchronous -> latency g sched c.graph
+            | Timing.Periodic -> (
+                match Rt_graph.Intmath.lcm c.period cycle with
+                | exception Rt_graph.Intmath.Overflow -> None
+                | super ->
+                    let horizon =
+                      analysis_horizon g c.graph sched ~last_question:super
+                    in
+                    let trace = Trace.of_schedule g sched ~horizon in
+                    let ctx = make_ctx g c.graph trace in
+                    periodic_response_ctx ctx ~limit:horizon c ~super)
+        in
+        verdict_of c achieved)
+      m.constraints
 
 let all_ok vs = List.for_all (fun v -> v.ok) vs
 

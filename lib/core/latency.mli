@@ -42,6 +42,30 @@ val next_completion :
     window [\[from, f)] contains an execution of [c], or [None] if no
     execution completes within the trace horizon. *)
 
+module Cache : sig
+  (** Reusable analysis state for asking many window questions against
+      one (trace, task graph) pair.
+
+      A cache holds the topological order, predecessor lists, the
+      sorted array of instance finish times and the backtracking
+      scratch buffers, all computed once instead of per question.
+      Answers are identical to the corresponding context-free
+      functions; only the work is shared.  A cache is single-domain
+      state: create one per domain, do not share across domains. *)
+
+  type t
+
+  val create : Comm_graph.t -> Task_graph.t -> Trace.t -> t
+  (** [create g c tr] prepares reusable state for questions about
+      executions of [c] within [tr]. *)
+
+  val next_completion : t -> from:int -> int option
+  (** Same answer as {!val:next_completion} on the cache's trace. *)
+
+  val contains_execution : t -> t0:int -> t1:int -> bool
+  (** Same answer as {!val:contains_execution} on the cache's trace. *)
+end
+
 val latency : Comm_graph.t -> Schedule.t -> Task_graph.t -> int option
 (** [latency g l c] is the least [k] such that the trace induced by [l]
     contains an execution of [c] in every window of length [k] —
@@ -85,12 +109,20 @@ type verdict = {
 }
 (** Verification outcome for one timing constraint. *)
 
-val verify : Model.t -> Schedule.t -> verdict list
+val verify : ?cached:bool -> Model.t -> Schedule.t -> verdict list
 (** [verify m l] checks the schedule against every constraint of the
     model (asynchronous ones via latency, periodic ones via worst
     response) and reports one verdict per constraint, in declaration
     order.  Raises [Invalid_argument] if [l] fails
-    [Schedule.validate]. *)
+    [Schedule.validate].
+
+    With [cached] (the default) one trace long enough for every
+    constraint is unrolled and shared, each constraint's questions are
+    clamped to the horizon it would have used alone, and periodic
+    responses are memoized per invocation phase (sound because a
+    well-formed schedule's instance structure repeats with the cycle).
+    [~cached:false] runs the plain per-constraint engine; both paths
+    return identical verdicts — a property the test suite pins. *)
 
 val all_ok : verdict list -> bool
 (** [all_ok vs] is true when every verdict is satisfied. *)

@@ -47,25 +47,28 @@ let polling_candidates ~w ~d =
       let q = Rt_graph.Intmath.pow2_floor (max 1 ((d + 1) / 2)) in
       if q >= w then [ (q, q) ] else []
     in
+    (* One ordered dedup: largest period first (cheapest), ties broken
+       by tighter relative deadline.  Replaces the old sort_uniq + re-sort
+       pair, whose final order this comparator reproduces exactly (the
+       re-sort was stable, so equal periods kept ascending deadlines). *)
     exact @ harmonic_tight @ harmonic_implicit
-    |> List.sort_uniq compare
-    |> List.sort (fun (qa, _) (qb, _) -> Int.compare qb qa)
+    |> List.sort_uniq (fun (qa, da) (qb, db) ->
+           match Int.compare qb qa with 0 -> Int.compare da db | c -> c)
   end
 
-let rec synthesize ?(merge = true) ?(pipeline = true)
-    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000) (m : Model.t) =
-  match synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod m with
-  | Ok plan -> Ok plan
-  | Error e when merge ->
-      (* Merging tightens the merged deadline to the minimum of the
-         group, which can hurt (e.g. a heavy graph absorbed into a
-         tight-deadline sibling); fall back to the unmerged model. *)
-      (match synthesize ~merge:false ~pipeline ~backend ~max_hyperperiod m with
-      | Ok plan -> Ok plan
-      | Error _ -> Error e)
-  | Error e -> Error e
+(* Everything computed before candidate rounds are tried, for one
+   merge-or-not variant of the model: stages 1 (merge) and 2
+   (pipelining) applied, polling candidates chosen per asynchronous
+   constraint.  Pure preparation — cheap, no schedule is built. *)
+type prep = {
+  model : Model.t;
+  merge_report : Merge.report option;
+  candidate_lists : (Timing.t * (int * int) list) list;
+  periodics : Timing.t list;
+  max_round : int;
+}
 
-and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
+let prepare ~merge ~pipeline (m : Model.t) =
   (* Stage 1: merge shared periodic work. *)
   let m, merge_report =
     if merge then
@@ -87,9 +90,8 @@ and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
          constructor requires each job to fit its period slice"
         c.name c.offset c.deadline c.period
   | None -> (
-      (* Stage 3+4: pick polling periods for the asynchronous
-         constraints and dispatch everything with EDF.  Candidate
-         configurations are tried cheapest-first. *)
+      (* Stage 3: pick polling-period candidates for the asynchronous
+         constraints, cheapest first. *)
       let asyncs = Model.asynchronous m in
       let periodics = Model.periodic m in
       let candidate_lists =
@@ -99,9 +101,7 @@ and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
             (c, polling_candidates ~w ~d:c.deadline))
           asyncs
       in
-      match
-        List.find_opt (fun (_, cands) -> cands = []) candidate_lists
-      with
+      match List.find_opt (fun (_, cands) -> cands = []) candidate_lists with
       | Some ((c : Timing.t), _) ->
           fail "polling"
             "asynchronous constraint %s cannot meet its latency bound: \
@@ -109,7 +109,7 @@ and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
             c.name
             (Timing.computation_time m.comm c)
             c.deadline
-      | None -> (
+      | None ->
           (* Round r picks the r-th candidate of each constraint
              (clamped), moving uniformly from cheapest to most slack. *)
           let max_round =
@@ -117,64 +117,105 @@ and synthesize_once ~merge ~pipeline ~backend ~max_hyperperiod (m : Model.t) =
               (fun acc (_, cands) -> max acc (List.length cands))
               1 candidate_lists
           in
-          let nth_clamped l r = List.nth l (min r (List.length l - 1)) in
-          let attempt r =
-            let picks =
-              List.map (fun (c, cands) -> (c, nth_clamped cands r)) candidate_lists
-            in
-            let periods =
-              List.map (fun (c : Timing.t) -> c.period) periodics
-              @ List.map (fun (_, (q, _)) -> q) picks
-            in
-            match Rt_graph.Intmath.lcm_list periods with
-            | exception Rt_graph.Intmath.Overflow -> None
-            | hyperperiod when hyperperiod > max_hyperperiod || hyperperiod < 1
-              ->
-                None
-            | hyperperiod -> (
-                let jobs =
-                  List.concat_map
-                    (Edf_cyclic.jobs_of_periodic ~horizon:hyperperiod)
-                    periodics
-                  @ List.concat_map
-                      (fun ((c : Timing.t), (q, dl)) ->
-                        Edf_cyclic.jobs_of_polling ~horizon:hyperperiod
-                          ~name:c.name ~graph:c.graph ~period:q
-                          ~rel_deadline:dl)
-                      picks
-                in
-                match
-                  Edf_cyclic.build ~policy:backend m.comm
-                    ~horizon:hyperperiod jobs
-                with
-                | Error _ -> None
-                | Ok sched ->
-                    let verdicts = Latency.verify m sched in
-                    if Latency.all_ok verdicts then
-                      Some
-                        {
-                          model_used = m;
-                          schedule = sched;
-                          verdicts;
-                          merge_report;
-                          polling =
-                            List.map
-                              (fun ((c : Timing.t), (q, dl)) -> (c.name, q, dl))
-                              picks;
-                          hyperperiod;
-                        }
-                    else None)
-          in
-          let rec rounds r =
-            if r >= max_round then
-              fail "edf"
-                "no polling configuration produced a feasible schedule \
-                 (tried %d rounds); the model may be infeasible or beyond \
-                 this heuristic"
-                max_round
-            else match attempt r with Some p -> Ok p | None -> rounds (r + 1)
-          in
-          rounds 0))
+          Ok { model = m; merge_report; candidate_lists; periodics; max_round })
+
+(* Stage 4 for one candidate round: dispatch everything with EDF over
+   the hyperperiod and verify.  Self-contained and effect-free apart
+   from Perf counters, so rounds can be evaluated concurrently. *)
+let attempt ~backend ~max_hyperperiod (p : prep) r =
+  let nth_clamped l r = List.nth l (min r (List.length l - 1)) in
+  let picks =
+    List.map (fun (c, cands) -> (c, nth_clamped cands r)) p.candidate_lists
+  in
+  let periodics = p.periodics in
+  let m = p.model in
+  let periods =
+    List.map (fun (c : Timing.t) -> c.period) periodics
+    @ List.map (fun (_, (q, _)) -> q) picks
+  in
+  match Rt_graph.Intmath.lcm_list periods with
+  | exception Rt_graph.Intmath.Overflow -> None
+  | hyperperiod when hyperperiod > max_hyperperiod || hyperperiod < 1 -> None
+  | hyperperiod -> (
+      let jobs =
+        List.concat_map
+          (Edf_cyclic.jobs_of_periodic ~horizon:hyperperiod)
+          periodics
+        @ List.concat_map
+            (fun ((c : Timing.t), (q, dl)) ->
+              Edf_cyclic.jobs_of_polling ~horizon:hyperperiod ~name:c.name
+                ~graph:c.graph ~period:q ~rel_deadline:dl)
+            picks
+      in
+      match Edf_cyclic.build ~policy:backend m.comm ~horizon:hyperperiod jobs with
+      | Error _ -> None
+      | Ok sched ->
+          Rt_par.Perf.incr Rt_par.Perf.schedules_built;
+          let verdicts = Latency.verify m sched in
+          if Latency.all_ok verdicts then
+            Some
+              {
+                model_used = m;
+                schedule = sched;
+                verdicts;
+                merge_report = p.merge_report;
+                polling =
+                  List.map
+                    (fun ((c : Timing.t), (q, dl)) -> (c.name, q, dl))
+                    picks;
+                hyperperiod;
+              }
+          else None)
+
+let synthesize ?pool ?(merge = true) ?(pipeline = true)
+    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000) (m : Model.t) =
+  (* Preference order: every round of the merged variant, cheapest
+     first, then (when merging was requested) every round of the
+     unmerged fallback — merging tightens the merged deadline to the
+     minimum of the group, which can hurt (e.g. a heavy graph absorbed
+     into a tight-deadline sibling).  The flattened (variant, round)
+     array preserves this order, so taking the lowest-index success —
+     sequentially or via [Pool.parallel_find_first] — returns exactly
+     the plan the original sequential fallback chain returned; on total
+     failure the reported error is the primary (merged) variant's, as
+     before. *)
+  let variants = if merge then [ true; false ] else [ false ] in
+  let preps = List.map (fun mg -> prepare ~merge:mg ~pipeline m) variants in
+  let primary_error =
+    match List.hd preps with
+    | Error e -> e
+    | Ok p ->
+        {
+          stage = "edf";
+          message =
+            Printf.sprintf
+              "no polling configuration produced a feasible schedule (tried \
+               %d rounds); the model may be infeasible or beyond this \
+               heuristic"
+              p.max_round;
+        }
+  in
+  let tasks =
+    List.concat_map
+      (function
+        | Error _ -> []
+        | Ok p -> List.init p.max_round (fun r -> (p, r)))
+      preps
+    |> Array.of_list
+  in
+  let run (p, r) = attempt ~backend ~max_hyperperiod p r in
+  let found =
+    match pool with
+    | Some pl when Rt_par.Pool.jobs pl > 1 && Array.length tasks > 1 ->
+        Rt_par.Pool.parallel_find_first pl run tasks
+    | _ ->
+        let rec go i =
+          if i >= Array.length tasks then None
+          else match run tasks.(i) with Some _ as res -> res | None -> go (i + 1)
+        in
+        go 0
+  in
+  match found with Some plan -> Ok plan | None -> Error primary_error
 
 let pp_plan (_orig : Model.t) fmt (p : plan) =
   Format.fprintf fmt "@[<v>hyperperiod: %d@,schedule: %s@,load: %.3f@,"

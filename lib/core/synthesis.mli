@@ -47,7 +47,17 @@ type error = {
 }
 (** A diagnosable failure. *)
 
+val polling_candidates : w:int -> d:int -> (int * int) list
+(** [polling_candidates ~w ~d] is the ordered list of
+    [(period q, relative deadline D)] candidates for polling an
+    asynchronous constraint of computation time [w] and latency bound
+    [d]: every candidate satisfies [q + D <= d + 1], [D >= w] and
+    [D <= q] (so consecutive polling completions cover every window of
+    length [d]), listed cheapest first — descending [q], ties broken by
+    ascending [D] — with no duplicates.  Empty iff [w > d]. *)
+
 val synthesize :
+  ?pool:Rt_par.Pool.t ->
   ?merge:bool ->
   ?pipeline:bool ->
   ?backend:Edf_cyclic.policy ->
@@ -60,7 +70,13 @@ val synthesize :
     alternative, useful for backend comparisons); [max_hyperperiod]
     (default 1_000_000 slots) caps the cycle length.  Periodic
     constraints must satisfy [offset + deadline <= period].  A [plan]
-    is returned only if verification passes. *)
+    is returned only if verification passes.
+
+    With [pool], candidate configurations — every polling round of the
+    merged variant followed by every round of the unmerged fallback —
+    are dispatched and verified concurrently; the first success in
+    preference order wins, so the returned plan (and, on failure, the
+    reported error) is identical to the sequential result. *)
 
 val pp_plan : Model.t -> Format.formatter -> plan -> unit
 (** Render a plan (schedule, polling choices, verdicts) for humans;

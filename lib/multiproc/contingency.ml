@@ -72,8 +72,9 @@ let scenario_for ?criticality ?derivation ~msg_cost ~arq_slack
               | Some s -> Ok s
               | None -> Error full_err)))
 
-let synthesize ?criticality ?derivation ?msg_cost ?(max_hyperperiod = 1_000_000)
-    ?(migration = 0) ~detect_bound (m : Model.t) (nominal : Msched.result) =
+let synthesize ?pool ?criticality ?derivation ?msg_cost
+    ?(max_hyperperiod = 1_000_000) ?(migration = 0) ~detect_bound (m : Model.t)
+    (nominal : Msched.result) =
   let n_procs = nominal.Msched.partition.Partition.n_procs in
   if detect_bound < 0 then Error "Contingency.synthesize: negative detect_bound"
   else if migration < 0 then Error "Contingency.synthesize: negative migration"
@@ -83,11 +84,18 @@ let synthesize ?criticality ?derivation ?msg_cost ?(max_hyperperiod = 1_000_000)
     let msg_cost =
       match msg_cost with Some c -> c | None -> nominal.Msched.msg_cost
     in
+    let build dead =
+      scenario_for ?criticality ?derivation ~msg_cost
+        ~arq_slack:nominal.Msched.arq_slack ~max_hyperperiod m nominal ~dead
+    in
+    (* Scenarios are independent (one per crashed processor) and each
+       is a deterministic function of its index, so the order-preserving
+       parallel map yields the same table the sequential loop builds. *)
     let scenarios =
-      Array.init n_procs (fun dead ->
-          scenario_for ?criticality ?derivation ~msg_cost
-            ~arq_slack:nominal.Msched.arq_slack ~max_hyperperiod m nominal
-            ~dead)
+      match pool with
+      | Some p when Rt_par.Pool.jobs p > 1 && n_procs > 1 ->
+          Rt_par.Pool.parallel_map p build (Array.init n_procs Fun.id)
+      | _ -> Array.init n_procs build
     in
     Ok
       {

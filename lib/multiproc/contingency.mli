@@ -57,6 +57,7 @@ type table = {
 }
 
 val synthesize :
+  ?pool:Rt_par.Pool.t ->
   ?criticality:Rt_core.Criticality.assignment ->
   ?derivation:Rt_core.Modes.derivation ->
   ?msg_cost:int ->
@@ -76,7 +77,12 @@ val synthesize :
     defaults to [0] (state is checkpointed over the bus continuously).
     Errors only on invalid arguments ([detect_bound < 0], [migration <
     0], single-processor nominal); an infeasible scenario is recorded
-    in its [scenarios] slot, not a synthesis failure. *)
+    in its [scenarios] slot, not a synthesis failure.
+
+    With [pool], the crash scenarios (one per processor) are
+    synthesized concurrently; each is a deterministic function of its
+    index, so the resulting table is identical to the sequential
+    one. *)
 
 val feasible_scenarios : table -> scenario list
 (** The scenarios that have a verified schedule, by dead processor. *)

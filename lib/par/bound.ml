@@ -1,0 +1,12 @@
+type t = int Atomic.t
+
+let no_bound = max_int
+let create () = Atomic.make no_bound
+let get = Atomic.get
+let found t = Atomic.get t <> no_bound
+
+let rec update_min t v =
+  let cur = Atomic.get t in
+  if v < cur && not (Atomic.compare_and_set t cur v) then update_min t v
+
+let reset t = Atomic.set t no_bound

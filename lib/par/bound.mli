@@ -1,0 +1,28 @@
+(** An atomic best-known-bound cell shared between search branches.
+
+    The cell holds the least value published so far (a branch index, an
+    incumbent schedule length, ...).  Branches poll {!get} and abandon
+    work that can no longer beat the incumbent; publication is a
+    lock-free monotone minimum, so concurrent updates never lose the
+    best value and never go backwards. *)
+
+type t
+
+val create : unit -> t
+(** A fresh cell holding {!no_bound}. *)
+
+val no_bound : int
+(** The initial value, [max_int]: nothing has been found yet. *)
+
+val get : t -> int
+(** Current best-known value ({!no_bound} when nothing was published). *)
+
+val found : t -> bool
+(** [found c] is [get c <> no_bound]. *)
+
+val update_min : t -> int -> unit
+(** [update_min c v] lowers the cell to [v] if [v] beats the incumbent;
+    otherwise leaves it unchanged.  Safe under any concurrency. *)
+
+val reset : t -> unit
+(** Back to {!no_bound}. *)

@@ -1,0 +1,76 @@
+type counter = int Atomic.t
+
+let windows_checked : counter = Atomic.make 0
+let cache_hits : counter = Atomic.make 0
+let cache_misses : counter = Atomic.make 0
+let dfs_nodes : counter = Atomic.make 0
+let schedules_built : counter = Atomic.make 0
+
+let all_counters =
+  [
+    ("windows_checked", windows_checked);
+    ("cache_hits", cache_hits);
+    ("cache_misses", cache_misses);
+    ("dfs_nodes", dfs_nodes);
+    ("schedules_built", schedules_built);
+  ]
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+(* Stage accumulators: nanoseconds in an atomic int per stage name.
+   The stage set is tiny and fixed in practice; creation is guarded by
+   a mutex, addition is lock-free. *)
+let stages : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+let stages_mutex = Mutex.create ()
+
+let stage_cell name =
+  Mutex.lock stages_mutex;
+  let cell =
+    match Hashtbl.find_opt stages name with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add stages name c;
+        c
+  in
+  Mutex.unlock stages_mutex;
+  cell
+
+let time name f =
+  let cell = stage_cell name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      add cell (int_of_float (dt *. 1e9)))
+    f
+
+let stage_seconds () =
+  Mutex.lock stages_mutex;
+  let l =
+    Hashtbl.fold
+      (fun name cell acc -> (name, float_of_int (Atomic.get cell) /. 1e9) :: acc)
+      stages []
+  in
+  Mutex.unlock stages_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let snapshot () = List.map (fun (n, c) -> (n, Atomic.get c)) all_counters
+
+let reset () =
+  List.iter (fun (_, c) -> Atomic.set c 0) all_counters;
+  Mutex.lock stages_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) stages;
+  Mutex.unlock stages_mutex
+
+let pp fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-18s %d@," name v)
+    (snapshot ());
+  List.iter
+    (fun (name, s) -> Format.fprintf fmt "%-18s %.4fs (wall)@," name s)
+    (stage_seconds ());
+  Format.fprintf fmt "@]"

@@ -1,0 +1,52 @@
+(** Process-wide performance counters for the analysis engine.
+
+    All counters are atomics, so they can be bumped from any domain of
+    a {!Pool} without synchronization; numbers are exact under
+    sequential runs and exact-up-to-races under parallel ones (the
+    counters themselves never tear, but "nodes expanded" depends on how
+    far each branch ran before pruning).
+
+    Counters accumulate until {!reset}; [rtsyn --stats] and
+    [bench --json] print a {!snapshot} after the work they measure. *)
+
+type counter
+
+val windows_checked : counter
+(** Containment searches run ({!Rt_core.Latency}-level window checks). *)
+
+val cache_hits : counter
+(** Latency questions answered from the periodicity memo instead of a
+    fresh containment search. *)
+
+val cache_misses : counter
+(** Latency questions that had to run the containment search and then
+    seeded the memo. *)
+
+val dfs_nodes : counter
+(** Nodes expanded by the exact solvers' DFS. *)
+
+val schedules_built : counter
+(** EDF cyclic schedules constructed during synthesis candidate
+    exploration. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f ()] and adds its wall-clock duration to the
+    accumulator for [stage].  Stages nest (e.g. ["verify"] inside
+    ["synthesis"]); each accumulator counts its own spans only, so
+    nested stages overlap rather than partition the total. *)
+
+val stage_seconds : unit -> (string * float) list
+(** Accumulated wall-clock seconds per stage, sorted by stage name. *)
+
+val snapshot : unit -> (string * int) list
+(** All counters by name, in a fixed order. *)
+
+val reset : unit -> unit
+(** Zero every counter and stage accumulator. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump of {!snapshot} and {!stage_seconds}. *)

@@ -1,0 +1,181 @@
+type t = {
+  lanes : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable job_n : int;
+  mutable job_seq : int;  (* bumped once per fan-out so workers never
+                             re-enter a job they already drained *)
+  next : int Atomic.t;
+  mutable running : int;  (* workers currently inside the job *)
+  mutable busy : bool;  (* a fan-out is in flight (re-entry guard) *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "RTSYN_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.lanes
+
+(* Claim indices until the cursor runs off the end. *)
+let drain t f n =
+  let rec go () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < n then begin
+      f i;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker t seen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.job_seq = seen do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let seq = t.job_seq in
+    match t.job with
+    | None ->
+        (* Woke after the caller already completed and cleared this
+           fan-out; remember the sequence number and wait for the next. *)
+        Mutex.unlock t.mutex;
+        worker t seq
+    | Some f ->
+        let n = t.job_n in
+        t.running <- t.running + 1;
+        Mutex.unlock t.mutex;
+        drain t f n;
+        Mutex.lock t.mutex;
+        t.running <- t.running - 1;
+        if t.running = 0 then Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex;
+        worker t seq
+  end
+
+let create ?jobs () =
+  let requested = match jobs with Some j -> j | None -> default_jobs () in
+  let lanes = max 1 (min requested 64) in
+  let t =
+    {
+      lanes;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      job_n = 0;
+      job_seq = 0;
+      next = Atomic.make 0;
+      running = 0;
+      busy = false;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let iter t ~n f =
+  if n > 0 then
+    if t.lanes = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let nested =
+        Mutex.lock t.mutex;
+        let b = t.busy in
+        if not b then t.busy <- true;
+        Mutex.unlock t.mutex;
+        b
+      in
+      if nested then
+        (* Fan-out from inside a task: run inline rather than deadlock
+           or over-subscribe. *)
+        for i = 0 to n - 1 do
+          f i
+        done
+      else begin
+        let first_exn : exn option Atomic.t = Atomic.make None in
+        let guarded i =
+          if Atomic.get first_exn = None then
+            try f i
+            with e ->
+              ignore (Atomic.compare_and_set first_exn None (Some e))
+        in
+        Mutex.lock t.mutex;
+        t.job <- Some guarded;
+        t.job_n <- n;
+        Atomic.set t.next 0;
+        t.job_seq <- t.job_seq + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex;
+        drain t guarded n;
+        Mutex.lock t.mutex;
+        (* Clearing the job stops late-waking workers from joining;
+           anyone already inside is counted in [running]. *)
+        t.job <- None;
+        while t.running > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.busy <- false;
+        Mutex.unlock t.mutex;
+        match Atomic.get first_exn with Some e -> raise e | None -> ()
+      end
+    end
+
+let parallel_map t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    iter t ~n (fun i -> out.(i) <- Some (f a.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_find_first t f a =
+  let n = Array.length a in
+  if n = 0 then None
+  else begin
+    let best = Atomic.make max_int in
+    let out = Array.make n None in
+    iter t ~n (fun i ->
+        (* Skip indices strictly above an already-found success: the
+           lower-index result wins regardless of what they would say. *)
+        if Atomic.get best > i then
+          match f a.(i) with
+          | Some _ as r ->
+              out.(i) <- r;
+              let rec lower () =
+                let cur = Atomic.get best in
+                if i < cur && not (Atomic.compare_and_set best cur i) then
+                  lower ()
+              in
+              lower ()
+          | None -> ());
+    let rec scan i =
+      if i >= n then None
+      else match out.(i) with Some _ as r -> r | None -> scan (i + 1)
+    in
+    scan 0
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

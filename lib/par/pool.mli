@@ -1,0 +1,56 @@
+(** A fixed-size pool of OCaml 5 domains with deterministic fan-out/join.
+
+    The pool owns [jobs - 1] worker domains; the caller's domain is the
+    remaining lane, so a pool of size [j] computes on [j] domains total.
+    Fan-outs are {e deterministic}: [parallel_map] preserves index order
+    exactly, and [parallel_find_first] returns the result of the
+    lowest-index success regardless of which domain finishes first, so
+    every combinator returns bit-identical results to its sequential
+    counterpart (provided the task function is pure per index).
+
+    Pools of size 1 never spawn a domain and run everything inline, so
+    a pool created with [RTSYN_JOBS=1] is exactly the sequential
+    engine.  Nested fan-outs (a task that itself calls into the pool)
+    are detected and run inline on the calling lane — the pool never
+    deadlocks on re-entry, it just declines to over-subscribe. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool of [jobs] lanes ([jobs - 1] worker
+    domains).  [jobs] defaults to {!default_jobs}[ ()] and is clamped
+    to [\[1, 64\]]. *)
+
+val jobs : t -> int
+(** Number of lanes (worker domains + the caller). *)
+
+val default_jobs : unit -> int
+(** The [RTSYN_JOBS] environment variable if set to a positive
+    integer, else [Domain.recommended_domain_count ()]. *)
+
+val shutdown : t -> unit
+(** Join and release the worker domains.  Idempotent.  The pool must
+    not be used afterwards. *)
+
+val iter : t -> n:int -> (int -> unit) -> unit
+(** [iter p ~n f] runs [f 0 .. f (n-1)], distributing indices over the
+    pool's lanes, and returns once every call has finished.  Indices
+    are claimed dynamically (an atomic cursor), so per-index work may
+    be irregular.  If some [f i] raises, the first exception (in
+    completion order) is re-raised after the join; remaining indices
+    are abandoned. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map p f a] is [Array.map f a] computed on the pool; the
+    result preserves index order. *)
+
+val parallel_find_first : t -> ('a -> 'b option) -> 'a array -> 'b option
+(** [parallel_find_first p f a] is the deterministic first success:
+    the [f a.(i)] with the smallest [i] that returns [Some _] — the
+    same answer a left-to-right sequential scan would give.  Indices
+    greater than an already-found success are skipped (their [f] may
+    never run), so [f] must not be relied on for effects. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and always shuts the
+    pool down (also on exceptions). *)

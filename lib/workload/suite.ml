@@ -87,6 +87,53 @@ let tiny_two_ops =
           ~deadline:4 ~kind:Timing.Asynchronous;
       ]
 
+let exact_stress ?(seed = 7) ~n_constraints () =
+  let prng = Rt_graph.Prng.create seed in
+  let rec nth k =
+    let m =
+      Model_gen.unit_chain_model prng ~n_constraints:k ~n_elements:4
+        ~max_deadline:8
+    in
+    if k >= n_constraints then m else nth (k + 1)
+  in
+  nth 1
+
+let replicated_control ~n =
+  if n < 1 then invalid_arg "Suite.replicated_control: n must be positive";
+  let elements =
+    List.concat
+      (List.init n (fun i ->
+           [
+             (Printf.sprintf "s%d" i, 1, true);
+             (Printf.sprintf "f%d" i, 2, true);
+             (Printf.sprintf "a%d" i, 1, true);
+           ]))
+  in
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           [
+             (Printf.sprintf "s%d" i, Printf.sprintf "f%d" i);
+             (Printf.sprintf "f%d" i, Printf.sprintf "a%d" i);
+           ]))
+  in
+  let comm = Comm_graph.create ~elements ~edges in
+  let id = Comm_graph.id_of_name comm in
+  let constraints =
+    List.init n (fun i ->
+        Timing.make
+          ~name:(Printf.sprintf "loop%d" i)
+          ~graph:
+            (Task_graph.of_chain
+               [
+                 id (Printf.sprintf "s%d" i);
+                 id (Printf.sprintf "f%d" i);
+                 id (Printf.sprintf "a%d" i);
+               ])
+          ~period:16 ~deadline:16 ~kind:Timing.Periodic)
+  in
+  Model.make ~comm ~constraints
+
 let infeasible_pair =
   let comm =
     Comm_graph.create

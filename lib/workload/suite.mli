@@ -50,6 +50,26 @@ val tiny_two_ops : Rt_core.Model.t
     smallest non-trivial latency-scheduling instance; the alternating
     schedule [a b a .] is feasible. *)
 
+val exact_stress : ?seed:int -> n_constraints:int -> unit -> Rt_core.Model.t
+(** [exact_stress ~n_constraints ()] is the unit-weight chain instance
+    the E3(b) experiment feeds the bounded enumerator: the
+    [n_constraints]-th model drawn from
+    [Model_gen.unit_chain_model ~n_elements:4 ~max_deadline:8] with a
+    PRNG seeded [seed] (default 7, E3's seed), after drawing the
+    smaller models first exactly as the experiment's sweep does.  The
+    largest published family member is [~n_constraints:4]; used by the
+    parallel-speedup benchmark (E14) so that sequential and parallel
+    runs search the very same instance. *)
+
+val replicated_control : n:int -> Rt_core.Model.t
+(** [replicated_control ~n] is [n] independent sense-filter-actuate
+    chains ([s_i -> f_i -> a_i], weights 1/2/1, one periodic constraint
+    of period and deadline 16 per chain).  The chains share nothing, so
+    an [n]-processor partition places one chain per processor and every
+    single-crash contingency scenario stays feasible (each survivor has
+    capacity for a second chain) — the 16-scenario contingency workload
+    of the parallel-speedup benchmark is [~n:16]. *)
+
 val infeasible_pair : Rt_core.Model.t
 (** Two asynchronous unit operations that both demand completion in
     every 1-slot window — provably infeasible; used to exercise

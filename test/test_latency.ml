@@ -402,6 +402,82 @@ let prop_next_completion_minimal =
           oracle comm3 tg trace ~t0:0 ~t1:f
           && (f = 0 || not (oracle comm3 tg trace ~t0:0 ~t1:(f - 1))))
 
+(* ------------------------------------------------------------------ *)
+(* Cached analyses = context-free analyses                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_next_completion_matches () =
+  (* A Cache shared across many questions must answer each exactly like
+     the context-free function that rebuilds its state per call. *)
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  match Synthesis.synthesize m with
+  | Error _ -> Alcotest.fail "example synthesis failed"
+  | Ok plan ->
+      let g = plan.Synthesis.model_used.Model.comm in
+      let sched = plan.Synthesis.schedule in
+      let trace = Trace.of_schedule g sched ~horizon:2000 in
+      List.iter
+        (fun (c : Timing.t) ->
+          let cache = Latency.Cache.create g c.Timing.graph trace in
+          for from = 0 to 300 do
+            Alcotest.(check (option int))
+              (Printf.sprintf "%s from=%d" c.Timing.name from)
+              (Latency.next_completion g c.Timing.graph trace ~from)
+              (Latency.Cache.next_completion cache ~from)
+          done)
+        plan.Synthesis.model_used.Model.constraints
+
+let verdicts_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Latency.verdict) (y : Latency.verdict) ->
+         x.Latency.constraint_name = y.Latency.constraint_name
+         && x.Latency.achieved = y.Latency.achieved
+         && x.Latency.ok = y.Latency.ok)
+       a b
+
+let test_verify_cached_equals_uncached () =
+  (* The memoized single-trace verifier against the per-constraint
+     reference engine, on random feasible plans. *)
+  let g = Rt_graph.Prng.create 505 in
+  let checked = ref 0 in
+  for _ = 1 to 12 do
+    let m =
+      Rt_workload.Model_gen.periodic_chain_model g ~n_constraints:3
+        ~utilization:0.8 ~periods:[ 8; 12; 16; 24 ]
+    in
+    match Synthesis.synthesize m with
+    | Error _ -> ()
+    | Ok plan ->
+        incr checked;
+        let mu = plan.Synthesis.model_used in
+        checkb "cached = uncached" true
+          (verdicts_equal
+             (Latency.verify ~cached:true mu plan.Synthesis.schedule)
+             (Latency.verify ~cached:false mu plan.Synthesis.schedule))
+  done;
+  checkb "property exercised" true (!checked > 0)
+
+let test_verify_cached_on_unrolled_schedule () =
+  (* Unrolled schedules are where the residue memo actually collapses
+     questions (the pattern period divides the nominal length); the
+     verdicts must still match the reference engine exactly. *)
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  match Synthesis.synthesize m with
+  | Error _ -> Alcotest.fail "example synthesis failed"
+  | Ok plan ->
+      let mu = plan.Synthesis.model_used in
+      List.iter
+        (fun k ->
+          let sched = Schedule.repeat plan.Synthesis.schedule k in
+          checkb
+            (Printf.sprintf "x%d unroll" k)
+            true
+            (verdicts_equal
+               (Latency.verify ~cached:true mu sched)
+               (Latency.verify ~cached:false mu sched)))
+        [ 2; 3; 5 ]
+
 let () =
   Alcotest.run "rt_core-latency"
     [
@@ -447,6 +523,15 @@ let () =
             test_verify_reports_all;
           Alcotest.test_case "ill-formed rejected" `Quick
             test_verify_rejects_illformed;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "Cache.next_completion = next_completion" `Quick
+            test_cache_next_completion_matches;
+          Alcotest.test_case "verify cached = uncached" `Quick
+            test_verify_cached_equals_uncached;
+          Alcotest.test_case "verify cached = uncached (unrolled)" `Quick
+            test_verify_cached_on_unrolled_schedule;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -449,6 +449,53 @@ let test_synthesized_schedule_against_runtime () =
         checki "no misses" 0 report.Rt_sim.Runtime.misses
       done
 
+(* ------------------------------------------------------------------ *)
+(* Polling candidates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let candidates = Alcotest.(list (pair int int))
+
+let test_polling_candidates_order () =
+  (* Pins the exact candidate order the synthesis loop tries: largest
+     polling period first (cheapest), equal periods by ascending
+     relative deadline, no duplicates.  Guards the single-comparator
+     dedup against regressions — the round-robin over these lists is
+     what makes synthesis results reproducible. *)
+  Alcotest.check candidates "w=1 d=15"
+    [ (15, 1); (11, 5); (8, 8) ]
+    (Synthesis.polling_candidates ~w:1 ~d:15);
+  Alcotest.check candidates "w=3 d=12"
+    [ (10, 3); (8, 5); (7, 6); (4, 4) ]
+    (Synthesis.polling_candidates ~w:3 ~d:12);
+  Alcotest.check candidates "w=1 d=10"
+    [ (10, 1); (8, 3); (6, 5); (4, 4) ]
+    (Synthesis.polling_candidates ~w:1 ~d:10);
+  Alcotest.check candidates "w=2 d=4"
+    [ (3, 2); (2, 2) ]
+    (Synthesis.polling_candidates ~w:2 ~d:4);
+  Alcotest.check candidates "degenerate w=1 d=1" [ (1, 1) ]
+    (Synthesis.polling_candidates ~w:1 ~d:1);
+  Alcotest.check candidates "infeasible w>d" []
+    (Synthesis.polling_candidates ~w:4 ~d:3)
+
+let test_polling_candidates_invariants () =
+  for w = 1 to 6 do
+    for d = 1 to 40 do
+      let cs = Synthesis.polling_candidates ~w ~d in
+      if w > d then checkb "empty when w>d" true (cs = []);
+      let rec ordered = function
+        | (qa, da) :: ((qb, db) :: _ as rest) ->
+            (qa > qb || (qa = qb && da < db)) && ordered rest
+        | _ -> true
+      in
+      checkb "strictly ordered (so duplicate-free)" true (ordered cs);
+      List.iter
+        (fun (q, dl) ->
+          checkb "feasible window" true (dl >= w && dl <= q && q + dl <= d + 1))
+        cs
+    done
+  done
+
 let () =
   Alcotest.run "rt_core-synthesis"
     [
@@ -493,6 +540,13 @@ let () =
             test_theorem3_rejects_violation;
           Alcotest.test_case "random instances" `Slow
             test_theorem3_random_always_succeeds;
+        ] );
+      ( "polling candidates",
+        [
+          Alcotest.test_case "pinned order" `Quick
+            test_polling_candidates_order;
+          Alcotest.test_case "invariants" `Quick
+            test_polling_candidates_invariants;
         ] );
       ( "synthesis",
         [
