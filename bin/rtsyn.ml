@@ -446,20 +446,39 @@ let exact_cmd =
              constraints, exact); $(b,atomic): execution-granularity \
              enumeration; $(b,unit): unit-weight slot enumeration.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("game", `Game); ("dfs", `Dfs) ]) `Game
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Search engine behind the $(b,atomic) and $(b,unit) solvers: \
+             $(b,game) (default) plays the state-space simulation game with \
+             memoization and dominance pruning — INFEASIBLE is definitive \
+             and $(b,--budget) bounds the states explored; $(b,dfs) is the \
+             bounded schedule enumeration — $(b,--budget) bounds the \
+             schedule length (capped at 64) and exhaustion reports UNKNOWN.")
+  in
   let budget =
     Arg.(
       value & opt int 500_000
       & info [ "budget" ] ~docv:"N"
-          ~doc:"State budget (game) or maximum schedule length (enumerations).")
+          ~doc:
+            "State budget ($(b,game) engine) or maximum schedule length \
+             ($(b,dfs) engine).")
   in
-  let run path solver budget jobs stats_flag =
+  let run path solver engine budget jobs stats_flag =
     let m = or_die (load_model path) in
     let stats =
       with_jobs jobs (fun pool ->
           match solver with
-          | `Game -> Exact.solve_single_ops ~max_states:budget m
-          | `Atomic -> Exact.enumerate_atomic ?pool ~max_len:(min budget 64) m
-          | `Unit -> Exact.enumerate ?pool ~max_len:(min budget 64) m)
+          | `Game -> Exact.solve_single_ops ?pool ~max_states:budget m
+          | `Atomic ->
+              Exact.enumerate_atomic ?pool ~engine ~max_len:(min budget 64)
+                ~max_states:budget m
+          | `Unit ->
+              Exact.enumerate ?pool ~engine ~max_len:(min budget 64)
+                ~max_states:budget m)
     in
     Format.printf "explored: %d@." stats.Exact.explored;
     let ret =
@@ -485,7 +504,10 @@ let exact_cmd =
   Cmd.v
     (Cmd.info "exact"
        ~doc:"Exact feasibility decision (asynchronous constraints).")
-    Term.(ret (const run $ spec_file $ solver $ budget $ jobs_arg $ stats_arg))
+    Term.(
+      ret
+        (const run $ spec_file $ solver $ engine $ budget $ jobs_arg
+       $ stats_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)

@@ -1,9 +1,13 @@
 module Perf = Rt_par.Perf
 module Pool = Rt_par.Pool
 
-type outcome = Feasible of Schedule.t | Infeasible | Unknown of string
+type outcome = Game.outcome =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Unknown of string
 
-type stats = { explored : int; outcome : outcome }
+type stats = Game.stats = { explored : int; outcome : outcome }
+type engine = [ `Dfs | `Game ]
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive enumeration for unit-weight models (Theorem 2 case (i)). *)
@@ -33,7 +37,8 @@ let find_branches pool n_tasks branch =
       in
       go 0
 
-let enumerate ?pool ?(max_len = 12) (m : Model.t) =
+let enumerate ?pool ?(engine = `Game) ?(max_len = 12) ?(max_states = 500_000)
+    (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let elements =
     List.concat_map
@@ -51,363 +56,237 @@ let enumerate ?pool ?(max_len = 12) (m : Model.t) =
              (Comm_graph.element m.comm e).Element.name
              (Comm_graph.weight m.comm e)))
     elements;
-  if asyncs = [] then
-    { explored = 0; outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]) }
-  else begin
-    let explored = Atomic.make 0 in
-    let symbols = Array.of_list (List.map (fun e -> Schedule.Run e) elements) in
-    let feasible sched =
-      List.for_all (fun c -> Latency.meets_asynchronous m.comm sched c) asyncs
-    in
-    (* Window ending exactly at [len] is fully decided once [len] slots
-       are fixed: if it lacks a required execution the branch is dead
-       (the trace within the first cycle is exactly the prefix). *)
-    let prefix_ok slots len =
-      let prefix = Array.sub slots 0 len in
-      let trace = Trace.of_slots m.comm prefix in
-      List.for_all
-        (fun (c : Timing.t) ->
-          c.deadline > len
-          || Latency.contains_execution m.comm c.graph trace
-               ~t0:(len - c.deadline) ~t1:len)
-        asyncs
-    in
-    let n_sym = Array.length symbols in
-    let best = Rt_par.Bound.create () in
-    let exception Aborted in
-    (* Branch [idx]: schedules of length [idx / n_sym + 1] whose first
-       slot is [symbols.(idx mod n_sym)] (slot 0 is never idle:
-       feasibility is rotation-invariant). *)
-    let branch idx =
-      let n = (idx / n_sym) + 1 in
-      let first = symbols.(idx mod n_sym) in
-      let slots = Array.make n Schedule.Idle in
-      let local = ref 0 in
-      let nodes = ref 0 in
-      let result = ref None in
-      let rec dfs pos =
-        if Rt_par.Bound.get best < idx then raise Aborted;
-        incr nodes;
-        if !result <> None then ()
-        else if pos = n then begin
-          incr local;
-          let sched = Schedule.of_array slots in
-          if feasible sched then begin
-            result := Some sched;
-            Rt_par.Bound.update_min best idx
-          end
-        end
-        else
-          List.iter
-            (fun sym ->
-              if !result = None then begin
-                slots.(pos) <- sym;
-                if prefix_ok slots (pos + 1) then dfs (pos + 1)
-              end)
-            (Array.to_list symbols @ [ Schedule.Idle ])
-      in
-      slots.(0) <- first;
-      (try if prefix_ok slots 1 then dfs 1 with Aborted -> ());
-      Perf.add Perf.dfs_nodes !nodes;
-      ignore (Atomic.fetch_and_add explored !local);
-      !result
-    in
-    match find_branches pool (max_len * n_sym) branch with
-    | Some sched -> { explored = Atomic.get explored; outcome = Feasible sched }
-    | None ->
+  match engine with
+  | `Game -> Game.solve ?pool ~max_states ~granularity:`Unit m
+  | `Dfs ->
+      if asyncs = [] then
         {
-          explored = Atomic.get explored;
-          outcome =
-            Unknown
-              (Printf.sprintf "no feasible schedule of length <= %d" max_len);
+          explored = 0;
+          outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]);
         }
-  end
+      else begin
+        let explored = Atomic.make 0 in
+        let symbols =
+          Array.of_list (List.map (fun e -> Schedule.Run e) elements)
+        in
+        (* Hoisted once per solve: the per-position choice order.  The
+           inner DFS used to rebuild this list at every node. *)
+        let choices = Array.to_list symbols @ [ Schedule.Idle ] in
+        let feasible sched =
+          List.for_all
+            (fun c -> Latency.meets_asynchronous m.comm sched c)
+            asyncs
+        in
+        (* Window ending exactly at [len] is fully decided once [len]
+           slots are fixed: if it lacks a required execution the branch
+           is dead (the trace within the first cycle is exactly the
+           prefix). *)
+        let prefix_ok slots len =
+          let prefix = Array.sub slots 0 len in
+          let trace = Trace.of_slots m.comm prefix in
+          List.for_all
+            (fun (c : Timing.t) ->
+              c.deadline > len
+              || Latency.contains_execution m.comm c.graph trace
+                   ~t0:(len - c.deadline) ~t1:len)
+            asyncs
+        in
+        let n_sym = Array.length symbols in
+        let best = Rt_par.Bound.create () in
+        let exception Aborted in
+        (* Branch [idx]: schedules of length [idx / n_sym + 1] whose
+           first slot is [symbols.(idx mod n_sym)] (slot 0 is never
+           idle: feasibility is rotation-invariant). *)
+        let branch idx =
+          let n = (idx / n_sym) + 1 in
+          let first = symbols.(idx mod n_sym) in
+          let slots = Array.make n Schedule.Idle in
+          let local = ref 0 in
+          let nodes = ref 0 in
+          let result = ref None in
+          let rec dfs pos =
+            if Rt_par.Bound.get best < idx then raise Aborted;
+            incr nodes;
+            if !result <> None then ()
+            else if pos = n then begin
+              incr local;
+              let sched = Schedule.of_array slots in
+              if feasible sched then begin
+                result := Some sched;
+                Rt_par.Bound.update_min best idx
+              end
+            end
+            else
+              List.iter
+                (fun sym ->
+                  if !result = None then begin
+                    slots.(pos) <- sym;
+                    if prefix_ok slots (pos + 1) then dfs (pos + 1)
+                  end)
+                choices
+          in
+          slots.(0) <- first;
+          (try if prefix_ok slots 1 then dfs 1 with Aborted -> ());
+          Perf.add Perf.dfs_nodes !nodes;
+          ignore (Atomic.fetch_and_add explored !local);
+          !result
+        in
+        match find_branches pool (max_len * n_sym) branch with
+        | Some sched ->
+            { explored = Atomic.get explored; outcome = Feasible sched }
+        | None ->
+            {
+              explored = Atomic.get explored;
+              outcome =
+                Unknown
+                  (Printf.sprintf "no feasible schedule of length <= %d"
+                     max_len);
+            }
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Execution-granularity enumeration: complete for atomic elements.    *)
 (* ------------------------------------------------------------------ *)
 
-let enumerate_atomic ?pool ?(max_len = 16) (m : Model.t) =
-  let asyncs = Model.asynchronous m in
-  let elements =
-    List.concat_map
-      (fun (c : Timing.t) -> Task_graph.elements_used c.graph)
-      asyncs
-    |> List.sort_uniq Int.compare
-  in
-  if asyncs = [] then
-    { explored = 0; outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]) }
-  else begin
-    let explored = Atomic.make 0 in
-    let weights = List.map (fun e -> (e, Comm_graph.weight m.comm e)) elements in
-    let warr = Array.of_list weights in
-    let feasible sched =
-      List.for_all (fun c -> Latency.meets_asynchronous m.comm sched c) asyncs
-    in
-    let prefix_ok slots len =
-      let prefix = Array.sub slots 0 len in
-      let trace = Trace.of_slots m.comm prefix in
-      List.for_all
-        (fun (c : Timing.t) ->
-          c.deadline > len
-          || Latency.contains_execution m.comm c.graph trace
-               ~t0:(len - c.deadline) ~t1:len)
-        asyncs
-    in
-    let n_w = Array.length warr in
-    let best = Rt_par.Bound.create () in
-    let exception Aborted in
-    (* Branch [idx]: schedules of length [idx / n_w + 1] opening with a
-       whole execution of element [warr.(idx mod n_w)] (position 0 must
-       start an execution — rotation symmetry).  Choices thereafter:
-       one whole execution of an element (w slots) or one idle slot. *)
-    let branch idx =
-      let n = (idx / n_w) + 1 in
-      let e0, w0 = warr.(idx mod n_w) in
-      if w0 > n then None
+let enumerate_atomic ?pool ?(engine = `Game) ?(max_len = 16)
+    ?(max_states = 500_000) (m : Model.t) =
+  match engine with
+  | `Game -> Game.solve ?pool ~max_states ~granularity:`Atomic m
+  | `Dfs ->
+      let asyncs = Model.asynchronous m in
+      let elements =
+        List.concat_map
+          (fun (c : Timing.t) -> Task_graph.elements_used c.graph)
+          asyncs
+        |> List.sort_uniq Int.compare
+      in
+      if asyncs = [] then
+        {
+          explored = 0;
+          outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]);
+        }
       else begin
-        let slots = Array.make n Schedule.Idle in
-        let local = ref 0 in
-        let nodes = ref 0 in
-        let result = ref None in
-        let rec dfs pos =
-          if Rt_par.Bound.get best < idx then raise Aborted;
-          incr nodes;
-          if !result <> None then ()
-          else if pos = n then begin
-            incr local;
-            let sched = Schedule.of_array slots in
-            if feasible sched then begin
-              result := Some sched;
-              Rt_par.Bound.update_min best idx
-            end
-          end
+        let explored = Atomic.make 0 in
+        let weights =
+          List.map (fun e -> (e, Comm_graph.weight m.comm e)) elements
+        in
+        let warr = Array.of_list weights in
+        (* Hoisted once per solve: choices in the order the DFS tries
+           them — whole execution blocks first, then one idle slot. *)
+        let choices =
+          List.map (fun (e, w) -> `Block (e, w)) weights @ [ `IdleSlot ]
+        in
+        let feasible sched =
+          List.for_all
+            (fun c -> Latency.meets_asynchronous m.comm sched c)
+            asyncs
+        in
+        let prefix_ok slots len =
+          let prefix = Array.sub slots 0 len in
+          let trace = Trace.of_slots m.comm prefix in
+          List.for_all
+            (fun (c : Timing.t) ->
+              c.deadline > len
+              || Latency.contains_execution m.comm c.graph trace
+                   ~t0:(len - c.deadline) ~t1:len)
+            asyncs
+        in
+        let n_w = Array.length warr in
+        let best = Rt_par.Bound.create () in
+        let exception Aborted in
+        (* Branch [idx]: schedules of length [idx / n_w + 1] opening
+           with a whole execution of element [warr.(idx mod n_w)]
+           (position 0 must start an execution — rotation symmetry).
+           Choices thereafter: one whole execution of an element
+           (w slots) or one idle slot. *)
+        let branch idx =
+          let n = (idx / n_w) + 1 in
+          let e0, w0 = warr.(idx mod n_w) in
+          if w0 > n then None
           else begin
-            List.iter
-              (fun (e, w) ->
-                if !result = None && pos + w <= n then begin
-                  for i = pos to pos + w - 1 do
-                    slots.(i) <- Schedule.Run e
-                  done;
-                  (* Check every window completed while laying the block. *)
-                  let rec all_ok l =
-                    l > pos + w || (prefix_ok slots l && all_ok (l + 1))
-                  in
-                  if all_ok (pos + 1) then dfs (pos + w)
-                end)
-              weights;
-            if !result = None && pos > 0 then begin
-              slots.(pos) <- Schedule.Idle;
-              if prefix_ok slots (pos + 1) then dfs (pos + 1)
-            end
+            let slots = Array.make n Schedule.Idle in
+            let local = ref 0 in
+            let nodes = ref 0 in
+            let result = ref None in
+            let rec dfs pos =
+              if Rt_par.Bound.get best < idx then raise Aborted;
+              incr nodes;
+              if !result <> None then ()
+              else if pos = n then begin
+                incr local;
+                let sched = Schedule.of_array slots in
+                if feasible sched then begin
+                  result := Some sched;
+                  Rt_par.Bound.update_min best idx
+                end
+              end
+              else
+                List.iter
+                  (fun choice ->
+                    if !result = None then
+                      match choice with
+                      | `Block (e, w) ->
+                          if pos + w <= n then begin
+                            for i = pos to pos + w - 1 do
+                              slots.(i) <- Schedule.Run e
+                            done;
+                            (* Check every window completed while
+                               laying the block. *)
+                            let rec all_ok l =
+                              l > pos + w || (prefix_ok slots l && all_ok (l + 1))
+                            in
+                            if all_ok (pos + 1) then dfs (pos + w)
+                          end
+                      | `IdleSlot ->
+                          if pos > 0 then begin
+                            slots.(pos) <- Schedule.Idle;
+                            if prefix_ok slots (pos + 1) then dfs (pos + 1)
+                          end)
+                  choices
+            in
+            (try
+               for i = 0 to w0 - 1 do
+                 slots.(i) <- Schedule.Run e0
+               done;
+               let rec all_ok l =
+                 l > w0 || (prefix_ok slots l && all_ok (l + 1))
+               in
+               if all_ok 1 then dfs w0
+             with Aborted -> ());
+            Perf.add Perf.dfs_nodes !nodes;
+            ignore (Atomic.fetch_and_add explored !local);
+            !result
           end
         in
-        (try
-           for i = 0 to w0 - 1 do
-             slots.(i) <- Schedule.Run e0
-           done;
-           let rec all_ok l = l > w0 || (prefix_ok slots l && all_ok (l + 1)) in
-           if all_ok 1 then dfs w0
-         with Aborted -> ());
-        Perf.add Perf.dfs_nodes !nodes;
-        ignore (Atomic.fetch_and_add explored !local);
-        !result
+        match find_branches pool (max_len * n_w) branch with
+        | Some sched ->
+            { explored = Atomic.get explored; outcome = Feasible sched }
+        | None ->
+            {
+              explored = Atomic.get explored;
+              outcome =
+                Unknown
+                  (Printf.sprintf "no feasible schedule of length <= %d"
+                     max_len);
+            }
       end
-    in
-    match find_branches pool (max_len * n_w) branch with
-    | Some sched -> { explored = Atomic.get explored; outcome = Feasible sched }
-    | None ->
-        {
-          explored = Atomic.get explored;
-          outcome =
-            Unknown
-              (Printf.sprintf "no feasible schedule of length <= %d" max_len);
-        }
-  end
 
 (* ------------------------------------------------------------------ *)
 (* The simulation game for single-operation constraints (Theorem 1 /
-   Theorem 2 case (ii)).                                               *)
+   Theorem 2 case (ii)), re-expressed on the game engine: the budget
+   vector of Exact's original hand-rolled DFS is exactly Game's
+   single-op state, and the engine adds the shared transposition
+   table, dominance pruning and pool fan-out on top.                   *)
 (* ------------------------------------------------------------------ *)
 
-type action = A_idle | A_run of int
-
-let solve_single_ops ?(max_states = 1_000_000) (m : Model.t) =
+let solve_single_ops ?pool ?(max_states = 1_000_000) (m : Model.t) =
   let asyncs = Model.asynchronous m in
-  let specs =
-    (* (element, weight, deadline) per constraint *)
-    List.map
-      (fun (c : Timing.t) ->
-        if Task_graph.size c.graph <> 1 then
-          invalid_arg
-            (Printf.sprintf
-               "Exact.solve_single_ops: constraint %s is not a single \
-                operation"
-               c.name);
-        let e = Task_graph.element_of_node c.graph 0 in
-        (e, Comm_graph.weight m.comm e, c.deadline))
-      asyncs
-    |> Array.of_list
-  in
-  let n = Array.length specs in
-  if n = 0 then
-    { explored = 0; outcome = Feasible (Schedule.of_slots [ Schedule.Idle ]) }
-  else begin
-    let elements =
-      Array.to_list specs |> List.map (fun (e, _, _) -> e)
-      |> List.sort_uniq Int.compare |> Array.of_list
-    in
-    let weight_of = Hashtbl.create 8 in
-    Array.iter (fun (e, w, _) -> Hashtbl.replace weight_of e w) specs;
-    (* A state is the vector of budgets: budget i = number of ticks left
-       for the next execution of constraint i's operation to finish.
-       Transitions are macro-steps (whole executions are contiguous). *)
-    let initial = Array.init n (fun i -> let (_, _, d) = specs.(i) in d) in
-    let initially_dead =
-      Array.exists (fun (_, w, d) -> d < w) specs
-    in
-    let step state = function
-      | A_idle ->
-          let ok = ref true in
-          let next =
-            Array.mapi
-              (fun i b ->
-                let (_, w, _) = specs.(i) in
-                let b' = b - 1 in
-                if b' < w then ok := false;
-                b')
-              state
-          in
-          if !ok then Some next else None
-      | A_run e ->
-          let we = Hashtbl.find weight_of e in
-          let ok = ref true in
-          let next =
-            Array.mapi
-              (fun i b ->
-                let (ei, wi, di) = specs.(i) in
-                if ei = e then begin
-                  if b < we then ok := false;
-                  di + 1 - we
-                end
-                else begin
-                  if b < we + wi then ok := false;
-                  b - we
-                end)
-              state
-          in
-          if !ok then Some next else None
-    in
-    let actions =
-      Array.to_list (Array.map (fun e -> A_run e) elements) @ [ A_idle ]
-    in
-    let expand_action = function
-      | A_idle -> [ Schedule.Idle ]
-      | A_run e ->
-          List.init (Hashtbl.find weight_of e) (fun _ -> Schedule.Run e)
-    in
-    (* Necessary long-run rate condition: an execution of element e must
-       start at least every d_i + 1 - w_e slots for each constraint i on
-       e (coverage of consecutive d_i-windows), i.e. element e consumes
-       at least w_e / (min_i d_i + 1 - w_e) of the processor.  If these
-       shares sum past 1 the instance is certainly infeasible, which
-       spares the game an exhaustive search on overloaded instances. *)
-    let rate_overloaded =
-      let tightest = Hashtbl.create 8 in
-      Array.iter
-        (fun (e, _, d) ->
-          match Hashtbl.find_opt tightest e with
-          | Some d' when d' <= d -> ()
-          | _ -> Hashtbl.replace tightest e d)
-        specs;
-      let total =
-        Hashtbl.fold
-          (fun e d acc ->
-            let w = Hashtbl.find weight_of e in
-            if d + 1 - w <= 0 then acc +. infinity
-            else acc +. (float_of_int w /. float_of_int (d + 1 - w)))
-          tightest 0.0
-      in
-      total > 1.0 +. 1e-9
-    in
-    if initially_dead || rate_overloaded then
-      { explored = 0; outcome = Infeasible }
-    else begin
-      (* Iterative DFS looking for a reachable cycle among safe states. *)
-      let module Tbl = Hashtbl in
-      let color : (int array, [ `Gray | `Black ]) Tbl.t = Tbl.create 4096 in
-      let explored = ref 0 in
-      let exception Cycle of action list in
-      let exception Out_of_budget in
-      (* Stack frames: (state, remaining actions, action taken towards
-         the current child).  The head of the list is the top. *)
-      let result =
-        try
-          let stack =
-            ref [ (initial, ref actions, ref None) ]
-          in
-          Tbl.replace color initial `Gray;
-          incr explored;
-          let rec loop () =
-            match !stack with
-            | [] -> Infeasible
-            | (state, remaining, via) :: rest -> (
-                match !remaining with
-                | [] ->
-                    Tbl.replace color state `Black;
-                    stack := rest;
-                    loop ()
-                | a :: more -> (
-                    remaining := more;
-                    match step state a with
-                    | None -> loop ()
-                    | Some next -> (
-                        match Tbl.find_opt color next with
-                        | Some `Black -> loop ()
-                        | Some `Gray ->
-                            (* Collect the actions along the cycle: from
-                               the frame holding [next] up to here, then
-                               the closing action [a]. *)
-                            via := Some a;
-                            let rec collect acc = function
-                              | [] -> assert false
-                              | (s, _, v) :: tl ->
-                                  let acc =
-                                    match !v with
-                                    | Some act -> act :: acc
-                                    | None -> acc
-                                  in
-                                  if s = next then acc else collect acc tl
-                            in
-                            raise (Cycle (collect [] !stack))
-                        | None ->
-                            if !explored >= max_states then
-                              raise Out_of_budget;
-                            incr explored;
-                            via := Some a;
-                            Tbl.replace color next `Gray;
-                            stack := (next, ref actions, ref None) :: !stack;
-                            loop ())))
-          in
-          loop ()
-        with
-        | Cycle cycle_actions ->
-            let slots = List.concat_map expand_action cycle_actions in
-            let sched = Schedule.of_slots slots in
-            (* The cycle word is safe from any state dominating the cycle
-               entry, in particular from the initial state; double-check
-               with the independent latency analyser. *)
-            if
-              List.for_all
-                (fun c -> Latency.meets_asynchronous m.comm sched c)
-                asyncs
-            then Feasible sched
-            else
-              Unknown "internal: cycle schedule failed verification"
-        | Out_of_budget ->
-            Unknown (Printf.sprintf "state budget %d exhausted" max_states)
-      in
-      Perf.add Perf.dfs_nodes !explored;
-      { explored = !explored; outcome = result }
-    end
-  end
+  List.iter
+    (fun (c : Timing.t) ->
+      if Task_graph.size c.graph <> 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Exact.solve_single_ops: constraint %s is not a single operation"
+             c.name))
+    asyncs;
+  Game.solve ?pool ~max_states ~granularity:`Atomic m

@@ -1,28 +1,33 @@
 (** Exact feasibility deciders for latency scheduling.
 
-    Two complete procedures, matching the two restricted problem classes
-    of Theorem 2 (both of which are already strongly NP-hard):
+    Two search families over the two restricted problem classes of
+    Theorem 2 (both of which are already strongly NP-hard):
 
     {ol
-    {- {!enumerate}: exhaustive search over static schedules of bounded
-       length for models whose elements all have unit computation time
-       (Theorem 2 case (i): unit weights, chain task graphs).  With unit
-       weights every slot string is well-formed, so the enumeration is
-       complete up to the length bound.}
+    {- {!enumerate} / {!enumerate_atomic}: decide feasibility at slot
+       granularity (Theorem 2 case (i): unit weights) or execution
+       granularity (whole contiguous blocks).  Each comes with two
+       engines: the default [`Game] plays Mok's Theorem-1 simulation
+       game over canonical trace-residue states with a shared
+       transposition table and dominance pruning ({!Game}), giving
+       definitive [Infeasible] verdicts; [`Dfs] is the original bounded
+       enumeration over schedule strings, kept as an independent oracle
+       (its completeness argument is elementary, so the property tests
+       check the engines against each other).}
     {- {!solve_single_ops}: the finite {e simulation game} behind
        Theorem 1, specialised to models in which every task graph is a
        single operation (Theorem 2 case (ii)).  States track, per
        constraint, the remaining budget until the next execution must
-       complete, plus the progress of the (contiguous) in-flight
-       execution; a feasible trace exists iff a safe cycle through an
-       execution-boundary state is reachable, and the cycle's action word
-       is itself a feasible static schedule — a constructive reading of
-       Theorem 1.}}
+       complete; a feasible trace exists iff a safe cycle is reachable,
+       and the cycle's action word is itself a feasible static schedule
+       — a constructive reading of Theorem 1.  Since the re-expression
+       on the game engine it shares the transposition table, dominance
+       antichain and pool fan-out with the other solvers.}}
 
     Both deciders consider the asynchronous constraints only (the paper
     states its key results for [T_p = {}]). *)
 
-type outcome =
+type outcome = Game.outcome =
   | Feasible of Schedule.t
       (** A feasible static schedule (verified before being returned). *)
   | Infeasible  (** Complete search proved no feasible schedule exists. *)
@@ -30,43 +35,74 @@ type outcome =
       (** Resource bound hit before the search completed; the message
           says which. *)
 
-type stats = {
+type stats = Game.stats = {
   explored : int;  (** Schedules tested / states expanded. *)
   outcome : outcome;
 }
 
-val enumerate : ?pool:Rt_par.Pool.t -> ?max_len:int -> Model.t -> stats
-(** [enumerate m] searches schedule lengths [1 .. max_len] (default 12)
-    in increasing order; within a length, depth-first over slot strings
-    with two prunings that preserve completeness: slot 0 is never idle
-    (feasibility is rotation-invariant), and any fully decided window
-    that lacks a required execution cuts the branch.  Raises
+type engine = [ `Dfs | `Game ]
+(** [`Game] (the default): reachable-cycle search over game states with
+    memoization — definitive [Infeasible], no length bound, state
+    budget [max_states].  [`Dfs]: the original bounded enumeration —
+    answers are [Feasible] or [Unknown] (never [Infeasible]), bounded
+    by [max_len]; slower but with an independent, elementary
+    completeness argument, which keeps it useful as an oracle and for
+    minimal-length-schedule queries (the game returns {e some} cycle,
+    not the shortest one). *)
+
+val enumerate :
+  ?pool:Rt_par.Pool.t ->
+  ?engine:engine ->
+  ?max_len:int ->
+  ?max_states:int ->
+  Model.t ->
+  stats
+(** [enumerate m] decides feasibility at slot granularity.  Raises
     [Invalid_argument] if some element used by an asynchronous
-    constraint does not have unit weight.  [Infeasible] here means "no
-    feasible schedule of length <= max_len"; it is reported as
-    [Unknown] instead, since longer schedules could exist, unless
-    [max_len] exceeds the instance's trivial upper bound.
+    constraint does not have unit weight.
 
-    With [pool], top-level (length, first slot) branches of the search
-    run concurrently; the lowest-index successful branch wins, so the
+    With [~engine:`Dfs]: searches schedule lengths [1 .. max_len]
+    (default 12) in increasing order; within a length, depth-first over
+    slot strings with two prunings that preserve completeness: slot 0
+    is never idle (feasibility is rotation-invariant), and any fully
+    decided window that lacks a required execution cuts the branch.
+    [Unknown] means "no feasible schedule of length <= max_len" —
+    longer schedules could exist.  [max_states] is ignored.
+
+    With [~engine:`Game] (default): plays the simulation game
+    ({!Game.solve} with [`Unit] granularity); [max_len] is ignored and
+    [max_states] (default 500_000) bounds the states expanded.
+    [Infeasible] is definitive.
+
+    With [pool], top-level branches of either engine's search run
+    concurrently; the lowest-index successful branch wins, so the
     returned schedule is bit-identical to the sequential one.  Only
-    [explored] may differ (concurrent losing branches may test
-    schedules the sequential search never reaches); with a pool of one
-    lane it, too, is identical. *)
+    [explored] may differ (concurrent losing branches may expand states
+    the sequential search never reaches — and if the state budget binds,
+    which side of it the search lands on); with a pool of one lane it,
+    too, is identical. *)
 
-val enumerate_atomic : ?pool:Rt_par.Pool.t -> ?max_len:int -> Model.t -> stats
-(** [enumerate_atomic m] searches for feasible schedules of up to
-    [max_len] slots (default 16) at {e execution granularity}: each
-    decision appends either one idle slot or one whole contiguous
-    execution of an element.  For models whose elements are all
-    non-pipelinable this enumeration is complete up to the length bound
-    (any well-formed schedule is, after rotation, such a concatenation);
-    for pipelinable elements it is sound but may miss schedules that
-    interleave executions.  Same outcome and [pool] conventions as
-    {!enumerate} (branches here are (length, opening execution)
-    pairs). *)
+val enumerate_atomic :
+  ?pool:Rt_par.Pool.t ->
+  ?engine:engine ->
+  ?max_len:int ->
+  ?max_states:int ->
+  Model.t ->
+  stats
+(** [enumerate_atomic m] decides feasibility at {e execution
+    granularity}: each decision appends either one idle slot or one
+    whole contiguous execution of an element.  For models whose
+    elements are all non-pipelinable this search is complete (any
+    well-formed schedule is, after rotation, such a concatenation); for
+    pipelinable elements it is sound but may miss schedules that
+    interleave executions.  [~engine:`Dfs] bounds schedule length by
+    [max_len] (default 16, branches are (length, opening execution)
+    pairs); [~engine:`Game] (default) is {!Game.solve} with [`Atomic]
+    granularity.  Same outcome and [pool] conventions as
+    {!enumerate}. *)
 
-val solve_single_ops : ?max_states:int -> Model.t -> stats
+val solve_single_ops :
+  ?pool:Rt_par.Pool.t -> ?max_states:int -> Model.t -> stats
 (** [solve_single_ops m] runs the simulation game (default bound: one
     million states).  Raises [Invalid_argument] if some asynchronous
     constraint's task graph is not a single operation.  [Infeasible]
@@ -77,4 +113,5 @@ val solve_single_ops : ?max_states:int -> Model.t -> stats
     is always correct).  A necessary long-run rate condition
     ([Σ_e w_e / (d_e + 1 - w_e) <= 1] over distinct elements with their
     tightest deadlines) is checked first, so overloaded instances are
-    rejected without search. *)
+    rejected without search.  With [pool] the first-action branches fan
+    out with the usual lowest-index-wins determinism. *)

@@ -1,0 +1,77 @@
+(** The state-space game engine for exact feasibility.
+
+    Mok's Theorem 1 casts latency scheduling as a simulation game: the
+    scheduler wins iff it can keep the play inside safe states forever,
+    and because the state space is finite that happens iff a {e cycle}
+    of safe states is reachable — the cycle's action word, read off as
+    a slot sequence, is then a feasible static schedule.  This module
+    plays that game directly instead of enumerating bounded schedule
+    strings, for {e all} asynchronous task-graph constraints, not just
+    single operations:
+
+    - For models whose constraints are all single operations the state
+      is the classic vector of per-constraint budgets (slots remaining
+      for the constraint's next execution to finish) and transitions
+      are macro-steps (a whole execution, or one idle slot).
+    - For general task graphs the state is the canonical {e residue} of
+      the trace: the last [d_max - 1] slots, with any execution block
+      cut by the left edge remapped to idle (such a block can never
+      again lie fully inside a future window, and remapping maximizes
+      transposition hits).  Every window a future slot closes reads at
+      most those slots, so the residue determines all future legality —
+      each edge re-checks only the windows that just closed, via a
+      trace built over at most [d_max] slots (the incremental window
+      check), never over the whole prefix.
+
+    Shared across the search, and across {!Rt_par.Pool} lanes:
+
+    - a {b transposition table} ({!Rt_par.Shard_tbl}) of states proven
+      {e dead} (no safe cycle reachable) — a path-independent fact, so
+      lanes can consume each other's entries without changing the
+      answer;
+    - a {b dominance antichain}: a dead state also kills every state
+      that is pointwise harder (for budget vectors: no larger in every
+      component; for unit-weight residues: the same slots with some
+      runs replaced by idles).  Dominance is disabled for weighted
+      residues, where removing slots can re-align execution blocks and
+      the order is unsound (see [docs/PERFORMANCE.md]).
+
+    Verdicts are definitive: [Infeasible] means the full finite game
+    graph was exhausted without finding a safe cycle — strictly
+    stronger than the bounded enumerators' [Unknown].  Every [Feasible]
+    cycle word is re-verified with {!Latency.meets_asynchronous} before
+    being returned.
+
+    With a pool, branches on the first one or two scheduling decisions
+    fan out over the lanes; the lowest-index branch that finds a cycle
+    wins and a shared {!Rt_par.Bound} aborts branches that can no
+    longer win, so the returned schedule is bit-identical to the
+    sequential one's.  Only [explored] (and, if the state budget binds,
+    an [Unknown] cut-off) may differ between pooled and sequential
+    runs. *)
+
+type outcome = Feasible of Schedule.t | Infeasible | Unknown of string
+type stats = { explored : int; outcome : outcome }
+
+val solve :
+  ?pool:Rt_par.Pool.t ->
+  ?max_states:int ->
+  granularity:[ `Unit | `Atomic ] ->
+  Model.t ->
+  stats
+(** [solve ~granularity m] decides feasibility of [m]'s asynchronous
+    constraints by reachable-cycle search over the game graph.
+
+    [`Unit] plays one slot per edge and requires every used element to
+    have unit weight (the caller — {!Exact.enumerate} — validates
+    this); [`Atomic] plays one whole execution block (or one idle
+    slot) per edge, keeping executions contiguous, matching
+    {!Exact.enumerate_atomic} and {!Exact.solve_single_ops}.  When all
+    constraints are single operations both granularities reduce to the
+    budget-vector game and are solved as such.
+
+    [max_states] (default 500_000) bounds the number of distinct
+    states expanded; exhausting it yields [Unknown], never a wrong
+    [Infeasible].  [explored] counts expanded states.  Counters:
+    {!Rt_par.Perf.game_states}, {!Rt_par.Perf.table_hits},
+    {!Rt_par.Perf.table_misses}, {!Rt_par.Perf.dominance_kills}. *)

@@ -167,8 +167,62 @@ let attempt ~backend ~max_hyperperiod (p : prep) r =
               }
           else None)
 
+(* The exact game engine decides feasibility for the asynchronous
+   constraints only, so consulting it is meaningful exactly when the
+   model has no periodic constraints and falls in one of the two
+   decidable classes of Theorem 2: all-unit weights (slot granularity)
+   or all-single-operation graphs (execution granularity). *)
+let exact_eligible (m : Model.t) =
+  let asyncs = Model.asynchronous m in
+  if Model.periodic m <> [] || asyncs = [] then None
+  else begin
+    let elements =
+      List.concat_map
+        (fun (c : Timing.t) -> Task_graph.elements_used c.graph)
+        asyncs
+      |> List.sort_uniq Int.compare
+    in
+    let unit_weights =
+      List.for_all (fun e -> Comm_graph.weight m.comm e = 1) elements
+    in
+    let single_ops =
+      List.for_all (fun (c : Timing.t) -> Task_graph.size c.graph = 1) asyncs
+    in
+    if unit_weights then Some `Unit
+    else if single_ops then Some `Atomic
+    else None
+  end
+
+let exact_rescue ?pool (m : Model.t) granularity primary_error =
+  let stats =
+    match granularity with
+    | `Unit -> Exact.enumerate ?pool m
+    | `Atomic -> Exact.solve_single_ops ?pool m
+  in
+  match stats.Exact.outcome with
+  | Exact.Feasible schedule ->
+      let verdicts = Latency.verify m schedule in
+      if Latency.all_ok verdicts then
+        Ok
+          {
+            model_used = m;
+            schedule;
+            verdicts;
+            merge_report = None;
+            polling = [];
+            hyperperiod = Schedule.length schedule;
+          }
+      else Error primary_error
+  | Exact.Infeasible ->
+      fail "exact"
+        "provably infeasible: the exact game engine exhausted the state \
+         space (%d states) without finding a safe cycle"
+        stats.Exact.explored
+  | Exact.Unknown _ -> Error primary_error
+
 let synthesize ?pool ?(merge = true) ?(pipeline = true)
-    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000) (m : Model.t) =
+    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000)
+    ?(exact_fallback = false) (m : Model.t) =
   (* Preference order: every round of the merged variant, cheapest
      first, then (when merging was requested) every round of the
      unmerged fallback — merging tightens the merged deadline to the
@@ -215,7 +269,16 @@ let synthesize ?pool ?(merge = true) ?(pipeline = true)
         in
         go 0
   in
-  match found with Some plan -> Ok plan | None -> Error primary_error
+  match found with
+  | Some plan -> Ok plan
+  | None -> (
+      (* Heuristic exhausted.  When requested and the model lies in a
+         decidable class, consult the exact game engine: a cycle gives a
+         plan the heuristic missed; a completed search upgrades the
+         error to a proof of infeasibility. *)
+      match (exact_fallback, exact_eligible m) with
+      | true, Some granularity -> exact_rescue ?pool m granularity primary_error
+      | _ -> Error primary_error)
 
 let pp_plan (_orig : Model.t) fmt (p : plan) =
   Format.fprintf fmt "@[<v>hyperperiod: %d@,schedule: %s@,load: %.3f@,"

@@ -62,6 +62,7 @@ val synthesize :
   ?pipeline:bool ->
   ?backend:Edf_cyclic.policy ->
   ?max_hyperperiod:int ->
+  ?exact_fallback:bool ->
   Model.t ->
   (plan, error) Stdlib.result
 (** [synthesize m] runs the pipeline above.  [merge] and [pipeline]
@@ -71,6 +72,15 @@ val synthesize :
     (default 1_000_000 slots) caps the cycle length.  Periodic
     constraints must satisfy [offset + deadline <= period].  A [plan]
     is returned only if verification passes.
+
+    [exact_fallback] (default [false]): when the heuristic fails on a
+    purely asynchronous model in one of Theorem 2's decidable classes
+    (all-unit weights, or all-single-operation graphs), consult the
+    exact game engine ({!Exact}).  A game cycle becomes the plan (no
+    polling rewrite; [polling = []], [merge_report = None]); a
+    completed search upgrades the error to stage ["exact"] with a
+    proof of infeasibility; a state-budget [Unknown] leaves the
+    original heuristic error untouched.
 
     With [pool], candidate configurations — every polling round of the
     merged variant followed by every round of the unmerged fallback —

@@ -92,10 +92,11 @@ let synthesize ?pool ?criticality ?derivation ?msg_cost
        is a deterministic function of its index, so the order-preserving
        parallel map yields the same table the sequential loop builds. *)
     let scenarios =
-      match pool with
-      | Some p when Rt_par.Pool.jobs p > 1 && n_procs > 1 ->
-          Rt_par.Pool.parallel_map p build (Array.init n_procs Fun.id)
-      | _ -> Array.init n_procs build
+      Rt_par.Perf.time "contingency" (fun () ->
+          match pool with
+          | Some p when Rt_par.Pool.jobs p > 1 && n_procs > 1 ->
+              Rt_par.Pool.parallel_map p build (Array.init n_procs Fun.id)
+          | _ -> Array.init n_procs build)
     in
     Ok
       {

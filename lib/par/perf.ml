@@ -5,6 +5,10 @@ let cache_hits : counter = Atomic.make 0
 let cache_misses : counter = Atomic.make 0
 let dfs_nodes : counter = Atomic.make 0
 let schedules_built : counter = Atomic.make 0
+let game_states : counter = Atomic.make 0
+let table_hits : counter = Atomic.make 0
+let table_misses : counter = Atomic.make 0
+let dominance_kills : counter = Atomic.make 0
 
 let all_counters =
   [
@@ -13,6 +17,10 @@ let all_counters =
     ("cache_misses", cache_misses);
     ("dfs_nodes", dfs_nodes);
     ("schedules_built", schedules_built);
+    ("game_states", game_states);
+    ("table_hits", table_hits);
+    ("table_misses", table_misses);
+    ("dominance_kills", dominance_kills);
   ]
 
 let incr c = Atomic.incr c

@@ -29,6 +29,21 @@ val schedules_built : counter
 (** EDF cyclic schedules constructed during synthesis candidate
     exploration. *)
 
+val game_states : counter
+(** States expanded by the game engine ({!Rt_core.Game}); the
+    game-engine counterpart of {!dfs_nodes}. *)
+
+val table_hits : counter
+(** Game-engine probes answered by the shared transposition table
+    ({!Shard_tbl}): a state some schedule prefix had already settled. *)
+
+val table_misses : counter
+(** Game-engine transposition probes that found no prior verdict. *)
+
+val dominance_kills : counter
+(** Game-engine states discarded because a recorded dead state
+    dominates them (antichain pruning) without ever being expanded. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int

@@ -1,0 +1,114 @@
+module Int_array = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+    go 0
+
+  (* FNV-1a folded over the elements.  Each int is mixed byte-wise-ish
+     by two rounds so that small nonnegative values (the common case:
+     budgets, element ids) still diffuse into the high bits. *)
+  let hash (a : int array) =
+    (* Offset basis truncated to OCaml's 63-bit int range. *)
+    let fnv_prime = 0x100000001b3 in
+    let h = ref 0x3bf29ce484222325 in
+    for i = 0 to Array.length a - 1 do
+      let v = Array.unsafe_get a i in
+      h := (!h lxor (v land 0xffff)) * fnv_prime;
+      h := (!h lxor ((v asr 16) land 0xffff)) * fnv_prime
+    done;
+    !h land max_int
+end
+
+type ('k, 'v) shard = {
+  lock : Mutex.t;
+  mutable buckets : ('k * 'v) list array;
+  mutable count : int;
+}
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mask : int; (* shard count - 1; shard count is a power of two *)
+  shards : ('k, 'v) shard array;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(shards = 32) ~hash ~equal capacity =
+  let n = pow2_at_least (max 1 (min shards 1024)) 1 in
+  let cap = max 16 capacity in
+  {
+    hash;
+    equal;
+    mask = n - 1;
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); buckets = Array.make cap []; count = 0 });
+  }
+
+(* The shard index uses the high-ish bits, the bucket index the low
+   bits, so the two selections stay independent even for weak hashes. *)
+let shard_of t h = t.shards.(((h lsr 16) lxor h) land t.mask)
+let bucket_of s h = h land (Array.length s.buckets - 1)
+
+let resize t s =
+  let old = s.buckets in
+  let n = Array.length old * 2 in
+  let fresh = Array.make n [] in
+  Array.iter
+    (fun chain ->
+      List.iter
+        (fun ((k, _) as kv) ->
+          let i = t.hash k land (n - 1) in
+          fresh.(i) <- kv :: fresh.(i))
+        chain)
+    old;
+  s.buckets <- fresh
+
+let with_shard t k f =
+  let h = t.hash k in
+  let s = shard_of t h in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s h)
+
+let find_opt t k =
+  with_shard t k (fun s h ->
+      let rec go = function
+        | [] -> None
+        | (k', v) :: tl -> if t.equal k k' then Some v else go tl
+      in
+      go s.buckets.(bucket_of s h))
+
+let mem t k = find_opt t k <> None
+
+let insert t s h k v =
+  let i = bucket_of s h in
+  s.buckets.(i) <- (k, v) :: s.buckets.(i);
+  s.count <- s.count + 1;
+  if s.count > 2 * Array.length s.buckets then resize t s
+
+let add t k v =
+  with_shard t k (fun s h ->
+      let i = bucket_of s h in
+      let chain = s.buckets.(i) in
+      if List.exists (fun (k', _) -> t.equal k k') chain then
+        s.buckets.(i) <-
+          (k, v) :: List.filter (fun (k', _) -> not (t.equal k k')) chain
+      else insert t s h k v)
+
+let find_or_add t k mk =
+  with_shard t k (fun s h ->
+      let rec go = function
+        | [] ->
+            let v = mk () in
+            insert t s h k v;
+            v
+        | (k', v) :: tl -> if t.equal k k' then v else go tl
+      in
+      go s.buckets.(bucket_of s h))
+
+let length t = Array.fold_left (fun acc s -> acc + s.count) 0 t.shards

@@ -1,0 +1,71 @@
+(** A sharded, lock-striped hash table for facts shared across domains.
+
+    The game-engine solvers ({!Rt_core.Game}) memoize *path-independent*
+    facts — "this state is dead" — in a table read and written
+    concurrently by every lane of a {!Pool}.  A single mutex-protected
+    [Hashtbl] would serialize the lanes on every probe; [Shard_tbl]
+    stripes the key space over many small tables, each behind its own
+    mutex, so lanes only contend when they hash into the same shard at
+    the same instant.
+
+    Unlike [Hashtbl.Make] the hash and equality functions are supplied
+    at {!create} time, so one polymorphic implementation serves every
+    key type without a functor application per instantiation.
+
+    Semantics are those of a set-of-facts / memo table:
+    - {!add} is last-write-wins ([replace] semantics, no duplicate
+      bindings per key);
+    - a fact observed by {!find_opt}/{!mem} was fully published by the
+      writing domain (the shard mutex orders the accesses);
+    - facts are never removed (there is no [remove]) — the solvers only
+      ever learn monotonically, which is what makes sharing them across
+      lanes sound.
+
+    All operations are thread-safe and non-blocking in the sense that a
+    shard mutex is held only for the duration of one bucket probe or
+    resize. *)
+
+module Int_array : sig
+  (** Hash/equality instance for [int array] keys — game-engine states
+      are integer vectors (budgets, trace residues).  Suitable as a
+      [Hashtbl.HashedType], so branch-local tables
+      ([Hashtbl.Make (Shard_tbl.Int_array)]) and the shared table hash
+      identically and the cost is paid (and measured) once. *)
+
+  type t = int array
+
+  val equal : t -> t -> bool
+  (** Element-wise equality (lengths must match). *)
+
+  val hash : t -> int
+  (** FNV-1a over the elements; positive, suitable for both [Hashtbl]
+      and {!Shard_tbl} bucket selection. *)
+end
+
+type ('k, 'v) t
+
+val create :
+  ?shards:int -> hash:('k -> int) -> equal:('k -> 'k -> bool) -> int -> ('k, 'v) t
+(** [create ?shards ~hash ~equal capacity] makes an empty table.
+    [shards] (default 32, rounded up to a power of two, clamped to
+    1..1024) is the number of independently locked stripes; [capacity]
+    is the initial bucket count {e per shard} hint.  [hash] must be
+    consistent with [equal] and must not raise. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Current binding of the key, if any. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Publish a binding, replacing any previous binding of the same key
+    ([Hashtbl.replace] semantics — at most one binding per key). *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k mk] returns the existing binding of [k], or
+    atomically (within [k]'s shard) inserts and returns [mk ()].
+    [mk] runs with the shard lock held and must not touch [t]. *)
+
+val length : ('k, 'v) t -> int
+(** Total bindings across shards (each shard's count is exact; the sum
+    is a snapshot, not a linearizable point, under concurrent use). *)

@@ -157,10 +157,20 @@ let test_enumerate_finds_minimal_length () =
   | _ -> Alcotest.fail "expected feasible"
 
 let test_enumerate_unknown_when_infeasible () =
-  match (Exact.enumerate ~max_len:6 Rt_workload.Suite.infeasible_pair).outcome with
+  (* The bounded DFS cannot rule longer schedules out, so it must stay
+     at Unknown; the game engine exhausts the finite state space and is
+     entitled to the definitive verdict. *)
+  (match
+     (Exact.enumerate ~engine:`Dfs ~max_len:6 Rt_workload.Suite.infeasible_pair)
+       .outcome
+   with
   | Exact.Unknown _ -> ()
   | Exact.Feasible _ -> Alcotest.fail "infeasible pair cannot be feasible"
-  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown"
+  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown");
+  match (Exact.enumerate Rt_workload.Suite.infeasible_pair).outcome with
+  | Exact.Infeasible -> ()
+  | Exact.Feasible _ -> Alcotest.fail "infeasible pair cannot be feasible"
+  | Exact.Unknown m -> Alcotest.failf "game engine should prove it: %s" m
 
 let test_enumerate_rejects_weights () =
   let comm = Comm_graph.create ~elements:[ ("w", 2, true) ] ~edges:[] in
@@ -186,23 +196,34 @@ let test_enumerate_chain () =
             ~period:d ~deadline:d ~kind:Timing.Asynchronous;
         ]
   in
-  (* d=5 is feasible: the cycle [a b c] has latency exactly 5. *)
-  (match (Exact.enumerate ~max_len:3 (chain_model 5)).outcome with
-  | Exact.Feasible sched ->
-      checkb "meets the chain constraint" true
-        (List.for_all
-           (fun c -> Latency.meets_asynchronous comm sched c)
-           (chain_model 5).Model.constraints)
-  | _ -> Alcotest.fail "a->b->c with d=5 has the cycle [a b c]");
+  (* d=5 is feasible: the cycle [a b c] has latency exactly 5.  Both
+     engines must find a verified schedule. *)
+  List.iter
+    (fun engine ->
+      match (Exact.enumerate ~engine ~max_len:3 (chain_model 5)).outcome with
+      | Exact.Feasible sched ->
+          checkb "meets the chain constraint" true
+            (List.for_all
+               (fun c -> Latency.meets_asynchronous comm sched c)
+               (chain_model 5).Model.constraints)
+      | _ -> Alcotest.fail "a->b->c with d=5 has the cycle [a b c]")
+    [ `Dfs; `Game ];
   (* d=4 is infeasible for any length: every 4-window needs an 'a' in
      its first two slots and a 'c' in its last two, forcing densities
-     that leave no room for b.  The bounded search must not find one. *)
-  match (Exact.enumerate ~max_len:8 (chain_model 4)).outcome with
+     that leave no room for b.  The bounded search must not find one;
+     the game engine must prove the infeasibility. *)
+  (match (Exact.enumerate ~engine:`Dfs ~max_len:8 (chain_model 4)).outcome with
   | Exact.Unknown _ -> ()
   | Exact.Feasible s ->
       Alcotest.failf "impossible schedule found: %s"
         (Format.asprintf "%a" Schedule.pp s)
-  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown"
+  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown");
+  match (Exact.enumerate (chain_model 4)).outcome with
+  | Exact.Infeasible -> ()
+  | Exact.Feasible s ->
+      Alcotest.failf "impossible schedule found: %s"
+        (Format.asprintf "%a" Schedule.pp s)
+  | Exact.Unknown m -> Alcotest.failf "game engine should prove it: %s" m
 
 (* ------------------------------------------------------------------ *)
 (* enumerate_atomic                                                    *)

@@ -1,0 +1,237 @@
+(* Engine-equivalence properties for the state-space game engine.
+
+   The game engine (Game.solve, the default behind Exact.enumerate /
+   enumerate_atomic / solve_single_ops) and the original bounded DFS
+   are independent deciders of the same question, so on random models
+   they must never contradict each other:
+
+   - `Dfs Feasible  => `Game Feasible (the game search is complete);
+   - `Game Infeasible => `Dfs must not find a schedule at any bound;
+   - every `Game Feasible schedule must pass the latency analyser run
+     as an oracle (per-constraint meets_asynchronous and the uncached
+     whole-model verify), because a game cycle is only a real schedule
+     if the residue/budget bookkeeping is sound.
+
+   CI greps for these test names; renaming them silently disables the
+   gate (.github/workflows/ci.yml). *)
+
+open Rt_core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let oracle_ok m sched =
+  List.for_all
+    (fun c -> Latency.meets_asynchronous m.Model.comm sched c)
+    (Model.asynchronous m)
+  && Latency.all_ok (Latency.verify ~cached:false m sched)
+
+(* Compatibility of a definitive game verdict with a bounded DFS one.
+   [Unknown] from the game engine would mean the state budget bound —
+   models here are sized so it must not bind. *)
+let check_agreement ~what m game dfs =
+  match (game, dfs) with
+  | Exact.Feasible sched, (Exact.Feasible _ | Exact.Unknown _) ->
+      checkb (what ^ ": game schedule passes the oracle") true
+        (oracle_ok m sched)
+  | Exact.Infeasible, Exact.Unknown _ -> ()
+  | Exact.Infeasible, Exact.Infeasible -> ()
+  | Exact.Infeasible, Exact.Feasible s ->
+      Alcotest.failf "%s: game says infeasible but DFS found %s" what
+        (Format.asprintf "%a" Schedule.pp s)
+  | Exact.Feasible _, Exact.Infeasible ->
+      Alcotest.failf "%s: bounded DFS must never report Infeasible" what
+  | Exact.Unknown msg, _ ->
+      Alcotest.failf "%s: game state budget must not bind here (%s)" what msg
+
+let test_game_eq_dfs_unit () =
+  let g = Rt_graph.Prng.create 1009 in
+  for i = 1 to 30 do
+    let m =
+      Rt_workload.Model_gen.unit_chain_model g
+        ~n_constraints:(1 + Rt_graph.Prng.int g 3)
+        ~n_elements:(3 + Rt_graph.Prng.int g 2)
+        ~max_deadline:7
+    in
+    let game = (Exact.enumerate ~engine:`Game m).Exact.outcome in
+    let dfs = (Exact.enumerate ~engine:`Dfs ~max_len:7 m).Exact.outcome in
+    check_agreement ~what:(Printf.sprintf "unit chains #%d" i) m game dfs
+  done
+
+let test_game_eq_dfs_single_ops () =
+  let g = Rt_graph.Prng.create 2003 in
+  for i = 1 to 30 do
+    let m =
+      Rt_workload.Model_gen.single_op_model ~max_deadline:9 g
+        ~n_constraints:(1 + Rt_graph.Prng.int g 3)
+        ~max_weight:1
+        ~target_ratio_sum:(0.3 +. Rt_graph.Prng.float g 1.0)
+    in
+    let game = (Exact.enumerate ~engine:`Game m).Exact.outcome in
+    let dfs = (Exact.enumerate ~engine:`Dfs ~max_len:8 m).Exact.outcome in
+    check_agreement ~what:(Printf.sprintf "unit single ops #%d" i) m game dfs
+  done
+
+let test_game_eq_dfs_atomic () =
+  let g = Rt_graph.Prng.create 3001 in
+  for i = 1 to 25 do
+    let m =
+      Rt_workload.Model_gen.single_op_model ~max_deadline:9 g
+        ~n_constraints:2 ~max_weight:3
+        ~target_ratio_sum:(0.4 +. Rt_graph.Prng.float g 0.8)
+    in
+    let game = (Exact.enumerate_atomic ~engine:`Game m).Exact.outcome in
+    let dfs =
+      (Exact.enumerate_atomic ~engine:`Dfs ~max_len:10 m).Exact.outcome
+    in
+    check_agreement ~what:(Printf.sprintf "weighted singles #%d" i) m game dfs
+  done
+
+let test_game_eq_dfs_atomic_graphs () =
+  (* Weighted multi-operation task graphs: the residue game with
+     dominance disabled, against the atomic-block DFS. *)
+  let g = Rt_graph.Prng.create 4007 in
+  for i = 1 to 15 do
+    let m =
+      Rt_workload.Model_gen.theorem3_model g
+        ~n_constraints:(1 + Rt_graph.Prng.int g 2)
+        ~max_weight:2
+    in
+    let game =
+      (Exact.enumerate_atomic ~engine:`Game ~max_states:200_000 m)
+        .Exact.outcome
+    in
+    let dfs =
+      (Exact.enumerate_atomic ~engine:`Dfs ~max_len:8 m).Exact.outcome
+    in
+    match (game, dfs) with
+    | Exact.Unknown _, _ ->
+        (* Theorem-3 deadlines can be large; the state budget may bind.
+           That is a legal answer, just not an informative sample. *)
+        ()
+    | _ ->
+        check_agreement ~what:(Printf.sprintf "atomic graphs #%d" i) m game dfs
+  done
+
+let test_game_pool_equals_sequential () =
+  (* The pooled game must return the bit-identical schedule: branches
+     share only path-independent dead-state facts, so the lowest-index
+     cycle is invariant.  (CI greps this name; see also test_par.ml.) *)
+  let g = Rt_graph.Prng.create 5003 in
+  Rt_par.Pool.with_pool ~jobs:4 (fun p ->
+      for _ = 1 to 12 do
+        let m =
+          Rt_workload.Model_gen.unit_chain_model g ~n_constraints:2
+            ~n_elements:3 ~max_deadline:6
+        in
+        let seq = (Exact.enumerate ~engine:`Game m).Exact.outcome in
+        let par = (Exact.enumerate ~engine:`Game ~pool:p m).Exact.outcome in
+        match (seq, par) with
+        | Exact.Feasible a, Exact.Feasible b ->
+            checkb "same schedule" true (Schedule.equal a b)
+        | Exact.Infeasible, Exact.Infeasible -> ()
+        | _ -> Alcotest.fail "pooled game diverged from sequential"
+      done;
+      for _ = 1 to 12 do
+        let m =
+          Rt_workload.Model_gen.single_op_model ~max_deadline:10 g
+            ~n_constraints:3 ~max_weight:3
+            ~target_ratio_sum:(0.4 +. Rt_graph.Prng.float g 0.8)
+        in
+        let seq = (Exact.solve_single_ops m).Exact.outcome in
+        let par = (Exact.solve_single_ops ~pool:p m).Exact.outcome in
+        match (seq, par) with
+        | Exact.Feasible a, Exact.Feasible b ->
+            checkb "same schedule" true (Schedule.equal a b)
+        | Exact.Infeasible, Exact.Infeasible -> ()
+        | _ -> Alcotest.fail "pooled single-op game diverged from sequential"
+      done)
+
+let test_game_budget_yields_unknown () =
+  let g = Rt_graph.Prng.create 6011 in
+  let m =
+    Rt_workload.Model_gen.unit_chain_model g ~n_constraints:3 ~n_elements:4
+      ~max_deadline:8
+  in
+  match (Exact.enumerate ~engine:`Game ~max_states:4 m).Exact.outcome with
+  | Exact.Unknown _ -> ()
+  | Exact.Feasible _ -> Alcotest.fail "4 states cannot suffice"
+  | Exact.Infeasible -> Alcotest.fail "must not claim infeasible when truncated"
+
+(* ------------------------------------------------------------------ *)
+(* Shard_tbl                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_tbl_basics () =
+  let t =
+    Rt_par.Shard_tbl.create ~shards:4
+      ~hash:Rt_par.Shard_tbl.Int_array.hash
+      ~equal:Rt_par.Shard_tbl.Int_array.equal 16
+  in
+  Alcotest.check Alcotest.int "empty" 0 (Rt_par.Shard_tbl.length t);
+  for i = 0 to 999 do
+    Rt_par.Shard_tbl.add t [| i; i * 7 |] i
+  done;
+  Alcotest.check Alcotest.int "length" 1000 (Rt_par.Shard_tbl.length t);
+  checkb "find" true (Rt_par.Shard_tbl.find_opt t [| 123; 861 |] = Some 123);
+  checkb "mem miss" false (Rt_par.Shard_tbl.mem t [| 1000; 7000 |]);
+  Rt_par.Shard_tbl.add t [| 123; 861 |] (-1);
+  checkb "replace" true (Rt_par.Shard_tbl.find_opt t [| 123; 861 |] = Some (-1));
+  Alcotest.check Alcotest.int "replace keeps length" 1000
+    (Rt_par.Shard_tbl.length t);
+  Alcotest.check Alcotest.int "find_or_add existing" (-1)
+    (Rt_par.Shard_tbl.find_or_add t [| 123; 861 |] (fun () -> 99));
+  Alcotest.check Alcotest.int "find_or_add fresh" 99
+    (Rt_par.Shard_tbl.find_or_add t [| -5 |] (fun () -> 99))
+
+let test_shard_tbl_concurrent () =
+  let t =
+    Rt_par.Shard_tbl.create ~hash:Rt_par.Shard_tbl.Int_array.hash
+      ~equal:Rt_par.Shard_tbl.Int_array.equal 16
+  in
+  let n_dom = 4 and per = 2000 in
+  let doms =
+    List.init n_dom (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              (* Half the keys are shared across domains, half private
+                 (negative first component keeps them disjoint from the
+                 shared ones): exercises contention and disjoint
+                 inserts. *)
+              Rt_par.Shard_tbl.add t [| i mod 1000; (i mod 1000) * 3 |] i;
+              Rt_par.Shard_tbl.add t [| -d - 1; i |] i
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.check Alcotest.int "all bindings present"
+    (1000 + (n_dom * per))
+    (Rt_par.Shard_tbl.length t);
+  checkb "shared key readable" true
+    (Rt_par.Shard_tbl.mem t [| 500; 1500 |])
+
+let () =
+  Alcotest.run "rt_core-game"
+    [
+      ( "engine-equivalence",
+        [
+          Alcotest.test_case "game = dfs on unit chains" `Slow
+            test_game_eq_dfs_unit;
+          Alcotest.test_case "game = dfs on unit single ops" `Slow
+            test_game_eq_dfs_single_ops;
+          Alcotest.test_case "game = dfs on weighted single ops" `Slow
+            test_game_eq_dfs_atomic;
+          Alcotest.test_case "game = dfs on atomic task graphs" `Slow
+            test_game_eq_dfs_atomic_graphs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel game = sequential" `Slow
+            test_game_pool_equals_sequential;
+          Alcotest.test_case "budget yields unknown" `Quick
+            test_game_budget_yields_unknown;
+        ] );
+      ( "shard-tbl",
+        [
+          Alcotest.test_case "basics" `Quick test_shard_tbl_basics;
+          Alcotest.test_case "concurrent" `Quick test_shard_tbl_concurrent;
+        ] );
+    ]

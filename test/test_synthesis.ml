@@ -327,6 +327,42 @@ let test_synthesize_infeasible_async () =
       checkb "polling stage rejects" true (e.Synthesis.stage = "polling")
   | Ok _ -> Alcotest.fail "cannot meet d=3 with w=5"
 
+let test_exact_fallback () =
+  (* (a) Heuristic fails (two polling tasks on the same element
+     overload EDF) but the model is feasible — schedule [a] serves
+     both constraints — and the game engine finds it. *)
+  let comm = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
+  let c name d =
+    Timing.make ~name ~graph:(Task_graph.singleton 0) ~period:10 ~deadline:d
+      ~kind:Timing.Asynchronous
+  in
+  let feas = Model.make ~comm ~constraints:[ c "c1" 1; c "c2" 2 ] in
+  (match Synthesis.synthesize feas with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the polling heuristic to fail here");
+  (match Synthesis.synthesize ~exact_fallback:true feas with
+  | Ok plan ->
+      checkb "rescued plan verifies" true
+        (Latency.all_ok plan.Synthesis.verdicts);
+      checkb "no polling rewrite" true (plan.Synthesis.polling = [])
+  | Error e ->
+      Alcotest.failf "fallback should rescue a feasible model, got [%s] %s"
+        e.Synthesis.stage e.Synthesis.message);
+  (* (b) Provably infeasible single-op model: the fallback upgrades the
+     heuristic's error to a definitive stage "exact" proof. *)
+  let comm = Comm_graph.create ~elements:[ ("a", 2, true); ("b", 2, true) ] ~edges:[] in
+  let op name id =
+    Timing.make ~name ~graph:(Task_graph.singleton id) ~period:10 ~deadline:2
+      ~kind:Timing.Asynchronous
+  in
+  let infeas = Model.make ~comm ~constraints:[ op "ca" 0; op "cb" 1 ] in
+  (match Synthesis.synthesize infeas with
+  | Error e -> checkb "default keeps heuristic stage" true (e.Synthesis.stage <> "exact")
+  | Ok _ -> Alcotest.fail "cannot fit two 2-slot executions in every 2-window");
+  match Synthesis.synthesize ~exact_fallback:true infeas with
+  | Error e -> checkb "upgraded to exact" true (e.Synthesis.stage = "exact")
+  | Ok _ -> Alcotest.fail "cannot fit two 2-slot executions in every 2-window"
+
 let test_synthesize_rejects_unconstrained_deadline () =
   let comm = Comm_graph.create ~elements:[ ("a", 1, true) ] ~edges:[] in
   let m =
@@ -555,6 +591,7 @@ let () =
             test_synthesize_without_pipeline;
           Alcotest.test_case "infeasible async" `Quick
             test_synthesize_infeasible_async;
+          Alcotest.test_case "exact fallback" `Quick test_exact_fallback;
           Alcotest.test_case "unconstrained deadline" `Quick
             test_synthesize_rejects_unconstrained_deadline;
           Alcotest.test_case "overload" `Quick test_synthesize_overload;
