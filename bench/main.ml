@@ -1303,7 +1303,63 @@ let e15 () =
   row
     "(baseline = bounded DFS, optimized = game engine, both at 1 domain; \
      the pooled game run\n checks determinism only.  Verdict agreement and \
-     the oracle check are asserted, not sampled.)"
+     the oracle check are asserted, not sampled.)";
+  Printf.printf
+    "\n(c) observability overhead on the (1,21) game solve: with tracing \
+     off (the default),\n    the instrumentation must cost < 2%%, asserted \
+     from the measured per-span cost.\n";
+  let prng = Prng.create 42 in
+  let items = Rt_workload.Npc.three_partition_yes prng ~m:1 ~b:21 in
+  let model = Rt_workload.Npc.reduction_model items ~b:21 in
+  let solve () = ignore (Exact.solve_single_ops ~max_states:400_000 model) in
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let (), dt = time_wall f in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let t_off = best_of 3 solve in
+  if Rt_obs.Tracer.enabled () then
+    row
+      "  tracing is enabled for this whole run (--trace); the \
+       disabled-overhead assertion is skipped"
+  else begin
+    Rt_obs.Tracer.enable ();
+    let t_on = best_of 3 solve in
+    let events = List.length (Rt_obs.Tracer.drain ()) in
+    Rt_obs.Tracer.disable ();
+    Rt_obs.Tracer.clear ();
+    (* A span site costs one atomic flag load when tracing is off; the
+       instrumentation's whole disabled footprint on this workload is
+       (spans fired) x (that cost), measured directly rather than as the
+       difference of two noisy solve timings. *)
+    let probes = 1_000_000 in
+    let (), t_probe =
+      time_wall (fun () ->
+          for _ = 1 to probes do
+            Rt_obs.Tracer.span "probe" ignore
+          done)
+    in
+    let per_span = t_probe /. float_of_int probes in
+    let spans = events / 2 in
+    let overhead = float_of_int spans *. per_span /. t_off in
+    row
+      "  solve: %.4fs off, %.4fs on (%d spans); disabled span: %.1fns; \
+       disabled overhead: %.4f%%"
+      t_off t_on spans (per_span *. 1e9) (100. *. overhead);
+    if overhead >= 0.02 then
+      failwith "E15: disabled tracing costs >= 2% on the smoke workload";
+    json_bench ~file:"BENCH_exact.json" ~name:"obs/tracing-overhead"
+      ~baseline:t_on ~optimized:t_off ~jobs:1
+      ~extra:
+        [
+          ("trace_spans", spans);
+          ("disabled_overhead_bp", int_of_float (overhead *. 10_000.));
+        ]
+      ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1386,17 +1442,40 @@ let all =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
-  let names = List.filter (fun a -> a <> "--json") args in
-  (match names with
-  | [] -> List.iter (fun (_, f) -> f ()) all
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name all with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %s (use %s)\n" name
-                (String.concat " " (List.map fst all));
-              exit 1)
-        names);
+  (* --trace[=FILE]: record the whole run and write a Chrome trace
+     (default BENCH_trace.json) next to the bench JSON. *)
+  let trace_file =
+    List.fold_left
+      (fun acc a ->
+        if a = "--trace" then Some "BENCH_trace.json"
+        else if String.starts_with ~prefix:"--trace=" a then
+          Some (String.sub a 8 (String.length a - 8))
+        else acc)
+      None args
+  in
+  let names =
+    List.filter
+      (fun a ->
+        (a <> "--json") && not (String.starts_with ~prefix:"--trace" a))
+      args
+  in
+  let run_selected () =
+    match names with
+    | [] -> List.iter (fun (_, f) -> f ()) all
+    | names ->
+        List.iter
+          (fun name ->
+            match List.assoc_opt name all with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown experiment %s (use %s)\n" name
+                  (String.concat " " (List.map fst all));
+                exit 1)
+          names
+  in
+  (match trace_file with
+  | None -> run_selected ()
+  | Some file ->
+      Rt_obs.Tracer.with_trace ~file run_selected;
+      Printf.printf "\nwrote %s\n%!" file);
   if json then write_json ()

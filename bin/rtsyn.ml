@@ -95,12 +95,30 @@ let print_stats stats =
   if stats then
     Format.printf "=== engine counters ===@.%a@." Rt_par.Perf.pp ()
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to $(docv); open it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing.  Wall-clock spans \
+           cover the synthesis, exact/game and latency engines; the \
+           simulate, faultsim and distsim replays add a virtual-time Gantt \
+           of the executed schedule.")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file -> Rt_obs.Tracer.with_trace ~file f
+
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run path =
+  let run path trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     Format.printf "%a" Model.pp m;
     Format.printf "utilization (no sharing): %.3f@." (Model.utilization m);
@@ -142,7 +160,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a specification.")
-    Term.(ret (const run $ spec_file))
+    Term.(ret (const run $ spec_file $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                               *)
@@ -156,7 +174,8 @@ let synth_cmd =
       & info [ "o"; "output" ] ~docv:"PLAN"
           ~doc:"Write the verified plan (model + schedule) to $(docv).")
   in
-  let run path no_merge no_pipeline max_hyperperiod output jobs stats =
+  let run path no_merge no_pipeline max_hyperperiod output jobs stats trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match
       with_jobs jobs (fun pool ->
@@ -174,6 +193,14 @@ let synth_cmd =
             Rt_spec.Persist.save_file out plan.Synthesis.model_used
               plan.Synthesis.schedule;
             Format.printf "plan written to %s@." out);
+        (* when tracing, replay the plan so the trace also carries the
+           synthesized schedule as a virtual-time Gantt *)
+        if Rt_obs.Tracer.enabled () then
+          ignore
+            (Rt_sim.Runtime.run plan.Synthesis.model_used
+               plan.Synthesis.schedule
+               ~horizon:(2 * plan.Synthesis.hyperperiod)
+               ~arrivals:[]);
         print_stats stats;
         `Ok ()
   in
@@ -182,7 +209,7 @@ let synth_cmd =
     Term.(
       ret
         (const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
-       $ output $ jobs_arg $ stats_arg))
+       $ output $ jobs_arg $ stats_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -198,7 +225,8 @@ let analyze_cmd =
             "Space-separated schedule: element names and '.' for idle, e.g. \
              \"f_x f_s f_s . f_k\".")
   in
-  let run path sched_str =
+  let run path sched_str trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Schedule.of_string m.Model.comm sched_str with
     | Error e -> `Error (false, e)
@@ -219,7 +247,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Latency/response verdicts for a user-supplied schedule.")
-    Term.(ret (const run $ spec_file $ schedule_arg))
+    Term.(ret (const run $ spec_file $ schedule_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -236,7 +264,8 @@ let simulate_cmd =
       value & opt int 1
       & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for arrivals.")
   in
-  let run path horizon seed =
+  let run path horizon seed trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Synthesis.synthesize m with
     | Error e ->
@@ -265,7 +294,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Synthesize, then replay against random arrivals.")
-    Term.(ret (const run $ spec_file $ horizon $ seed))
+    Term.(ret (const run $ spec_file $ horizon $ seed $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -279,7 +308,8 @@ let dot_cmd =
       & info [ "what" ] ~docv:"WHAT"
           ~doc:"Which graph to render: $(b,comm) or $(b,full).")
   in
-  let run path what =
+  let run path what trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     (match what with
     | `Comm -> print_string (Rt_spec.Dot.comm_graph m)
@@ -288,7 +318,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Graphviz export of the model.")
-    Term.(ret (const run $ spec_file $ what))
+    Term.(ret (const run $ spec_file $ what $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* multiproc                                                           *)
@@ -305,7 +335,8 @@ let multiproc_cmd =
       & info [ "msg-cost" ] ~docv:"C"
           ~doc:"Bus slots per cross-processor transmission.")
   in
-  let run path procs msg_cost =
+  let run path procs msg_cost trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost m with
     | Error e ->
@@ -321,7 +352,7 @@ let multiproc_cmd =
   in
   Cmd.v
     (Cmd.info "multiproc" ~doc:"Partition over processors and schedule the bus.")
-    Term.(ret (const run $ spec_file $ procs $ msg_cost))
+    Term.(ret (const run $ spec_file $ procs $ msg_cost $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -343,7 +374,8 @@ let replay_cmd =
     Arg.(
       value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival seed.")
   in
-  let run plan_file horizon seed =
+  let run plan_file horizon seed trace =
+    with_trace trace @@ fun () ->
     match Rt_spec.Persist.load_file plan_file with
     | Error e ->
         Format.eprintf "plan rejected: %s@." e;
@@ -367,14 +399,15 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Load a saved plan (re-verifying it) and replay it.")
-    Term.(ret (const run $ plan_file $ horizon $ seed))
+    Term.(ret (const run $ plan_file $ horizon $ seed $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* admit                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let admit_cmd =
-  let run path =
+  let run path trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     (match Admission.admit m with
     | Admission.Guaranteed why ->
@@ -388,7 +421,7 @@ let admit_cmd =
   in
   Cmd.v
     (Cmd.info "admit" ~doc:"Fast analytic admission test (no synthesis).")
-    Term.(ret (const run $ spec_file))
+    Term.(ret (const run $ spec_file $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)
@@ -405,7 +438,8 @@ let gantt_cmd =
       value & flag
       & info [ "optimize" ] ~doc:"Trim removable idle slots first.")
   in
-  let run path width optimize =
+  let run path width optimize trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Synthesis.synthesize m with
     | Error e ->
@@ -428,7 +462,7 @@ let gantt_cmd =
   in
   Cmd.v
     (Cmd.info "gantt" ~doc:"Synthesize and draw the schedule as ASCII Gantt.")
-    Term.(ret (const run $ spec_file $ width $ optimize))
+    Term.(ret (const run $ spec_file $ width $ optimize $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
@@ -467,7 +501,8 @@ let exact_cmd =
             "State budget ($(b,game) engine) or maximum schedule length \
              ($(b,dfs) engine).")
   in
-  let run path solver engine budget jobs stats_flag =
+  let run path solver engine budget jobs stats_flag trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     let stats =
       with_jobs jobs (fun pool ->
@@ -507,14 +542,15 @@ let exact_cmd =
     Term.(
       ret
         (const run $ spec_file $ solver $ engine $ budget $ jobs_arg
-       $ stats_arg))
+       $ stats_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let sensitivity_cmd =
-  let run path =
+  let run path trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     (match Sensitivity.critical_speed ~resolution:16 m with
     | None -> Format.printf "the model does not synthesize as given@."
@@ -535,14 +571,15 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Margin analysis: tightest deadlines and critical time scale.")
-    Term.(ret (const run $ spec_file))
+    Term.(ret (const run $ spec_file $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* emit-c                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let emit_c_cmd =
-  let run path =
+  let run path trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Synthesis.synthesize m with
     | Error e ->
@@ -558,7 +595,7 @@ let emit_c_cmd =
        ~doc:
          "Synthesize and emit the C run-time scheduler (schedule table + \
           rt_tick dispatcher).")
-    Term.(ret (const run $ spec_file))
+    Term.(ret (const run $ spec_file $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* faultsim                                                            *)
@@ -668,7 +705,8 @@ let faultsim_cmd =
     | _ -> Error (Printf.sprintf "unknown policy %S" s)
   in
   let run path horizon seed inject policy_s crit_s stretch readmit check_period
-      stall_limit =
+      stall_limit trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     let crit =
       if crit_s = "" then []
@@ -740,7 +778,7 @@ let faultsim_cmd =
     Term.(
       ret
         (const run $ spec_file $ horizon $ seed $ inject $ policy $ crit_spec
-       $ stretch $ readmit $ check_period $ stall_limit))
+       $ stretch $ readmit $ check_period $ stall_limit $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* distsim                                                             *)
@@ -847,7 +885,8 @@ let distsim_cmd =
     | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT[:RET])" s)
   in
   let run path procs msg_cost arq crash_specs msg_loss policy_s crit_s stretch
-      hb_period hb_miss migration horizon seed jobs =
+      hb_period hb_miss migration horizon seed jobs trace =
+    with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     let crit =
       if crit_s = "" then None
@@ -942,14 +981,15 @@ let distsim_cmd =
       ret
         (const run $ spec_file $ procs $ msg_cost $ arq $ crash $ msg_loss
        $ policy $ crit_spec $ stretch $ hb_period $ hb_miss $ migration
-       $ horizon $ seed $ jobs_arg))
+       $ horizon $ seed $ jobs_arg $ trace_arg))
 
 (* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let example_cmd =
-  let run () =
+  let run trace =
+    with_trace trace @@ fun () ->
     let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
     print_string (Rt_spec.Printer.print ~name:"control" m);
     `Ok ()
@@ -957,7 +997,7 @@ let example_cmd =
   Cmd.v
     (Cmd.info "example"
        ~doc:"Print the paper's example control system as a specification.")
-    Term.(ret (const run $ const ()))
+    Term.(ret (const run $ trace_arg))
 
 let () =
   let info =

@@ -27,6 +27,9 @@ type engine = [ `Dfs | `Game ]
    have tested schedules the sequential search never reached). *)
 
 let find_branches pool n_tasks branch =
+  let branch i =
+    Rt_obs.Tracer.span ~cat:"exact" "dfs/branch" (fun () -> branch i)
+  in
   match pool with
   | Some p when Pool.jobs p > 1 ->
       Pool.parallel_find_first p branch (Array.init n_tasks Fun.id)

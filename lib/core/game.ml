@@ -15,6 +15,9 @@ let trivially_feasible () =
 (* ------------------------------------------------------------------ *)
 
 let find_branches pool n_tasks branch =
+  let branch i =
+    Rt_obs.Tracer.span ~cat:"exact" "game/branch" (fun () -> branch i)
+  in
   match pool with
   | Some p when Pool.jobs p > 1 ->
       Pool.parallel_find_first p branch (Array.init n_tasks Fun.id)
@@ -618,6 +621,7 @@ let solve_trace ?pool ~max_states ~granularity (m : Model.t) =
 (* ------------------------------------------------------------------ *)
 
 let solve ?pool ?(max_states = 500_000) ~granularity (m : Model.t) =
+  Perf.time "game" @@ fun () ->
   let asyncs = Model.asynchronous m in
   if asyncs = [] then trivially_feasible ()
   else if

@@ -446,6 +446,9 @@ let verify ?(cached = true) (m : Model.t) sched =
   | Ok () -> ()
   | Error errs ->
       invalid_arg ("Latency.verify: ill-formed schedule: " ^ String.concat "; " errs));
+  Rt_obs.Tracer.span ~cat:"latency"
+    (if cached then "latency/verify" else "latency/verify-uncached")
+  @@ fun () ->
   if cached then verify_cached m sched
   else
     (* Reference path: per-constraint traces, no periodicity memo —

@@ -195,9 +195,10 @@ let exact_eligible (m : Model.t) =
 
 let exact_rescue ?pool (m : Model.t) granularity primary_error =
   let stats =
-    match granularity with
-    | `Unit -> Exact.enumerate ?pool m
-    | `Atomic -> Exact.solve_single_ops ?pool m
+    Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/exact-rescue" (fun () ->
+        match granularity with
+        | `Unit -> Exact.enumerate ?pool m
+        | `Atomic -> Exact.solve_single_ops ?pool m)
   in
   match stats.Exact.outcome with
   | Exact.Feasible schedule ->
@@ -257,17 +258,22 @@ let synthesize ?pool ?(merge = true) ?(pipeline = true)
       preps
     |> Array.of_list
   in
-  let run (p, r) = attempt ~backend ~max_hyperperiod p r in
+  let run (p, r) =
+    Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/round" (fun () ->
+        attempt ~backend ~max_hyperperiod p r)
+  in
   let found =
-    match pool with
-    | Some pl when Rt_par.Pool.jobs pl > 1 && Array.length tasks > 1 ->
-        Rt_par.Pool.parallel_find_first pl run tasks
-    | _ ->
-        let rec go i =
-          if i >= Array.length tasks then None
-          else match run tasks.(i) with Some _ as res -> res | None -> go (i + 1)
-        in
-        go 0
+    Rt_par.Perf.time "synthesis" (fun () ->
+        match pool with
+        | Some pl when Rt_par.Pool.jobs pl > 1 && Array.length tasks > 1 ->
+            Rt_par.Pool.parallel_find_first pl run tasks
+        | _ ->
+            let rec go i =
+              if i >= Array.length tasks then None
+              else
+                match run tasks.(i) with Some _ as res -> res | None -> go (i + 1)
+            in
+            go 0)
   in
   match found with
   | Some plan -> Ok plan

@@ -85,8 +85,15 @@ let synthesize ?pool ?criticality ?derivation ?msg_cost
       match msg_cost with Some c -> c | None -> nominal.Msched.msg_cost
     in
     let build dead =
-      scenario_for ?criticality ?derivation ~msg_cost
-        ~arq_slack:nominal.Msched.arq_slack ~max_hyperperiod m nominal ~dead
+      let go () =
+        scenario_for ?criticality ?derivation ~msg_cost
+          ~arq_slack:nominal.Msched.arq_slack ~max_hyperperiod m nominal ~dead
+      in
+      if Rt_obs.Tracer.enabled () then
+        Rt_obs.Tracer.span ~cat:"contingency"
+          ("scenario/p" ^ string_of_int dead)
+          go
+      else go ()
     in
     (* Scenarios are independent (one per crashed processor) and each
        is a deterministic function of its index, so the order-preserving

@@ -1,0 +1,118 @@
+type run = {
+  benchmarks : (string * (string * float) list) list;
+  counters : (string * float) list;
+}
+
+let numeric_fields fields =
+  List.filter_map
+    (fun (k, v) -> match Json.to_float v with Some f -> Some (k, f) | None -> None)
+    fields
+
+let of_json json =
+  match json with
+  | Json.Obj _ ->
+      let benchmarks =
+        match Json.member "benchmarks" json with
+        | Some (Json.List rows) ->
+            List.filter_map
+              (fun row ->
+                match (row, Json.member "name" row) with
+                | Json.Obj fields, Some (Json.Str name) ->
+                    Some (name, numeric_fields fields)
+                | _ -> None)
+              rows
+        | _ -> []
+      in
+      let counters =
+        match Json.member "counters" json with
+        | Some (Json.Obj fields) -> numeric_fields fields
+        | _ -> []
+      in
+      if benchmarks = [] && counters = [] then
+        Error "no \"benchmarks\" rows or \"counters\" object found"
+      else Ok { benchmarks; counters }
+  | _ -> Error "expected a JSON object at top level"
+
+let load path =
+  match Json.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok json -> (
+      match of_json json with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok run -> Ok run)
+
+type check = {
+  metric : string;
+  tol : float;
+  eps : float;
+  scope : [ `Benchmarks | `Counters ];
+}
+
+type finding = {
+  subject : string;
+  metric : string;
+  candidate : float;
+  reference : float;
+  limit : float;
+  ok : bool;
+}
+
+type outcome = { findings : finding list; errors : string list }
+
+let compare_one ~subject ~metric ~tol ~eps ~candidate ~reference =
+  let limit = (reference *. (1. +. tol)) +. eps in
+  { subject; metric; candidate; reference; limit; ok = candidate <= limit }
+
+let diff ?(allow_missing = false) ~checks ~candidate ~reference () =
+  let findings = ref [] and errors = ref [] in
+  let emit f = findings := f :: !findings in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun { metric; tol; eps; scope } ->
+      match scope with
+      | `Counters -> (
+          match List.assoc_opt metric reference.counters with
+          | None -> err "reference has no counter %S" metric
+          | Some rv -> (
+              match List.assoc_opt metric candidate.counters with
+              | None -> err "candidate is missing counter %S" metric
+              | Some cv ->
+                  emit
+                    (compare_one ~subject:"counters" ~metric ~tol ~eps
+                       ~candidate:cv ~reference:rv)))
+      | `Benchmarks ->
+          List.iter
+            (fun (name, ref_fields) ->
+              match List.assoc_opt metric ref_fields with
+              | None -> () (* this row doesn't carry the metric *)
+              | Some rv -> (
+                  match List.assoc_opt name candidate.benchmarks with
+                  | None ->
+                      if not allow_missing then
+                        err "candidate is missing benchmark %S" name
+                  | Some cand_fields -> (
+                      match List.assoc_opt metric cand_fields with
+                      | None ->
+                          err "candidate benchmark %S is missing metric %S"
+                            name metric
+                      | Some cv ->
+                          emit
+                            (compare_one ~subject:name ~metric ~tol ~eps
+                               ~candidate:cv ~reference:rv))))
+            reference.benchmarks)
+    checks;
+  { findings = List.rev !findings; errors = List.rev !errors }
+
+let passed o = o.errors = [] && List.for_all (fun f -> f.ok) o.findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%-12s %s/%s: candidate %g vs reference %g (limit %g)"
+    (if f.ok then "ok" else "REGRESSED")
+    f.subject f.metric f.candidate f.reference f.limit
+
+let pp_outcome ppf o =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) o.findings;
+  List.iter (fun e -> Format.fprintf ppf "error: %s@." e) o.errors;
+  let bad = List.length (List.filter (fun f -> not f.ok) o.findings) in
+  Format.fprintf ppf "%d comparison(s), %d regression(s), %d error(s)@."
+    (List.length o.findings) bad (List.length o.errors)

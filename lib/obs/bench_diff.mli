@@ -1,0 +1,54 @@
+(** Compare two bench JSON files ([BENCH_*.json]) metric by metric.
+
+    A run is a list of named benchmark rows, each carrying numeric fields
+    (e.g. [optimized_seconds], [dfs_nodes]), plus a top-level [counters]
+    object with the final {!Metrics} counter snapshot.  A candidate run
+    REGRESSES against a reference when, for a checked metric,
+
+      [candidate > reference *. (1. +. tol) +. eps]
+
+    — one-sided, because for every checked metric lower is better
+    (seconds, explored states, probe counts).  [tol] is relative slack,
+    [eps] absolute: tol 0 / eps 0 demands exact equality or improvement
+    (meaningful for the deterministic single-domain counters), while a
+    small [eps] keeps microsecond-scale timing rows from flaking on
+    noise that a relative tolerance cannot absorb. *)
+
+type run = {
+  benchmarks : (string * (string * float) list) list;
+      (** benchmark name -> numeric fields *)
+  counters : (string * float) list;
+}
+
+val of_json : Json.t -> (run, string) result
+val load : string -> (run, string) result
+
+type check = {
+  metric : string;
+  tol : float;  (** relative slack *)
+  eps : float;  (** absolute slack *)
+  scope : [ `Benchmarks | `Counters ];
+}
+
+type finding = {
+  subject : string;  (** benchmark name, or ["counters"] *)
+  metric : string;
+  candidate : float;
+  reference : float;
+  limit : float;
+  ok : bool;
+}
+
+type outcome = { findings : finding list; errors : string list }
+(** [errors] are structural problems: a reference benchmark or metric
+    missing from the candidate.  Reference rows lacking the metric are
+    skipped silently (not every row carries every field). *)
+
+val diff :
+  ?allow_missing:bool -> checks:check list -> candidate:run -> reference:run ->
+  unit -> outcome
+(** [allow_missing] (default false) downgrades a reference benchmark
+    that is absent from the candidate from error to skip. *)
+
+val passed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

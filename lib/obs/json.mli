@@ -1,0 +1,23 @@
+(** Minimal JSON reader — just enough to parse the repo's own
+    [BENCH_*.json] and trace files without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error string includes the offending offset. *)
+
+val parse_file : string -> (t, string) result
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option

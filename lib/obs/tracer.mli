@@ -1,0 +1,96 @@
+(** Lock-free span tracer draining to Chrome [trace_event] JSON.
+
+    Each domain records into its own fixed-capacity ring buffer (no locks
+    or atomics on the hot recording path beyond one [Atomic.get] of the
+    global enable flag), so pool workers can trace concurrently without
+    contending.  [drain] collects every ring; [write_json] renders the
+    events in the Chrome trace-event format, which loads directly in
+    {{:https://ui.perfetto.dev}Perfetto} or [chrome://tracing].
+
+    Two timelines share one file:
+    - [pid 1] ({!wall_pid}) — wall-clock spans ([B]/[E] pairs), one track
+      per domain ([tid] = domain id), microseconds since {!enable}.
+    - [pid 2] ({!sim_pid}) — simulation virtual time: runtimes replay
+      schedules as complete ([X]) events, one track per processor, with
+      one schedule slot rendered as {!slot_us} microseconds.  Viewed in
+      Perfetto this is a Gantt chart of the replayed schedule.
+
+    Drop policy: when a ring is full, new events on that domain are
+    dropped (newest-dropped) and counted; {!dropped} reports the total.
+    Existing spans are never overwritten, so a truncated trace is still
+    structurally valid up to the drop point.
+
+    Timestamps of wall-clock [B]/[E] events are made strictly monotone
+    per ring (ts = max(now, last+1)), so clock granularity can never
+    produce the zero-width or out-of-order spans that trip trace
+    viewers.  Virtual-time events carry caller-supplied timestamps and
+    are exempt.
+
+    [drain] is not synchronized against concurrent recording: call it
+    after the traced work has quiesced (as {!with_trace} does). *)
+
+type phase = B | E | X | I | M
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : int;  (** microseconds *)
+  dur : int;  (** [X] events only; 0 otherwise *)
+  pid : int;
+  tid : int;
+  arg : (string * string) option;
+      (** rendered as ["args": {key: value}]; used by [M] metadata *)
+}
+
+val wall_pid : int
+val sim_pid : int
+
+val slot_us : int
+(** Virtual-time scale: one schedule slot = 1000 us. *)
+
+(** {1 Control} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Clears all rings, re-arms the epoch, and starts recording. *)
+
+val disable : unit -> unit
+val clear : unit -> unit
+
+(** {1 Recording} *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], bracketing it with [B]/[E] events on the
+    calling domain's track.  When tracing is disabled this is a direct
+    call to [f] (one atomic load of overhead). *)
+
+val instant : ?cat:string -> string -> unit
+(** Wall-clock instant event on the calling domain's track. *)
+
+val complete :
+  ?cat:string -> ?pid:int -> tid:int -> ts_us:int -> dur_us:int -> string -> unit
+(** Virtual-time complete ([X]) event; [pid] defaults to {!sim_pid}. *)
+
+val instant_at : ?cat:string -> ?pid:int -> tid:int -> ts_us:int -> string -> unit
+(** Virtual-time instant event; [pid] defaults to {!sim_pid}. *)
+
+val track_name : ?pid:int -> tid:int -> string -> unit
+(** Emit [thread_name] metadata so the track is labelled in Perfetto;
+    [pid] defaults to {!sim_pid}. *)
+
+(** {1 Draining} *)
+
+val dropped : unit -> int
+(** Events dropped to full rings since the last {!enable}/{!clear}. *)
+
+val drain : unit -> event list
+(** All recorded events, sorted by (pid, tid, ts) with per-ring recording
+    order preserved among equal keys.  Does not clear the rings. *)
+
+val write_json : out_channel -> event list -> unit
+(** Render as [{"traceEvents": [...]}] Chrome trace JSON. *)
+
+val with_trace : file:string -> (unit -> 'a) -> 'a
+(** [with_trace ~file f]: enable tracing, run [f], then drain and write
+    the trace to [file] (also on exception) and disable tracing. *)

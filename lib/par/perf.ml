@@ -1,14 +1,24 @@
-type counter = int Atomic.t
+(* Thin compatibility facade over Rt_obs.Metrics.
 
-let windows_checked : counter = Atomic.make 0
-let cache_hits : counter = Atomic.make 0
-let cache_misses : counter = Atomic.make 0
-let dfs_nodes : counter = Atomic.make 0
-let schedules_built : counter = Atomic.make 0
-let game_states : counter = Atomic.make 0
-let table_hits : counter = Atomic.make 0
-let table_misses : counter = Atomic.make 0
-let dominance_kills : counter = Atomic.make 0
+   The counters below used to be a hard-coded list of atomics here; they
+   are now registered cells in the Rt_obs.Metrics registry under the same
+   names, so the engines keep their zero-migration [Perf.incr] call sites
+   while rtsyn --stats / bench --json / new tooling can read everything
+   (including dynamically added metrics) from one place. *)
+
+module Metrics = Rt_obs.Metrics
+
+type counter = Metrics.counter
+
+let windows_checked = Metrics.counter "windows_checked"
+let cache_hits = Metrics.counter "cache_hits"
+let cache_misses = Metrics.counter "cache_misses"
+let dfs_nodes = Metrics.counter "dfs_nodes"
+let schedules_built = Metrics.counter "schedules_built"
+let game_states = Metrics.counter "game_states"
+let table_hits = Metrics.counter "table_hits"
+let table_misses = Metrics.counter "table_misses"
+let dominance_kills = Metrics.counter "dominance_kills"
 
 let all_counters =
   [
@@ -23,55 +33,43 @@ let all_counters =
     ("dominance_kills", dominance_kills);
   ]
 
-let incr c = Atomic.incr c
-let add c n = ignore (Atomic.fetch_and_add c n)
-let value c = Atomic.get c
+let incr = Metrics.incr
+let add = Metrics.add
+let value = Metrics.value
 
-(* Stage accumulators: nanoseconds in an atomic int per stage name.
-   The stage set is tiny and fixed in practice; creation is guarded by
-   a mutex, addition is lock-free. *)
-let stages : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
-let stages_mutex = Mutex.create ()
+let stage_prefix = "stage/"
 
-let stage_cell name =
-  Mutex.lock stages_mutex;
-  let cell =
-    match Hashtbl.find_opt stages name with
-    | Some c -> c
-    | None ->
-        let c = Atomic.make 0 in
-        Hashtbl.add stages name c;
-        c
-  in
-  Mutex.unlock stages_mutex;
-  cell
-
+(* Stage timing lives on registry histograms now: one observation per
+   completed span, nanoseconds.  Histogram cells are atomic, so spans
+   completing concurrently on pool domains never tear or drop time, and
+   the p50/p95/p99 of individual span durations come for free.  Each
+   span is also emitted to the tracer (category "stage") when tracing is
+   on. *)
 let time name f =
-  let cell = stage_cell name in
+  let h = Metrics.histogram (stage_prefix ^ name) in
   let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
-      add cell (int_of_float (dt *. 1e9)))
-    f
+  Rt_obs.Tracer.span ~cat:"stage" name (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          Metrics.observe h (int_of_float (dt *. 1e9)))
+        f)
 
 let stage_seconds () =
-  Mutex.lock stages_mutex;
-  let l =
-    Hashtbl.fold
-      (fun name cell acc -> (name, float_of_int (Atomic.get cell) /. 1e9) :: acc)
-      stages []
-  in
-  Mutex.unlock stages_mutex;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+  List.filter_map
+    (function
+      | Metrics.Histogram_v { name; sum; _ }
+        when String.starts_with ~prefix:stage_prefix name ->
+          let stage =
+            String.sub name (String.length stage_prefix)
+              (String.length name - String.length stage_prefix)
+          in
+          Some (stage, float_of_int sum /. 1e9)
+      | _ -> None)
+    (Metrics.snapshot ())
 
-let snapshot () = List.map (fun (n, c) -> (n, Atomic.get c)) all_counters
-
-let reset () =
-  List.iter (fun (_, c) -> Atomic.set c 0) all_counters;
-  Mutex.lock stages_mutex;
-  Hashtbl.iter (fun _ c -> Atomic.set c 0) stages;
-  Mutex.unlock stages_mutex
+let snapshot () = List.map (fun (n, c) -> (n, Metrics.value c)) all_counters
+let reset () = Metrics.reset ()
 
 let pp fmt () =
   Format.fprintf fmt "@[<v>";

@@ -1,5 +1,14 @@
 (** Process-wide performance counters for the analysis engine.
 
+    DEPRECATION PATH: this module is now a thin compatibility facade
+    over {!Rt_obs.Metrics} — each counter below is the registry cell of
+    the same name, [time] records onto a registry histogram
+    (["stage/<name>"]) and emits a tracer span, and {!reset} resets the
+    whole registry.  Existing call sites keep working unchanged; new
+    instrumentation should register its own metrics with
+    {!Rt_obs.Metrics} directly, and this facade can be retired once the
+    in-tree engines have migrated.
+
     All counters are atomics, so they can be bumped from any domain of
     a {!Pool} without synchronization; numbers are exact under
     sequential runs and exact-up-to-races under parallel ones (the
@@ -49,10 +58,18 @@ val add : counter -> int -> unit
 val value : counter -> int
 
 val time : string -> (unit -> 'a) -> 'a
-(** [time stage f] runs [f ()] and adds its wall-clock duration to the
-    accumulator for [stage].  Stages nest (e.g. ["verify"] inside
-    ["synthesis"]); each accumulator counts its own spans only, so
-    nested stages overlap rather than partition the total. *)
+(** [time stage f] runs [f ()] and records its wall-clock duration as
+    one observation on the registry histogram ["stage/" ^ stage] (and as
+    a tracer span of category ["stage"] when tracing is enabled).  The
+    histogram cells are atomic, so spans completing concurrently on pool
+    domains accumulate without tearing or dropping time.
+
+    Nesting semantics: stages nest dynamically (e.g. ["verify"] inside
+    ["synthesis"]); each stage's histogram counts its own spans only, so
+    nested stages {e overlap} rather than partition the total — summing
+    [stage_seconds] across stages double-counts nested time, and a stage
+    entered concurrently on [k] domains accumulates up to [k] seconds of
+    stage time per wall-clock second. *)
 
 val stage_seconds : unit -> (string * float) list
 (** Accumulated wall-clock seconds per stage, sorted by stage name. *)
@@ -61,7 +78,9 @@ val snapshot : unit -> (string * int) list
 (** All counters by name, in a fixed order. *)
 
 val reset : unit -> unit
-(** Zero every counter and stage accumulator. *)
+(** Zero every counter and stage accumulator.  Since the cells live in
+    the shared registry, this is {!Rt_obs.Metrics.reset} — it also
+    zeroes any metrics registered outside this facade. *)
 
 val pp : Format.formatter -> unit -> unit
 (** Human-readable dump of {!snapshot} and {!stage_seconds}. *)

@@ -419,11 +419,39 @@ let run ?crit ?(crashes = []) ?(net_faults = []) ?(policy = Failover)
     |> List.sort (fun a b ->
            compare (a.arrival, a.constraint_name) (b.arrival, b.constraint_name))
   in
+  let realized =
+    Array.map (fun row -> Schedule.of_slots (Array.to_list row)) exec
+  in
+  if Rt_obs.Tracer.enabled () then begin
+    (* One virtual-time track per processor: the realized (post-failover)
+       logs, with crash/detection/failover events flagged on the lane of
+       the processor concerned. *)
+    Array.iteri
+      (fun p sched ->
+        Obs_emit.track ~tid:p (Printf.sprintf "p%d" p);
+        Obs_emit.schedule m.Model.comm sched ~tid:p
+          ~horizon:(Schedule.length sched))
+      realized;
+    List.iter
+      (fun ev ->
+        let proc, at, label =
+          match ev with
+          | Crashed { proc; at } -> (proc, at, "crash")
+          | Returned { proc; at } -> (proc, at, "return")
+          | Detected { proc; at; latency } ->
+              (proc, at, Printf.sprintf "detected(+%d)" latency)
+          | Failover_complete { proc; at } -> (proc, at, "failover")
+          | Failover_unavailable { proc; at; reason } ->
+              (proc, at, "failover-unavailable:" ^ reason)
+          | Readmitted { proc; at } -> (proc, at, "readmit")
+        in
+        Obs_emit.instant ~tid:proc ~at label)
+      (List.rev !events)
+  end;
   {
     invocations;
     events = List.rev !events;
-    realized =
-      Array.map (fun row -> Schedule.of_slots (Array.to_list row)) exec;
+    realized;
     bus_retransmissions = !retrans;
     misses =
       List.length

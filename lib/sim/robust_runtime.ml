@@ -451,6 +451,29 @@ let run ?(crit = []) ?(faults = []) ?(policy = Abort_job)
   for t = 0 to horizon - 1 do
     if mode_of_slot.(t) <> 0 then incr degraded_slots
   done;
+  if Rt_obs.Tracer.enabled () then begin
+    (* Virtual-time Gantt of the realized (not nominal) execution log,
+       with one flag per runtime event. *)
+    Obs_emit.track ~tid:0 "cpu";
+    Obs_emit.executions comm ~tid:0 executions;
+    List.iter
+      (fun ev ->
+        let at, label =
+          match ev with
+          | Overrun_detected (d : Watchdog.detection) ->
+              (d.detected_at, "overrun-detected")
+          | Stall_killed { at; _ } -> (at, "stall-killed")
+          | Aborted { at; _ } -> (at, "aborted")
+          | Output_lost { at; _ } -> (at, "output-lost")
+          | Retry_scheduled { at; _ } -> (at, "retry")
+          | Gave_up { at; _ } -> (at, "gave-up")
+          | Skip_scheduled { at; _ } -> (at, "skip")
+          | Degraded { at; to_mode } -> (at, "degrade:" ^ to_mode)
+          | Readmitted { at } -> (at, "readmit")
+        in
+        Obs_emit.instant ~tid:0 ~at label)
+      (List.rev !events)
+  end;
   {
     invocations;
     events = List.rev !events;

@@ -74,6 +74,18 @@ let run (m : Model.t) sched ~horizon ~arrivals =
       (async_invocations @ periodic_invocations)
   in
   let misses = List.length (List.filter (fun i -> not i.met) invocations) in
+  if Rt_obs.Tracer.enabled () then begin
+    (* Virtual-time Gantt of the replay: the cyclic schedule up to the
+       horizon, plus one flag per arrival (and per miss). *)
+    Obs_emit.track ~tid:0 "cpu";
+    Obs_emit.schedule m.comm sched ~tid:0 ~horizon;
+    List.iter
+      (fun i ->
+        Obs_emit.instant ~tid:0 ~at:i.arrival
+          (Printf.sprintf "%s:%s" i.constraint_name
+             (if i.met then "arrival" else "miss")))
+      invocations
+  end;
   let worst_response =
     List.fold_left
       (fun acc i ->

@@ -1,0 +1,150 @@
+(* bench_check: compare two bench JSON files and fail on regression.
+
+   Usage:
+     bench_check CANDIDATE REFERENCE [options]
+
+   Options:
+     --tolerance T        default relative tolerance (default 0.25)
+     --eps E              absolute slack added to benchmark-metric limits
+                          (default 0; keeps microsecond-scale timing rows
+                          from flaking — counters never get eps)
+     --metric NAME[:TOL]  compare benchmark-row field NAME (repeatable);
+                          default when no check is requested at all:
+                          optimized_seconds
+     --counter NAME[:TOL] compare counter NAME from the counters block
+                          (repeatable)
+     --all-counters[:TOL] compare every counter in the reference
+     --allow-missing      skip (rather than fail on) reference benchmarks
+                          absent from the candidate
+
+   A metric REGRESSES when candidate > reference * (1 + tolerance) + eps —
+   one-sided, lower is better.  Exit 0 when all comparisons pass, 1 on
+   any regression or structural error, 2 on usage/load errors.
+
+   The comparison logic lives in Rt_obs.Bench_diff (unit-tested in
+   test/test_obs.ml); this file is argument parsing only. *)
+
+module BD = Rt_obs.Bench_diff
+
+let usage () =
+  prerr_endline
+    "usage: bench_check CANDIDATE REFERENCE [--tolerance T] [--eps E] \
+     [--metric NAME[:TOL]]... [--counter NAME[:TOL]]... \
+     [--all-counters[:TOL]] [--allow-missing]";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* "name" or "name:0.5" *)
+let parse_spec ~default_tol s =
+  match String.rindex_opt s ':' with
+  | None -> (s, default_tol)
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let tol = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt tol with
+      | Some t when t >= 0.0 -> (name, t)
+      | _ -> die "bad tolerance in %S" s)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let files = ref [] in
+  let tolerance = ref 0.25 in
+  let eps = ref 0.0 in
+  let metrics = ref [] in
+  let counters = ref [] in
+  let all_counters = ref None in
+  let allow_missing = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some v when v >= 0.0 ->
+            tolerance := v;
+            parse rest
+        | _ -> die "bad --tolerance %S" t)
+    | "--eps" :: e :: rest -> (
+        match float_of_string_opt e with
+        | Some v when v >= 0.0 ->
+            eps := v;
+            parse rest
+        | _ -> die "bad --eps %S" e)
+    | "--metric" :: m :: rest ->
+        metrics := m :: !metrics;
+        parse rest
+    | "--counter" :: c :: rest ->
+        counters := c :: !counters;
+        parse rest
+    | "--all-counters" :: rest ->
+        all_counters := Some None;
+        parse rest
+    | a :: rest when String.length a > 15
+                     && String.sub a 0 15 = "--all-counters:" -> (
+        let t = String.sub a 15 (String.length a - 15) in
+        match float_of_string_opt t with
+        | Some v when v >= 0.0 ->
+            all_counters := Some (Some v);
+            parse rest
+        | _ -> die "bad tolerance in %S" a)
+    | "--allow-missing" :: rest ->
+        allow_missing := true;
+        parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        die "unknown option %s" a
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse args;
+  let cand_path, ref_path =
+    match List.rev !files with [ c; r ] -> (c, r) | _ -> usage ()
+  in
+  let load path =
+    match BD.load path with
+    | Ok run -> run
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let candidate = load cand_path and reference = load ref_path in
+  let metric_checks =
+    match List.rev !metrics with
+    | [] when !counters = [] && !all_counters = None ->
+        (* no check requested at all: gate wall time *)
+        [ { BD.metric = "optimized_seconds"; tol = !tolerance; eps = !eps;
+            scope = `Benchmarks } ]
+    | ms ->
+        List.map
+          (fun m ->
+            let name, tol = parse_spec ~default_tol:!tolerance m in
+            { BD.metric = name; tol; eps = !eps; scope = `Benchmarks })
+          ms
+  in
+  let counter_checks =
+    let named =
+      List.rev_map
+        (fun c ->
+          let name, tol = parse_spec ~default_tol:!tolerance c in
+          { BD.metric = name; tol; eps = 0.0; scope = `Counters })
+        !counters
+    in
+    match !all_counters with
+    | None -> named
+    | Some tol_opt ->
+        let tol = Option.value ~default:!tolerance tol_opt in
+        let every =
+          List.map
+            (fun (name, _) ->
+              { BD.metric = name; tol; eps = 0.0; scope = `Counters })
+            reference.BD.counters
+        in
+        named @ every
+  in
+  let outcome =
+    BD.diff ~allow_missing:!allow_missing
+      ~checks:(metric_checks @ counter_checks)
+      ~candidate ~reference ()
+  in
+  Format.printf "bench_check: %s vs %s@.%a" cand_path ref_path BD.pp_outcome
+    outcome;
+  if BD.passed outcome then exit 0 else exit 1
