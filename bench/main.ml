@@ -161,7 +161,7 @@ let e2 () =
             total_len := !total_len + Schedule.length sched;
             if Latency.all_ok (Latency.verify m sched) then incr verified
         | Exact.Infeasible -> incr infeas
-        | Exact.Unknown _ -> incr unknown
+        | Exact.Timeout _ | Exact.Unknown _ -> incr unknown
       done;
       row "%-12s %6d %9d %11d %9d %10s %8s"
         (Printf.sprintf "%.2f" target)
@@ -195,6 +195,7 @@ let e3 () =
         (match stats.Exact.outcome with
         | Exact.Feasible _ -> "feasible"
         | Exact.Infeasible -> "infeasible"
+        | Exact.Timeout _ -> "timeout"
         | Exact.Unknown _ -> "budget"))
     [ (1, 13); (1, 17); (1, 21); (1, 25); (2, 13); (2, 17) ];
   Printf.printf
@@ -215,6 +216,7 @@ let e3 () =
         (match stats.Exact.outcome with
         | Exact.Feasible _ -> "feasible"
         | Exact.Infeasible -> "infeasible"
+        | Exact.Timeout _ -> "timeout"
         | Exact.Unknown _ -> "none<=6"))
     [ 1; 2; 3; 4 ];
   Printf.printf "\n(c) the source problems themselves (brute-force deciders)\n";
@@ -1179,6 +1181,7 @@ let e15 () =
   let show = function
     | Exact.Feasible _ -> "feasible"
     | Exact.Infeasible -> "infeasible"
+    | Exact.Timeout _ -> "timeout"
     | Exact.Unknown _ -> "unknown"
   in
   let oracle m = function

@@ -1,18 +1,32 @@
 (* rtsyn: command-line front end for the graph-based synthesis library.
 
    Subcommands:
-     check      parse and validate a specification
-     synth      synthesize and verify a static schedule
+     check      parse and validate a specification (or check a certificate)
+     synth      synthesize, verify and certify a static schedule
      analyze    latency/response report for a user-supplied schedule
      simulate   replay a synthesized schedule against random arrivals
      faultsim   replay under injected timing faults with recovery
      distsim    multiprocessor replay under crashes and bus faults
      dot        Graphviz export
      multiproc  partition across processors and schedule the bus
-     example    print the paper's example specification *)
+     example    print example specifications (control system, E3 family)
+
+   Exit codes (uniform across subcommands):
+     0  success (feasible, verified, certified)
+     1  infeasible / failed verification or check / misses observed
+     2  command-line usage error
+     3  a --budget-ms/--fuel budget was exhausted (TIMEOUT)
+     4  internal error (unexpected exception, or an engine result the
+        independent certificate checker rejected — fail closed) *)
 
 open Cmdliner
 open Rt_core
+
+let exit_ok = 0
+let exit_infeasible = 1
+let exit_usage = 2
+let exit_timeout = 3
+let exit_internal = 4
 
 let read_file path =
   let ic = open_in_bin path in
@@ -20,6 +34,11 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
 
 let load_model path =
   match Rt_spec.Elaborate.load (read_file path) with
@@ -30,11 +49,59 @@ let or_die = function
   | Ok v -> v
   | Error msg ->
       prerr_endline msg;
-      exit 1
+      exit exit_infeasible
+
+let usage_error msg =
+  Format.eprintf "rtsyn: %s@." msg;
+  exit_usage
+
+(* Fail closed: every schedule the tool publishes with exit 0 has been
+   re-validated by the independent checker (Rt_check, which shares no
+   code with the engines beyond the model vocabulary).  An engine
+   result the checker rejects is an internal error, never a published
+   schedule. *)
+let internal_check_failure what errs =
+  Format.eprintf "INTERNAL ERROR: %s rejected by the independent checker:@."
+    what;
+  List.iter (fun e -> Format.eprintf "  %s@." e) errs;
+  exit_internal
+
+let certified m sched =
+  match Certify.schedule m sched with
+  | Error e ->
+      Format.eprintf "INTERNAL ERROR: certificate construction failed: %s@." e;
+      None
+  | Ok cert -> (
+      match Checker.check m cert with
+      | Ok () -> Some cert
+      | Error errs ->
+          ignore (internal_check_failure "schedule certificate" errs);
+          None)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
 (* ------------------------------------------------------------------ *)
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success (feasible, verified, certified).";
+    Cmd.Exit.info 1
+      ~doc:
+        "on an infeasible instance, a failed verification or certificate \
+         check, or observed deadline misses.";
+    Cmd.Exit.info 2 ~doc:"on command-line usage errors.";
+    Cmd.Exit.info 3
+      ~doc:
+        "when a $(b,--budget-ms)/$(b,--fuel) budget was exhausted before \
+         the engines finished (TIMEOUT).";
+    Cmd.Exit.info 4
+      ~doc:
+        "on internal errors: an unexpected exception, or an engine result \
+         that the independent certificate checker rejected (the tool fails \
+         closed — such a schedule is never published with exit 0).";
+  ]
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
 
 let spec_file =
   Arg.(
@@ -112,55 +179,140 @@ let with_trace trace f =
   | None -> f ()
   | Some file -> Rt_obs.Tracer.with_trace ~file f
 
+let budget_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds, checked cooperatively at \
+           every state expansion / candidate round.  Exhausting it reports \
+           TIMEOUT (exit 3); with no budget the search is bit-for-bit the \
+           default path.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Work budget: game states, DFS nodes and candidate rounds drawn \
+           from one shared pool across the whole run (and across --jobs \
+           lanes).  Exhausting it reports TIMEOUT (exit 3).")
+
+let make_budget budget_ms fuel =
+  let negative = function Some v -> v < 0 | None -> false in
+  match (budget_ms, fuel) with
+  | None, None -> Ok None
+  | _ ->
+      if negative budget_ms then Error "--budget-ms must be non-negative"
+      else if negative fuel then Error "--fuel must be non-negative"
+      else
+        Ok
+          (Some
+             (Budget.create
+                ?wall_s:
+                  (Option.map (fun ms -> float_of_int ms /. 1000.) budget_ms)
+                ?fuel ()))
+
+let cert_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cert" ] ~docv:"FILE"
+        ~doc:
+          "Write the checked witness certificate (JSON) to $(docv); \
+           re-validate it later with $(b,rtsyn check --certificate).")
+
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run path trace =
+  let certificate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "certificate" ] ~docv:"CERT"
+          ~doc:
+            "Check the witness certificate in $(docv) (written by \
+             $(b,rtsyn synth --cert) or $(b,rtsyn exact --cert)) against \
+             the specification with the independent checker; exit 0 iff it \
+             proves its schedule feasible for this model.")
+  in
+  let run path certificate trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    Format.printf "%a" Model.pp m;
-    Format.printf "utilization (no sharing): %.3f@." (Model.utilization m);
-    Format.printf "density: %.3f@." (Model.density m);
-    (match Model.hyperperiod m with
-    | h -> Format.printf "hyperperiod of T_p: %d@." h
-    | exception Rt_graph.Intmath.Overflow ->
-        Format.printf "hyperperiod of T_p: overflow@.");
-    let shared = Model.elements_shared m in
-    if shared <> [] then begin
-      Format.printf "shared elements:@.";
-      List.iter
-        (fun (e, users) ->
-          Format.printf "  %s used by {%s}@."
-            (Comm_graph.element m.Model.comm e).Element.name
-            (String.concat " " users))
-        shared
-    end;
-    (match Model.theorem3_premises m with
-    | Ok () -> Format.printf "Theorem 3 premises: satisfied@."
-    | Error es ->
-        Format.printf "Theorem 3 premises: violated (%s)@."
-          (String.concat "; " es));
-    (match
-       Rt_graph.Digraph.feedback_components (Comm_graph.graph m.Model.comm)
-     with
-    | [] -> ()
-    | loops ->
-        Format.printf "feedback loops:@.";
-        List.iter
-          (fun comp ->
-            Format.printf "  {%s}@."
-              (String.concat " "
-                 (List.map
-                    (fun e -> (Comm_graph.element m.Model.comm e).Element.name)
-                    comp)))
-          loops);
-    `Ok ()
+    match certificate with
+    | Some cert_file -> (
+        match Rt_spec.Persist.load_certificate_file cert_file with
+        | Error e ->
+            Format.printf "CERTIFICATE REJECTED: %s@." e;
+            exit_infeasible
+        | Ok (cm, cert) -> (
+            match Checker.check cm cert with
+            | Ok () ->
+                Format.printf
+                  "CERTIFICATE OK (%d witnesses, schedule cycle %d)@."
+                  (List.length cert.Certificate.witnesses)
+                  (Schedule.length cert.Certificate.schedule);
+                if cert.Certificate.digest = Certificate.digest_of_model m
+                then Format.printf "binds to: %s (this specification)@." path
+                else
+                  Format.printf
+                    "binds to: a synthesis rewrite of the input (digest %s; \
+                     this specification elaborates to %s)@."
+                    cert.Certificate.digest
+                    (Certificate.digest_of_model m);
+                exit_ok
+            | Error errs ->
+                List.iter (fun e -> Format.printf "  %s@." e) errs;
+                Format.printf "CERTIFICATE REJECTED@.";
+                exit_infeasible))
+    | None ->
+        Format.printf "%a" Model.pp m;
+        Format.printf "utilization (no sharing): %.3f@." (Model.utilization m);
+        Format.printf "density: %.3f@." (Model.density m);
+        (match Model.hyperperiod m with
+        | h -> Format.printf "hyperperiod of T_p: %d@." h
+        | exception Rt_graph.Intmath.Overflow ->
+            Format.printf "hyperperiod of T_p: overflow@.");
+        let shared = Model.elements_shared m in
+        if shared <> [] then begin
+          Format.printf "shared elements:@.";
+          List.iter
+            (fun (e, users) ->
+              Format.printf "  %s used by {%s}@."
+                (Comm_graph.element m.Model.comm e).Element.name
+                (String.concat " " users))
+            shared
+        end;
+        (match Model.theorem3_premises m with
+        | Ok () -> Format.printf "Theorem 3 premises: satisfied@."
+        | Error es ->
+            Format.printf "Theorem 3 premises: violated (%s)@."
+              (String.concat "; " es));
+        (match
+           Rt_graph.Digraph.feedback_components (Comm_graph.graph m.Model.comm)
+         with
+        | [] -> ()
+        | loops ->
+            Format.printf "feedback loops:@.";
+            List.iter
+              (fun comp ->
+                Format.printf "  {%s}@."
+                  (String.concat " "
+                     (List.map
+                        (fun e ->
+                          (Comm_graph.element m.Model.comm e).Element.name)
+                        comp)))
+              loops);
+        exit_ok
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse and validate a specification.")
-    Term.(ret (const run $ spec_file $ trace_arg))
+    (cmd_info "check"
+       ~doc:"Parse and validate a specification, or check a certificate.")
+    Term.(const run $ spec_file $ certificate_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                               *)
@@ -174,42 +326,65 @@ let synth_cmd =
       & info [ "o"; "output" ] ~docv:"PLAN"
           ~doc:"Write the verified plan (model + schedule) to $(docv).")
   in
-  let run path no_merge no_pipeline max_hyperperiod output jobs stats trace =
+  let run path no_merge no_pipeline max_hyperperiod output cert budget_ms fuel
+      jobs stats trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    match
-      with_jobs jobs (fun pool ->
-          Synthesis.synthesize ?pool ~merge:(not no_merge)
-            ~pipeline:(not no_pipeline) ~max_hyperperiod m)
-    with
-    | Error e ->
-        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        `Error (false, "synthesis failed")
-    | Ok plan ->
-        Format.printf "%a" (Synthesis.pp_plan m) plan;
-        (match output with
-        | None -> ()
-        | Some out ->
-            Rt_spec.Persist.save_file out plan.Synthesis.model_used
-              plan.Synthesis.schedule;
-            Format.printf "plan written to %s@." out);
-        (* when tracing, replay the plan so the trace also carries the
-           synthesized schedule as a virtual-time Gantt *)
-        if Rt_obs.Tracer.enabled () then
-          ignore
-            (Rt_sim.Runtime.run plan.Synthesis.model_used
-               plan.Synthesis.schedule
-               ~horizon:(2 * plan.Synthesis.hyperperiod)
-               ~arrivals:[]);
-        print_stats stats;
-        `Ok ()
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget -> (
+        match
+          with_jobs jobs (fun pool ->
+              Synthesis.synthesize ?pool ?budget ~merge:(not no_merge)
+                ~pipeline:(not no_pipeline) ~max_hyperperiod m)
+        with
+        | Error e when e.Synthesis.stage = "budget" ->
+            Format.eprintf "synthesis timed out: %a@." Synthesis.pp_error e;
+            print_stats stats;
+            exit_timeout
+        | Error e ->
+            Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+            print_stats stats;
+            exit_infeasible
+        | Ok plan -> (
+            Format.printf "%a" (Synthesis.pp_plan m) plan;
+            match
+              certified plan.Synthesis.model_used plan.Synthesis.schedule
+            with
+            | None -> exit_internal
+            | Some c ->
+                Format.printf "certificate: OK (%d witnesses)@."
+                  (List.length c.Certificate.witnesses);
+                Option.iter
+                  (fun f ->
+                    Rt_spec.Persist.save_certificate_file f
+                      plan.Synthesis.model_used c;
+                    Format.printf "certificate written to %s@." f)
+                  cert;
+                (match output with
+                | None -> ()
+                | Some out ->
+                    Rt_spec.Persist.save_file out plan.Synthesis.model_used
+                      plan.Synthesis.schedule;
+                    Format.printf "plan written to %s@." out);
+                (* when tracing, replay the plan so the trace also carries
+                   the synthesized schedule as a virtual-time Gantt *)
+                if Rt_obs.Tracer.enabled () then
+                  ignore
+                    (Rt_sim.Runtime.run plan.Synthesis.model_used
+                       plan.Synthesis.schedule
+                       ~horizon:(2 * plan.Synthesis.hyperperiod)
+                       ~arrivals:[]);
+                print_stats stats;
+                exit_ok))
   in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Synthesize and verify a static schedule.")
+    (cmd_info "synth"
+       ~doc:"Synthesize, verify and certify a static schedule.")
     Term.(
-      ret
-        (const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
-       $ output $ jobs_arg $ stats_arg $ trace_arg))
+      const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
+      $ output $ cert_out_arg $ budget_ms_arg $ fuel_arg $ jobs_arg
+      $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -229,25 +404,31 @@ let analyze_cmd =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Schedule.of_string m.Model.comm sched_str with
-    | Error e -> `Error (false, e)
+    | Error e -> usage_error e
     | Ok sched -> (
         match Schedule.validate m.Model.comm sched with
         | Error errs ->
             List.iter prerr_endline errs;
-            `Error (false, "ill-formed schedule")
+            Format.printf "INFEASIBLE@.";
+            exit_infeasible
         | Ok () ->
             let verdicts = Latency.verify m sched in
             List.iter
               (fun v -> Format.printf "%a@." Latency.pp_verdict v)
               verdicts;
-            Format.printf "%s@."
-              (if Latency.all_ok verdicts then "FEASIBLE" else "INFEASIBLE");
-            `Ok ())
+            if Latency.all_ok verdicts then begin
+              Format.printf "FEASIBLE@.";
+              exit_ok
+            end
+            else begin
+              Format.printf "INFEASIBLE@.";
+              exit_infeasible
+            end)
   in
   Cmd.v
-    (Cmd.info "analyze"
+    (cmd_info "analyze"
        ~doc:"Latency/response verdicts for a user-supplied schedule.")
-    Term.(ret (const run $ spec_file $ schedule_arg $ trace_arg))
+    Term.(const run $ spec_file $ schedule_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -270,7 +451,7 @@ let simulate_cmd =
     match Synthesis.synthesize m with
     | Error e ->
         Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        `Error (false, "synthesis failed")
+        exit_infeasible
     | Ok plan ->
         let prng = Rt_graph.Prng.create seed in
         let arrivals =
@@ -289,12 +470,16 @@ let simulate_cmd =
         List.iter
           (fun s -> Format.printf "%a@." Rt_sim.Stats.pp_summary s)
           (Rt_sim.Stats.summarize report);
-        if report.Rt_sim.Runtime.misses = 0 then `Ok ()
-        else `Error (false, "deadline misses observed")
+        if report.Rt_sim.Runtime.misses = 0 then exit_ok
+        else begin
+          Format.eprintf "deadline misses observed@.";
+          exit_infeasible
+        end
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Synthesize, then replay against random arrivals.")
-    Term.(ret (const run $ spec_file $ horizon $ seed $ trace_arg))
+    (cmd_info "simulate"
+       ~doc:"Synthesize, then replay against random arrivals.")
+    Term.(const run $ spec_file $ horizon $ seed $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -314,11 +499,11 @@ let dot_cmd =
     (match what with
     | `Comm -> print_string (Rt_spec.Dot.comm_graph m)
     | `Full -> print_string (Rt_spec.Dot.full m));
-    `Ok ()
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Graphviz export of the model.")
-    Term.(ret (const run $ spec_file $ what $ trace_arg))
+    (cmd_info "dot" ~doc:"Graphviz export of the model.")
+    Term.(const run $ spec_file $ what $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* multiproc                                                           *)
@@ -335,24 +520,36 @@ let multiproc_cmd =
       & info [ "msg-cost" ] ~docv:"C"
           ~doc:"Bus slots per cross-processor transmission.")
   in
-  let run path procs msg_cost trace =
+  let run path procs msg_cost cert trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost m with
     | Error e ->
         Format.eprintf "multiprocessor synthesis failed: %s@." e;
-        `Error (false, "infeasible")
-    | Ok r ->
+        exit_infeasible
+    | Ok r -> (
         Format.printf "%a" (Rt_multiproc.Msched.pp_result m) r;
         Array.iteri
           (fun i s ->
             Format.printf "p%d: %s@." i (Schedule.to_string m.Model.comm s))
           r.Rt_multiproc.Msched.processor_schedules;
-        `Ok ()
+        let c = Rt_multiproc.Mcert.result_cert m r in
+        match Checker.check_multi m c with
+        | Error errs -> internal_check_failure "multiprocessor certificate" errs
+        | Ok () ->
+            Format.printf "certificate: OK (%d plans)@."
+              (List.length c.Certificate.mp_plans);
+            Option.iter
+              (fun f ->
+                write_file f (Certificate.mp_to_json c);
+                Format.printf "certificate written to %s@." f)
+              cert;
+            exit_ok)
   in
   Cmd.v
-    (Cmd.info "multiproc" ~doc:"Partition over processors and schedule the bus.")
-    Term.(ret (const run $ spec_file $ procs $ msg_cost $ trace_arg))
+    (cmd_info "multiproc"
+       ~doc:"Partition over processors, schedule the bus, certify.")
+    Term.(const run $ spec_file $ procs $ msg_cost $ cert_out_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
@@ -379,7 +576,7 @@ let replay_cmd =
     match Rt_spec.Persist.load_file plan_file with
     | Error e ->
         Format.eprintf "plan rejected: %s@." e;
-        `Error (false, "plan rejected")
+        exit_infeasible
     | Ok (m, sched) ->
         Format.printf "plan verified on load.@.";
         let prng = Rt_graph.Prng.create seed in
@@ -393,13 +590,16 @@ let replay_cmd =
         in
         let report = Rt_sim.Runtime.run m sched ~horizon ~arrivals in
         Format.printf "%a" Rt_sim.Runtime.pp_report report;
-        if report.Rt_sim.Runtime.misses = 0 then `Ok ()
-        else `Error (false, "deadline misses observed")
+        if report.Rt_sim.Runtime.misses = 0 then exit_ok
+        else begin
+          Format.eprintf "deadline misses observed@.";
+          exit_infeasible
+        end
   in
   Cmd.v
-    (Cmd.info "replay"
+    (cmd_info "replay"
        ~doc:"Load a saved plan (re-verifying it) and replay it.")
-    Term.(ret (const run $ plan_file $ horizon $ seed $ trace_arg))
+    Term.(const run $ plan_file $ horizon $ seed $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* admit                                                               *)
@@ -417,11 +617,11 @@ let admit_cmd =
         Format.printf
           "INCONCLUSIVE (run 'rtsyn synth' — the exact boundary is NP-hard)@.");
     Format.printf "element demand rate bound: %.3f@." (Admission.rate_bound m);
-    `Ok ()
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "admit" ~doc:"Fast analytic admission test (no synthesis).")
-    Term.(ret (const run $ spec_file $ trace_arg))
+    (cmd_info "admit" ~doc:"Fast analytic admission test (no synthesis).")
+    Term.(const run $ spec_file $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gantt                                                               *)
@@ -444,7 +644,7 @@ let gantt_cmd =
     match Synthesis.synthesize m with
     | Error e ->
         Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        `Error (false, "synthesis failed")
+        exit_infeasible
     | Ok plan ->
         let mu = plan.Synthesis.model_used in
         let sched =
@@ -458,11 +658,11 @@ let gantt_cmd =
         print_string (Gantt.render ~width mu.Model.comm sched);
         print_newline ();
         print_endline (Gantt.legend mu.Model.comm sched);
-        `Ok ()
+        exit_ok
   in
   Cmd.v
-    (Cmd.info "gantt" ~doc:"Synthesize and draw the schedule as ASCII Gantt.")
-    Term.(ret (const run $ spec_file $ width $ optimize $ trace_arg))
+    (cmd_info "gantt" ~doc:"Synthesize and draw the schedule as ASCII Gantt.")
+    Term.(const run $ spec_file $ width $ optimize $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
@@ -493,56 +693,86 @@ let exact_cmd =
              bounded schedule enumeration — $(b,--budget) bounds the \
              schedule length (capped at 64) and exhaustion reports UNKNOWN.")
   in
-  let budget =
+  let bound =
     Arg.(
       value & opt int 500_000
       & info [ "budget" ] ~docv:"N"
           ~doc:
-            "State budget ($(b,game) engine) or maximum schedule length \
-             ($(b,dfs) engine).")
+            "The engine's own resource bound: state budget ($(b,game) \
+             engine) or maximum schedule length ($(b,dfs) engine).  \
+             Exhaustion reports UNKNOWN (exit 1); for a caller-owned \
+             wall-clock/fuel cut-off that reports TIMEOUT (exit 3) use \
+             $(b,--budget-ms)/$(b,--fuel).")
   in
-  let run path solver engine budget jobs stats_flag trace =
+  let run path solver engine bound cert budget_ms fuel jobs stats_flag trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    let stats =
-      with_jobs jobs (fun pool ->
-          match solver with
-          | `Game -> Exact.solve_single_ops ?pool ~max_states:budget m
-          | `Atomic ->
-              Exact.enumerate_atomic ?pool ~engine ~max_len:(min budget 64)
-                ~max_states:budget m
-          | `Unit ->
-              Exact.enumerate ?pool ~engine ~max_len:(min budget 64)
-                ~max_states:budget m)
-    in
-    Format.printf "explored: %d@." stats.Exact.explored;
-    let ret =
-      match stats.Exact.outcome with
-      | Exact.Feasible sched ->
-          Format.printf "FEASIBLE: %s@."
-            (Schedule.to_string m.Model.comm sched);
-          List.iter
-            (fun v -> Format.printf "%a@." Latency.pp_verdict v)
-            (Latency.verify m sched);
-          `Ok ()
-      | Exact.Infeasible ->
-          Format.printf
-            "INFEASIBLE (no execution trace meets the latencies)@.";
-          `Ok ()
-      | Exact.Unknown msg ->
-          Format.printf "UNKNOWN: %s@." msg;
-          `Ok ()
-    in
-    print_stats stats_flag;
-    ret
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget ->
+        let stats =
+          with_jobs jobs (fun pool ->
+              match solver with
+              | `Game ->
+                  Exact.solve_single_ops ?pool ?budget ~max_states:bound m
+              | `Atomic ->
+                  Exact.enumerate_atomic ?pool ?budget ~engine
+                    ~max_len:(min bound 64) ~max_states:bound m
+              | `Unit ->
+                  Exact.enumerate ?pool ?budget ~engine
+                    ~max_len:(min bound 64) ~max_states:bound m)
+        in
+        Format.printf "explored: %d@." stats.Exact.explored;
+        let ret =
+          match stats.Exact.outcome with
+          | Exact.Feasible sched -> (
+              Format.printf "FEASIBLE: %s@."
+                (Schedule.to_string m.Model.comm sched);
+              List.iter
+                (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+                (Latency.verify m sched);
+              (* The exact deciders answer for the asynchronous
+                 constraints only, so the certificate binds to the
+                 async fragment of the model. *)
+              let m_async =
+                Model.make ~comm:m.Model.comm
+                  ~constraints:(Model.asynchronous m)
+              in
+              if Model.periodic m <> [] then
+                Format.printf
+                  "note: the certificate covers the asynchronous \
+                   constraints only (the exact solvers decide T_p = {})@.";
+              match certified m_async sched with
+              | None -> exit_internal
+              | Some c ->
+                  Format.printf "certificate: OK (%d witnesses)@."
+                    (List.length c.Certificate.witnesses);
+                  Option.iter
+                    (fun f ->
+                      Rt_spec.Persist.save_certificate_file f m_async c;
+                      Format.printf "certificate written to %s@." f)
+                    cert;
+                  exit_ok)
+          | Exact.Infeasible ->
+              Format.printf
+                "INFEASIBLE (no execution trace meets the latencies)@.";
+              exit_infeasible
+          | Exact.Timeout msg ->
+              Format.printf "TIMEOUT: %s@." msg;
+              exit_timeout
+          | Exact.Unknown msg ->
+              Format.printf "UNKNOWN: %s@." msg;
+              exit_infeasible
+        in
+        print_stats stats_flag;
+        ret
   in
   Cmd.v
-    (Cmd.info "exact"
+    (cmd_info "exact"
        ~doc:"Exact feasibility decision (asynchronous constraints).")
     Term.(
-      ret
-        (const run $ spec_file $ solver $ engine $ budget $ jobs_arg
-       $ stats_arg $ trace_arg))
+      const run $ spec_file $ solver $ engine $ bound $ cert_out_arg
+      $ budget_ms_arg $ fuel_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)
@@ -566,12 +796,12 @@ let sensitivity_cmd =
                   c.deadline d
             | None -> ())
           m.Model.constraints);
-    `Ok ()
+    exit_ok
   in
   Cmd.v
-    (Cmd.info "sensitivity"
+    (cmd_info "sensitivity"
        ~doc:"Margin analysis: tightest deadlines and critical time scale.")
-    Term.(ret (const run $ spec_file $ trace_arg))
+    Term.(const run $ spec_file $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* emit-c                                                              *)
@@ -584,18 +814,18 @@ let emit_c_cmd =
     match Synthesis.synthesize m with
     | Error e ->
         Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        `Error (false, "synthesis failed")
+        exit_infeasible
     | Ok plan ->
         print_string
           (Emit_c.emit plan.Synthesis.model_used plan.Synthesis.schedule);
-        `Ok ()
+        exit_ok
   in
   Cmd.v
-    (Cmd.info "emit-c"
+    (cmd_info "emit-c"
        ~doc:
          "Synthesize and emit the C run-time scheduler (schedule table + \
           rt_tick dispatcher).")
-    Term.(ret (const run $ spec_file $ trace_arg))
+    Term.(const run $ spec_file $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faultsim                                                            *)
@@ -723,7 +953,7 @@ let faultsim_cmd =
         inject
     in
     match parse_policy modes policy_s with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> usage_error msg
     | Ok policy ->
         let watchdog =
           { Rt_sim.Watchdog.check_period; stall_limit }
@@ -768,17 +998,16 @@ let faultsim_cmd =
         List.iter
           (fun s -> Format.printf "%a@." Rt_sim.Stats.pp_summary s)
           (Rt_sim.Stats.summarize_robust report);
-        `Ok ()
+        exit_ok
   in
   Cmd.v
-    (Cmd.info "faultsim"
+    (cmd_info "faultsim"
        ~doc:
          "Replay a schedule under injected timing faults with watchdog \
           detection and a recovery policy.")
     Term.(
-      ret
-        (const run $ spec_file $ horizon $ seed $ inject $ policy $ crit_spec
-       $ stretch $ readmit $ check_period $ stall_limit $ trace_arg))
+      const run $ spec_file $ horizon $ seed $ inject $ policy $ crit_spec
+      $ stretch $ readmit $ check_period $ stall_limit $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* distsim                                                             *)
@@ -884,6 +1113,55 @@ let distsim_cmd =
         | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT:RET)" s))
     | _ -> Error (Printf.sprintf "bad crash spec %S (want P:AT[:RET])" s)
   in
+  let parse_crashes specs =
+    List.fold_left
+      (fun acc s ->
+        match (acc, parse_crash s) with
+        | Error _, _ -> acc
+        | Ok cs, Ok c -> Ok (c :: cs)
+        | Ok _, (Error _ as e) -> e)
+      (Ok []) specs
+    |> Result.map List.rev
+  in
+  (* Certify the contingency table with the independent checker (fail
+     closed).  When the reconfiguration slack is not admitted the table
+     as a whole carries no slack claim, so each system is certified
+     individually instead. *)
+  let certify_table m table ~admits_ok =
+    if admits_ok then
+      match
+        Checker.check_table m (Rt_multiproc.Mcert.table_cert m table)
+      with
+      | Ok () ->
+          Format.printf "contingency certificate: OK@.";
+          None
+      | Error errs ->
+          Some (internal_check_failure "contingency certificate" errs)
+    else begin
+      let check_one what c =
+        match Checker.check_multi m c with
+        | Ok () -> None
+        | Error errs -> Some (internal_check_failure what errs)
+      in
+      let results =
+        check_one "nominal certificate"
+          (Rt_multiproc.Mcert.result_cert m
+             table.Rt_multiproc.Contingency.nominal)
+        :: List.map
+             (fun (s : Rt_multiproc.Contingency.scenario) ->
+               check_one
+                 (Printf.sprintf "crash-p%d scenario certificate"
+                    s.Rt_multiproc.Contingency.dead)
+                 (Rt_multiproc.Mcert.scenario_cert m s))
+             (Rt_multiproc.Contingency.feasible_scenarios table)
+      in
+      match List.find_opt Option.is_some results with
+      | Some code -> code
+      | None ->
+          Format.printf "scenario certificates: OK@.";
+          None
+    end
+  in
   let run path procs msg_cost arq crash_specs msg_loss policy_s crit_s stretch
       hb_period hb_miss migration horizon seed jobs trace =
     with_trace trace @@ fun () ->
@@ -903,126 +1181,209 @@ let distsim_cmd =
       | _ -> Error (Printf.sprintf "unknown policy %S" policy_s)
     in
     match policy with
-    | Error msg -> `Error (false, msg)
+    | Error msg -> usage_error msg
     | Ok policy -> (
-        let crashes =
-          List.map (fun s -> or_die (parse_crash s)) crash_specs
-        in
-        let heartbeat =
-          { Rt_sim.Heartbeat.hb_period; miss_threshold = hb_miss }
-        in
-        let heartbeat = or_die (Rt_sim.Heartbeat.validate heartbeat) in
-        let detect_bound = Rt_sim.Heartbeat.detection_bound heartbeat in
-        match
-          Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost
-            ~arq_slack:arq m
-        with
-        | Error e ->
-            Format.eprintf "nominal synthesis failed: %s@." e;
-            `Error (false, "infeasible")
-        | Ok nominal -> (
-            let derivation =
-              { Modes.stretch; max_hyperperiod = 1_000_000 }
+        match parse_crashes crash_specs with
+        | Error msg -> usage_error msg
+        | Ok crashes -> (
+            let heartbeat =
+              { Rt_sim.Heartbeat.hb_period; miss_threshold = hb_miss }
             in
-            match
-              with_jobs jobs (fun pool ->
-                  Rt_multiproc.Contingency.synthesize ?pool ?criticality:crit
-                    ~derivation ~detect_bound ~migration m nominal)
-            with
-            | Error e ->
-                Format.eprintf "contingency synthesis failed: %s@." e;
-                `Error (false, "infeasible")
-            | Ok table ->
-                Format.printf "=== contingency table ===@.%a@."
-                  (Rt_multiproc.Contingency.pp m)
-                  table;
-                (match
-                   Rt_multiproc.Contingency.admits_reconfiguration m table
-                 with
-                | Ok () ->
-                    Format.printf
-                      "reconfiguration admitted: the %d-slot bound fits every \
-                       in-flight invocation's slack@."
-                      table.Rt_multiproc.Contingency.reconfig_bound
-                | Error es ->
-                    Format.printf
-                      "reconfiguration NOT admitted for in-flight invocations:@.";
-                    List.iter (fun e -> Format.printf "  %s@." e) es;
-                    Format.printf
-                      "(invocations arriving after the bound are still safe)@.");
-                let net_faults =
-                  if msg_loss <= 0.0 then []
-                  else
-                    Rt_sim.Net_fault.random_plan (Rt_graph.Prng.create seed)
-                      ~horizon:(2 * horizon) ~loss_rate:msg_loss
+            match Rt_sim.Heartbeat.validate heartbeat with
+            | Error msg -> usage_error msg
+            | Ok heartbeat -> (
+                let detect_bound =
+                  Rt_sim.Heartbeat.detection_bound heartbeat
                 in
-                let report =
-                  try
-                    Rt_sim.Dist_runtime.run ?crit ~crashes ~net_faults ~policy
-                      ~heartbeat ~horizon m table
-                  with Invalid_argument msg -> or_die (Error msg)
-                in
-                Format.printf "@.=== replay ===@.%a@."
-                  Rt_sim.Dist_runtime.pp_report report;
-                Format.printf "=== per-processor rollup ===@.";
-                List.iter
-                  (fun s ->
-                    Format.printf "%a@." Rt_sim.Stats.pp_processor_summary s)
-                  (Rt_sim.Stats.by_processor m.Model.comm report);
-                `Ok ()))
+                match
+                  Rt_multiproc.Msched.synthesize ~n_procs:procs ~msg_cost
+                    ~arq_slack:arq m
+                with
+                | Error e ->
+                    Format.eprintf "nominal synthesis failed: %s@." e;
+                    exit_infeasible
+                | Ok nominal -> (
+                    let derivation =
+                      { Modes.stretch; max_hyperperiod = 1_000_000 }
+                    in
+                    match
+                      with_jobs jobs (fun pool ->
+                          Rt_multiproc.Contingency.synthesize ?pool
+                            ?criticality:crit ~derivation ~detect_bound
+                            ~migration m nominal)
+                    with
+                    | Error e ->
+                        Format.eprintf "contingency synthesis failed: %s@." e;
+                        exit_infeasible
+                    | Ok table -> (
+                        Format.printf "=== contingency table ===@.%a@."
+                          (Rt_multiproc.Contingency.pp m)
+                          table;
+                        let admits_ok =
+                          match
+                            Rt_multiproc.Contingency.admits_reconfiguration m
+                              table
+                          with
+                          | Ok () ->
+                              Format.printf
+                                "reconfiguration admitted: the %d-slot bound \
+                                 fits every in-flight invocation's slack@."
+                                table
+                                  .Rt_multiproc.Contingency.reconfig_bound;
+                              true
+                          | Error es ->
+                              Format.printf
+                                "reconfiguration NOT admitted for in-flight \
+                                 invocations:@.";
+                              List.iter
+                                (fun e -> Format.printf "  %s@." e)
+                                es;
+                              Format.printf
+                                "(invocations arriving after the bound are \
+                                 still safe)@.";
+                              false
+                        in
+                        match certify_table m table ~admits_ok with
+                        | Some code -> code
+                        | None ->
+                            let net_faults =
+                              if msg_loss <= 0.0 then []
+                              else
+                                Rt_sim.Net_fault.random_plan
+                                  (Rt_graph.Prng.create seed)
+                                  ~horizon:(2 * horizon) ~loss_rate:msg_loss
+                            in
+                            let report =
+                              try
+                                Rt_sim.Dist_runtime.run ?crit ~crashes
+                                  ~net_faults ~policy ~heartbeat ~horizon m
+                                  table
+                              with Invalid_argument msg ->
+                                or_die (Error msg)
+                            in
+                            Format.printf "@.=== replay ===@.%a@."
+                              Rt_sim.Dist_runtime.pp_report report;
+                            Format.printf "=== per-processor rollup ===@.";
+                            List.iter
+                              (fun s ->
+                                Format.printf "%a@."
+                                  Rt_sim.Stats.pp_processor_summary s)
+                              (Rt_sim.Stats.by_processor m.Model.comm report);
+                            exit_ok)))))
   in
   Cmd.v
-    (Cmd.info "distsim"
+    (cmd_info "distsim"
        ~doc:
          "Lockstep multiprocessor replay under processor crashes and bus \
           faults, with heartbeat detection and failover to pre-synthesized \
           contingency schedules.")
     Term.(
-      ret
-        (const run $ spec_file $ procs $ msg_cost $ arq $ crash $ msg_loss
-       $ policy $ crit_spec $ stretch $ hb_period $ hb_miss $ migration
-       $ horizon $ seed $ jobs_arg $ trace_arg))
+      const run $ spec_file $ procs $ msg_cost $ arq $ crash $ msg_loss
+      $ policy $ crit_spec $ stretch $ hb_period $ hb_miss $ migration
+      $ horizon $ seed $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let example_cmd =
-  let run trace =
+  let family =
+    Arg.(
+      value
+      & opt (enum [ ("control", `Control); ("e3", `E3) ]) `Control
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "$(b,control): the paper's example control system; $(b,e3): a \
+             Theorem-2 3-PARTITION reduction yes-instance (the NP-hard \
+             family of the exact-solver scaling experiment), sized by \
+             $(b,--m)/$(b,--b).")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "m"; "triples" ] ~docv:"M" ~doc:"E3 family: number of triples.")
+  in
+  let b_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "b"; "sum" ] ~docv:"B"
+          ~doc:"E3 family: triple sum (at least 13).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"E3 family: instance seed.")
+  in
+  let run family m_triples b seed trace =
     with_trace trace @@ fun () ->
-    let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
-    print_string (Rt_spec.Printer.print ~name:"control" m);
-    `Ok ()
+    match family with
+    | `Control ->
+        let m =
+          Rt_workload.Suite.control_system Rt_workload.Suite.default_params
+        in
+        print_string (Rt_spec.Printer.print ~name:"control" m);
+        exit_ok
+    | `E3 ->
+        if m_triples < 1 then usage_error "--m must be at least 1"
+        else if b < 13 then usage_error "--b must be at least 13"
+        else begin
+          let items =
+            Rt_workload.Npc.three_partition_yes
+              (Rt_graph.Prng.create seed)
+              ~m:m_triples ~b
+          in
+          let model = Rt_workload.Npc.reduction_model items ~b in
+          print_string (Rt_spec.Printer.print ~name:"e3" model);
+          exit_ok
+        end
   in
   Cmd.v
-    (Cmd.info "example"
-       ~doc:"Print the paper's example control system as a specification.")
-    Term.(ret (const run $ trace_arg))
+    (cmd_info "example"
+       ~doc:
+         "Print an example specification: the paper's control system, or \
+          an NP-hard E3 instance.")
+    Term.(const run $ family $ m_arg $ b_arg $ seed $ trace_arg)
 
 let () =
   let info =
-    Cmd.info "rtsyn" ~version:"1.0.0"
+    Cmd.info "rtsyn" ~version:"1.0.0" ~exits
       ~doc:
         "Synthesis of run-time schedulers from graph-based real-time models \
          (Mok, ICPP 1985)."
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Every schedule rtsyn publishes with exit 0 has been \
+             re-validated by an independent certificate checker that \
+             shares no code with the synthesis engines beyond the model \
+             vocabulary; see docs/CERTIFICATES.md for the format and the \
+             trust boundary.";
+        ]
   in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            check_cmd;
-            synth_cmd;
-            analyze_cmd;
-            admit_cmd;
-            gantt_cmd;
-            replay_cmd;
-            sensitivity_cmd;
-            exact_cmd;
-            emit_c_cmd;
-            simulate_cmd;
-            faultsim_cmd;
-            distsim_cmd;
-            dot_cmd;
-            multiproc_cmd;
-            example_cmd;
-          ]))
+    (match
+       Cmd.eval_value
+         (Cmd.group info
+            [
+              check_cmd;
+              synth_cmd;
+              analyze_cmd;
+              admit_cmd;
+              gantt_cmd;
+              replay_cmd;
+              sensitivity_cmd;
+              exact_cmd;
+              emit_c_cmd;
+              simulate_cmd;
+              faultsim_cmd;
+              distsim_cmd;
+              dot_cmd;
+              multiproc_cmd;
+              example_cmd;
+            ])
+     with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> exit_ok
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> exit_internal)

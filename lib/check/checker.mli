@@ -1,0 +1,43 @@
+(** The trusted certificate checker.
+
+    Re-validates a schedule against a model in one pass over the
+    certificate, depending only on the model vocabulary
+    ([Model]/[Schedule]/[Timing]/[Trace]) — no engines, no pool, no
+    caches; the dune boundary of this library is the trust boundary.
+
+    Soundness argument (uniprocessor): the checker first insists the
+    schedule is well-formed ({!Rt_base.Schedule.validate}), so the
+    induced trace's instance structure repeats with the cycle.  Each
+    witness execution is then re-validated slot-by-slot against the
+    checker's own trace decomposition (instances exist, distinct nodes
+    take distinct instances, precedence edges respect finish-before-
+    start).  For an asynchronous constraint [(C,p,d)] the covering
+    chain [e_1 .. e_k] proves every window of length [d] starting in
+    [\[0, cycle)] contains an execution ([finish e_1 <= d] covers
+    starts [0..start e_1]; [finish e_(i+1) <= start e_i + 1 + d]
+    covers starts [(start e_i, start e_(i+1)]]; [start e_k >= cycle-1]
+    reaches the cycle boundary), and periodicity extends the proof to
+    every window.  For a periodic constraint, one witnessed execution
+    per invocation phase over [lcm(p, cycle)] covers all invocations
+    for the same reason. *)
+
+open Rt_base
+
+val check : Model.t -> Certificate.t -> (unit, string list) result
+(** [check m cert] accepts iff [cert] proves its schedule feasible
+    for [m].  All diagnostics are returned on failure. *)
+
+val check_multi : Model.t -> Certificate.mp -> (unit, string list) result
+(** Multiprocessor counterpart: re-derives the window arithmetic
+    (polling transformation, window chaining, topological op order)
+    from the model and replays the dispatcher cursor over the
+    processor tables and the bus. *)
+
+val check_table : Model.t -> Certificate.mp_table -> (unit, string list) result
+(** Contingency counterpart: checks the nominal system, every crash
+    scenario (degradations applied as recorded in the scenario
+    certificate), the reconfiguration-bound arithmetic
+    [reconfig = detect + 1 + migration], that the dead processor is
+    idle in its scenario, and that every retained constraint's nominal
+    response leaves room for the reconfiguration latency
+    ([response + reconfig <= scenario deadline]). *)

@@ -1,0 +1,1 @@
+include Rt_check.Checker

@@ -1,82 +1,1 @@
-module Digraph = Rt_graph.Digraph
-
-type t = {
-  elems : Element.t array;
-  by_name : (string, int) Hashtbl.t;
-  graph : Digraph.t;
-}
-
-let build specs edge_specs =
-  let by_name = Hashtbl.create 16 in
-  let elems =
-    Array.of_list
-      (List.mapi
-         (fun id (name, weight, pipelinable) ->
-           if Hashtbl.mem by_name name then
-             invalid_arg ("Comm_graph: duplicate element name " ^ name);
-           Hashtbl.add by_name name id;
-           Element.make ~id ~name ~weight ~pipelinable)
-         specs)
-  in
-  let resolve name =
-    match Hashtbl.find_opt by_name name with
-    | Some id -> id
-    | None -> invalid_arg ("Comm_graph: edge names unknown element " ^ name)
-  in
-  let edges = List.map (fun (a, b) -> (resolve a, resolve b)) edge_specs in
-  { elems; by_name; graph = Digraph.create ~n:(Array.length elems) ~edges }
-
-let create ~elements ~edges = build elements edges
-
-let n_elements t = Array.length t.elems
-
-let element t id =
-  if id < 0 || id >= Array.length t.elems then
-    invalid_arg (Printf.sprintf "Comm_graph.element: id %d out of range" id);
-  t.elems.(id)
-
-let elements t = Array.to_list t.elems
-
-let find_opt t name =
-  Option.map (fun id -> t.elems.(id)) (Hashtbl.find_opt t.by_name name)
-
-let find t name =
-  match find_opt t name with Some e -> e | None -> raise Not_found
-
-let id_of_name t name = (find t name).Element.id
-
-let weight t id = (element t id).Element.weight
-
-let pipelinable t id = (element t id).Element.pipelinable
-
-let graph t = t.graph
-
-let has_edge t u v = Digraph.mem_edge t.graph u v
-
-let total_weight t =
-  Array.fold_left (fun acc e -> acc + e.Element.weight) 0 t.elems
-
-let all_pipelinable t =
-  Array.for_all (fun e -> e.Element.pipelinable) t.elems
-
-let with_elements t more_elements more_edges =
-  let existing =
-    Array.to_list t.elems
-    |> List.map (fun (e : Element.t) -> (e.name, e.weight, e.pipelinable))
-  in
-  let existing_edges =
-    Digraph.edges t.graph
-    |> List.map (fun (u, v) ->
-           ((element t u).Element.name, (element t v).Element.name))
-  in
-  build (existing @ more_elements) (existing_edges @ more_edges)
-
-let equal a b =
-  Array.length a.elems = Array.length b.elems
-  && Array.for_all2 Element.equal a.elems b.elems
-  && Digraph.equal a.graph b.graph
-
-let pp fmt t =
-  Format.fprintf fmt "@[<v>elements:@,";
-  Array.iter (fun e -> Format.fprintf fmt "  %a@," Element.pp e) t.elems;
-  Format.fprintf fmt "edges: %a@]" Digraph.pp t.graph
+include Rt_base.Comm_graph

@@ -1,17 +1,1 @@
-type t = { id : int; name : string; weight : int; pipelinable : bool }
-
-let make ~id ~name ~weight ~pipelinable =
-  if weight < 0 then invalid_arg "Element.make: negative weight";
-  if id < 0 then invalid_arg "Element.make: negative id";
-  if name = "" then invalid_arg "Element.make: empty name";
-  { id; name; weight; pipelinable }
-
-let equal a b =
-  a.id = b.id && a.name = b.name && a.weight = b.weight
-  && a.pipelinable = b.pipelinable
-
-let compare a b = Int.compare a.id b.id
-
-let pp fmt t =
-  Format.fprintf fmt "%s/%d%s" t.name t.weight
-    (if t.pipelinable then "" else "~")
+include Rt_base.Element

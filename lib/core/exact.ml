@@ -4,6 +4,7 @@ module Pool = Rt_par.Pool
 type outcome = Game.outcome =
   | Feasible of Schedule.t
   | Infeasible
+  | Timeout of string
   | Unknown of string
 
 type stats = Game.stats = { explored : int; outcome : outcome }
@@ -40,8 +41,21 @@ let find_branches pool n_tasks branch =
       in
       go 0
 
-let enumerate ?pool ?(engine = `Game) ?(max_len = 12) ?(max_states = 500_000)
-    (m : Model.t) =
+(* After a fruitless search, a spent caller budget means the verdict is
+   a cut-off, not an exhaustive negative. *)
+let no_schedule budget explored ~max_len =
+  match Option.bind budget Budget.exhausted with
+  | Some reason -> { explored; outcome = Timeout reason }
+  | None ->
+      {
+        explored;
+        outcome =
+          Unknown
+            (Printf.sprintf "no feasible schedule of length <= %d" max_len);
+      }
+
+let enumerate ?pool ?budget ?(engine = `Game) ?(max_len = 12)
+    ?(max_states = 500_000) (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let elements =
     List.concat_map
@@ -60,7 +74,7 @@ let enumerate ?pool ?(engine = `Game) ?(max_len = 12) ?(max_states = 500_000)
              (Comm_graph.weight m.comm e)))
     elements;
   match engine with
-  | `Game -> Game.solve ?pool ~max_states ~granularity:`Unit m
+  | `Game -> Game.solve ?pool ?budget ~max_states ~granularity:`Unit m
   | `Dfs ->
       if asyncs = [] then
         {
@@ -109,6 +123,9 @@ let enumerate ?pool ?(engine = `Game) ?(max_len = 12) ?(max_states = 500_000)
           let result = ref None in
           let rec dfs pos =
             if Rt_par.Bound.get best < idx then raise Aborted;
+            (match budget with
+            | Some b when not (Budget.spend b 1) -> raise Aborted
+            | _ -> ());
             incr nodes;
             if !result <> None then ()
             else if pos = n then begin
@@ -137,24 +154,17 @@ let enumerate ?pool ?(engine = `Game) ?(max_len = 12) ?(max_states = 500_000)
         match find_branches pool (max_len * n_sym) branch with
         | Some sched ->
             { explored = Atomic.get explored; outcome = Feasible sched }
-        | None ->
-            {
-              explored = Atomic.get explored;
-              outcome =
-                Unknown
-                  (Printf.sprintf "no feasible schedule of length <= %d"
-                     max_len);
-            }
+        | None -> no_schedule budget (Atomic.get explored) ~max_len
       end
 
 (* ------------------------------------------------------------------ *)
 (* Execution-granularity enumeration: complete for atomic elements.    *)
 (* ------------------------------------------------------------------ *)
 
-let enumerate_atomic ?pool ?(engine = `Game) ?(max_len = 16)
+let enumerate_atomic ?pool ?budget ?(engine = `Game) ?(max_len = 16)
     ?(max_states = 500_000) (m : Model.t) =
   match engine with
-  | `Game -> Game.solve ?pool ~max_states ~granularity:`Atomic m
+  | `Game -> Game.solve ?pool ?budget ~max_states ~granularity:`Atomic m
   | `Dfs ->
       let asyncs = Model.asynchronous m in
       let elements =
@@ -213,6 +223,9 @@ let enumerate_atomic ?pool ?(engine = `Game) ?(max_len = 16)
             let result = ref None in
             let rec dfs pos =
               if Rt_par.Bound.get best < idx then raise Aborted;
+              (match budget with
+              | Some b when not (Budget.spend b 1) -> raise Aborted
+              | _ -> ());
               incr nodes;
               if !result <> None then ()
               else if pos = n then begin
@@ -264,14 +277,7 @@ let enumerate_atomic ?pool ?(engine = `Game) ?(max_len = 16)
         match find_branches pool (max_len * n_w) branch with
         | Some sched ->
             { explored = Atomic.get explored; outcome = Feasible sched }
-        | None ->
-            {
-              explored = Atomic.get explored;
-              outcome =
-                Unknown
-                  (Printf.sprintf "no feasible schedule of length <= %d"
-                     max_len);
-            }
+        | None -> no_schedule budget (Atomic.get explored) ~max_len
       end
 
 (* ------------------------------------------------------------------ *)
@@ -282,7 +288,7 @@ let enumerate_atomic ?pool ?(engine = `Game) ?(max_len = 16)
    table, dominance pruning and pool fan-out on top.                   *)
 (* ------------------------------------------------------------------ *)
 
-let solve_single_ops ?pool ?(max_states = 1_000_000) (m : Model.t) =
+let solve_single_ops ?pool ?budget ?(max_states = 1_000_000) (m : Model.t) =
   let asyncs = Model.asynchronous m in
   List.iter
     (fun (c : Timing.t) ->
@@ -292,4 +298,4 @@ let solve_single_ops ?pool ?(max_states = 1_000_000) (m : Model.t) =
              "Exact.solve_single_ops: constraint %s is not a single operation"
              c.name))
     asyncs;
-  Game.solve ?pool ~max_states ~granularity:`Atomic m
+  Game.solve ?pool ?budget ~max_states ~granularity:`Atomic m

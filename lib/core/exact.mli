@@ -31,9 +31,12 @@ type outcome = Game.outcome =
   | Feasible of Schedule.t
       (** A feasible static schedule (verified before being returned). *)
   | Infeasible  (** Complete search proved no feasible schedule exists. *)
+  | Timeout of string
+      (** The caller-supplied {!Budget.t} ran out before the search
+          completed; the message says which resource. *)
   | Unknown of string
-      (** Resource bound hit before the search completed; the message
-          says which. *)
+      (** The engine's own resource bound ([max_len]/[max_states]) hit
+          before the search completed; the message says which. *)
 
 type stats = Game.stats = {
   explored : int;  (** Schedules tested / states expanded. *)
@@ -52,6 +55,7 @@ type engine = [ `Dfs | `Game ]
 
 val enumerate :
   ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
   ?engine:engine ->
   ?max_len:int ->
   ?max_states:int ->
@@ -60,6 +64,11 @@ val enumerate :
 (** [enumerate m] decides feasibility at slot granularity.  Raises
     [Invalid_argument] if some element used by an asynchronous
     constraint does not have unit weight.
+
+    [budget] bounds the whole solve by wall clock and/or fuel, checked
+    cooperatively at every state expansion (game) or DFS node;
+    exhausting it yields [Timeout].  With no [budget] the search is
+    bit-for-bit the default path.
 
     With [~engine:`Dfs]: searches schedule lengths [1 .. max_len]
     (default 12) in increasing order; within a length, depth-first over
@@ -84,6 +93,7 @@ val enumerate :
 
 val enumerate_atomic :
   ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
   ?engine:engine ->
   ?max_len:int ->
   ?max_states:int ->
@@ -102,7 +112,7 @@ val enumerate_atomic :
     {!enumerate}. *)
 
 val solve_single_ops :
-  ?pool:Rt_par.Pool.t -> ?max_states:int -> Model.t -> stats
+  ?pool:Rt_par.Pool.t -> ?budget:Budget.t -> ?max_states:int -> Model.t -> stats
 (** [solve_single_ops m] runs the simulation game (default bound: one
     million states).  Raises [Invalid_argument] if some asynchronous
     constraint's task graph is not a single operation.  [Infeasible]

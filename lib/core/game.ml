@@ -4,7 +4,12 @@ module Stbl = Rt_par.Shard_tbl
 module Key = Rt_par.Shard_tbl.Int_array
 module Ktbl = Hashtbl.Make (Rt_par.Shard_tbl.Int_array)
 
-type outcome = Feasible of Schedule.t | Infeasible | Unknown of string
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Timeout of string
+  | Unknown of string
+
 type stats = { explored : int; outcome : outcome }
 
 let trivially_feasible () =
@@ -75,16 +80,27 @@ type shared = {
   expanded : int Atomic.t;
   max_states : int;
   over_budget : bool Atomic.t;
+  budget : Budget.t option;
+  timed_out : bool Atomic.t;
 }
 
-let make_shared ?antichain ~subsumed ~max_states () =
+(* Default transposition-table cap: comfortably above the default
+   [max_states] (each expansion adds at most one dead fact), so default
+   runs never evict and stay bit-identical to the uncapped engine, while
+   adversarial long runs stay bounded. *)
+let default_table_cap = 2 * 1024 * 1024
+
+let make_shared ?antichain ?budget ?(table_cap = default_table_cap) ~subsumed
+    ~max_states () =
   {
-    dead = Stbl.create ~hash:Key.hash ~equal:Key.equal 1024;
+    dead = Stbl.create ~max_entries:table_cap ~hash:Key.hash ~equal:Key.equal 1024;
     antichain;
     subsumed;
     expanded = Atomic.make 1 (* the initial state *);
     max_states;
     over_budget = Atomic.make false;
+    budget;
+    timed_out = Atomic.make false;
   }
 
 let known_dead sh key =
@@ -109,9 +125,19 @@ let mark_dead sh key =
   | Some ac -> Antichain.add ~subsumed:sh.subsumed ac key
   | None -> ()
 
-(* One expansion ticket, or [false] when the global budget is spent. *)
+(* One expansion ticket, or [false] when the global budget is spent.
+   The caller-supplied [Budget.t] is spent first so a tripped budget
+   never touches the expansion counters (with no budget this path is
+   untouched — the bench counters pin it). *)
 let try_expand sh =
-  (not (Atomic.get sh.over_budget))
+  (match sh.budget with
+  | None -> true
+  | Some b ->
+      Budget.spend b 1
+      ||
+      (Atomic.set sh.timed_out true;
+       false))
+  && (not (Atomic.get sh.over_budget))
   &&
   let n = Atomic.fetch_and_add sh.expanded 1 in
   if n >= sh.max_states then begin
@@ -125,7 +151,19 @@ let try_expand sh =
 
 let explored_of sh = min (Atomic.get sh.expanded) sh.max_states
 
-let finish sh m asyncs = function
+(* Observability: final size of this solve's transposition table and how
+   many facts its cap forced out (0 unless the run outgrew
+   [default_table_cap]). *)
+let table_size_gauge = Rt_obs.Metrics.gauge "game/table_size"
+let table_evictions_ctr = Rt_obs.Metrics.counter "game/table_evictions"
+
+let publish_table_stats sh =
+  Rt_obs.Metrics.set table_size_gauge (Stbl.length sh.dead);
+  Rt_obs.Metrics.add table_evictions_ctr (Stbl.evictions sh.dead)
+
+let finish sh m asyncs result =
+  publish_table_stats sh;
+  match result with
   | Some sched ->
       let ok =
         List.for_all
@@ -142,7 +180,12 @@ let finish sh m asyncs = function
       {
         explored = explored_of sh;
         outcome =
-          (if Atomic.get sh.over_budget then
+          (if Atomic.get sh.timed_out then
+             Timeout
+               (match Option.bind sh.budget Budget.exhausted with
+               | Some reason -> reason
+               | None -> "budget exhausted")
+           else if Atomic.get sh.over_budget then
              Unknown
                (Printf.sprintf "state budget %d exhausted" sh.max_states)
            else Infeasible);
@@ -169,7 +212,7 @@ let budget_subsumed v d =
   let rec go i = i >= n || (v.(i) <= d.(i) && go (i + 1)) in
   go 0
 
-let solve_budget ?pool ~max_states (m : Model.t) =
+let solve_budget ?pool ?budget ~max_states (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let specs =
     (* (element, weight, deadline) per constraint; single-op by
@@ -258,7 +301,7 @@ let solve_budget ?pool ~max_states (m : Model.t) =
             List.init (Hashtbl.find weight_of e) (fun _ -> Schedule.Run e)
       in
       let sh =
-        make_shared ~antichain:(Antichain.create ())
+        make_shared ~antichain:(Antichain.create ()) ?budget
           ~subsumed:budget_subsumed ~max_states ()
       in
       Perf.incr Perf.game_states;
@@ -404,7 +447,7 @@ let path_push p v ~start =
   Bytes.set p.starts p.len (if start then '\001' else '\000');
   p.len <- p.len + 1
 
-let solve_trace ?pool ~max_states ~granularity (m : Model.t) =
+let solve_trace ?pool ?budget ~max_states ~granularity (m : Model.t) =
   let asyncs = Model.asynchronous m in
   if asyncs = [] then trivially_feasible ()
   else begin
@@ -433,7 +476,7 @@ let solve_trace ?pool ~max_states ~granularity (m : Model.t) =
     let sh =
       make_shared
         ?antichain:(if unit_weights then Some (Antichain.create ()) else None)
-        ~subsumed:residue_subsumed ~max_states ()
+        ?budget ~subsumed:residue_subsumed ~max_states ()
     in
     Perf.incr Perf.game_states;
     (* Windows ending at [l] (1-based length), over a trace spanning at
@@ -620,11 +663,11 @@ let solve_trace ?pool ~max_states ~granularity (m : Model.t) =
 (* Entry point.                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?pool ?(max_states = 500_000) ~granularity (m : Model.t) =
+let solve ?pool ?budget ?(max_states = 500_000) ~granularity (m : Model.t) =
   Perf.time "game" @@ fun () ->
   let asyncs = Model.asynchronous m in
   if asyncs = [] then trivially_feasible ()
   else if
     List.for_all (fun (c : Timing.t) -> Task_graph.size c.graph = 1) asyncs
-  then solve_budget ?pool ~max_states m
-  else solve_trace ?pool ~max_states ~granularity m
+  then solve_budget ?pool ?budget ~max_states m
+  else solve_trace ?pool ?budget ~max_states ~granularity m

@@ -50,11 +50,21 @@
     an [Unknown] cut-off) may differ between pooled and sequential
     runs. *)
 
-type outcome = Feasible of Schedule.t | Infeasible | Unknown of string
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Timeout of string
+      (** A caller-supplied {!Budget.t} ran out (the payload is the
+          reason) before the game graph was exhausted.  Distinct from
+          [Unknown]: the search was cut off by the caller's resource
+          bound, not by the engine's own state cap. *)
+  | Unknown of string
+
 type stats = { explored : int; outcome : outcome }
 
 val solve :
   ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
   ?max_states:int ->
   granularity:[ `Unit | `Atomic ] ->
   Model.t ->
@@ -72,6 +82,19 @@ val solve :
 
     [max_states] (default 500_000) bounds the number of distinct
     states expanded; exhausting it yields [Unknown], never a wrong
-    [Infeasible].  [explored] counts expanded states.  Counters:
+    [Infeasible].  [budget] adds a caller-owned wall-clock/fuel bound
+    checked cooperatively at every state expansion; exhausting it
+    yields [Timeout].  With no [budget] the exploration is bit-for-bit
+    the default path (the bench counters pin it).  [explored] counts
+    expanded states.  Counters:
     {!Rt_par.Perf.game_states}, {!Rt_par.Perf.table_hits},
-    {!Rt_par.Perf.table_misses}, {!Rt_par.Perf.dominance_kills}. *)
+    {!Rt_par.Perf.table_misses}, {!Rt_par.Perf.dominance_kills}.
+
+    The transposition table is capped (2M entries, split over its
+    shards) so adversarial long runs cannot grow it without bound; the
+    cap evicts approximately-FIFO and only ever costs re-derivation.
+    The default [max_states] keeps default runs far below the cap, so
+    they never evict and stay bit-identical to the uncapped engine.
+    Each solve publishes the final table size as the
+    [Rt_obs.Metrics] gauge ["game/table_size"] and accumulates
+    cap-forced drops on the counter ["game/table_evictions"]. *)

@@ -311,6 +311,42 @@ let meets_asynchronous g sched (c : Timing.t) =
   | Some k -> k <= c.deadline
   | None -> false
 
+(* The residue memo is capped: schedules with huge memo cycles (lcm-
+   driven) would otherwise grow the table one entry per distinct
+   residue for the whole run.  Eviction is FIFO over insertion order —
+   each entry is a pure re-derivable answer, so dropping one costs a
+   repeated containment search, never a different verdict.  The cap is
+   far above every bench workload's residue count, so default runs
+   never evict and the pinned cache_hits/cache_misses counters are
+   unchanged. *)
+let memo_cap = 1 lsl 16
+
+let cache_size_gauge = Rt_obs.Metrics.gauge "cache/size"
+let cache_evictions_ctr = Rt_obs.Metrics.counter "cache/evictions"
+
+type memo = {
+  m_cycle : int;
+  m_tbl : (int, int option) Hashtbl.t;
+  m_order : int Queue.t; (* insertion order, for FIFO eviction *)
+}
+
+let make_memo cycle =
+  { m_cycle = cycle; m_tbl = Hashtbl.create 64; m_order = Queue.create () }
+
+(* Store a fresh residue answer.  The residue is absent (we only store
+   after a miss), so the queue holds each live key exactly once. *)
+let memo_store memo r rel =
+  if Hashtbl.length memo.m_tbl >= memo_cap then begin
+    match Queue.take_opt memo.m_order with
+    | Some oldest ->
+        Hashtbl.remove memo.m_tbl oldest;
+        Rt_obs.Metrics.incr cache_evictions_ctr
+    | None -> ()
+  end;
+  Hashtbl.replace memo.m_tbl r rel;
+  Queue.add r memo.m_order;
+  Rt_obs.Metrics.set cache_size_gauge (Hashtbl.length memo.m_tbl)
+
 (* Worst response over the periodic invocations, optionally memoized
    per (invocation time mod cycle).  [memo] must only be supplied when
    [instance_periodic] holds for the schedule the trace unrolls. *)
@@ -319,16 +355,16 @@ let periodic_response_ctx ?memo ctx ~limit (c : Timing.t) ~super =
   let question t =
     match memo with
     | None -> next_completion_ctx ctx ~limit ~from:t
-    | Some (cycle, table) -> (
-        let r = t mod cycle in
-        match Hashtbl.find_opt table r with
+    | Some memo -> (
+        let r = t mod memo.m_cycle in
+        match Hashtbl.find_opt memo.m_tbl r with
         | Some rel ->
             Perf.incr Perf.cache_hits;
             Option.map (fun d -> t + d) rel
         | None ->
             Perf.incr Perf.cache_misses;
             let answer = next_completion_ctx ctx ~limit ~from:t in
-            Hashtbl.replace table r (Option.map (fun f -> f - t) answer);
+            memo_store memo r (Option.map (fun f -> f - t) answer);
             answer)
   in
   let rec worst k acc =
@@ -358,7 +394,7 @@ let periodic_response g sched (c : Timing.t) =
           match
             memo_cycle ~slot_period:(slot_period sched) g c.graph sched
           with
-          | Some d -> Some (d, Hashtbl.create 64)
+          | Some d -> Some (make_memo d)
           | None -> None
         in
         periodic_response_ctx ?memo ctx ~limit:horizon c ~super
@@ -435,7 +471,7 @@ let verify_cached (m : Model.t) sched =
           let ctx = make_ctx g c.graph trace in
           let memo =
             match memo_cycle ~slot_period:sp g c.graph sched with
-            | Some d -> Some (d, Hashtbl.create 64)
+            | Some d -> Some (make_memo d)
             | None -> None
           in
           verdict_of c (periodic_response_ctx ?memo ctx ~limit:h c ~super))

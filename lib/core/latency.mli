@@ -122,7 +122,14 @@ val verify : ?cached:bool -> Model.t -> Schedule.t -> verdict list
     responses are memoized per invocation phase (sound because a
     well-formed schedule's instance structure repeats with the cycle).
     [~cached:false] runs the plain per-constraint engine; both paths
-    return identical verdicts — a property the test suite pins. *)
+    return identical verdicts — a property the test suite pins.
+
+    The phase memo is size-capped (64Ki residues, FIFO eviction) so
+    lcm-driven memo cycles cannot grow it without bound; an evicted
+    entry only costs a repeated containment search, never a different
+    verdict.  Current size and cap-forced drops are published as the
+    [Rt_obs.Metrics] gauge ["cache/size"] and counter
+    ["cache/evictions"]. *)
 
 val all_ok : verdict list -> bool
 (** [all_ok vs] is true when every verdict is satisfied. *)

@@ -1,131 +1,1 @@
-type slot = Idle | Run of int
-
-type t = { cycle : slot array }
-
-let of_array a =
-  if Array.length a = 0 then invalid_arg "Schedule: empty schedule";
-  { cycle = Array.copy a }
-
-let of_slots l = of_array (Array.of_list l)
-
-let length t = Array.length t.cycle
-
-let slot t i =
-  if i < 0 then invalid_arg "Schedule.slot: negative index";
-  t.cycle.(i mod Array.length t.cycle)
-
-let slots t = Array.copy t.cycle
-
-let unroll t h = Array.init h (fun i -> t.cycle.(i mod Array.length t.cycle))
-
-let busy_slots t =
-  Array.fold_left
-    (fun acc s -> match s with Idle -> acc | Run _ -> acc + 1)
-    0 t.cycle
-
-let idle_slots t = length t - busy_slots t
-
-let occurrences t e =
-  Array.fold_left
-    (fun acc s -> match s with Run x when x = e -> acc + 1 | _ -> acc)
-    0 t.cycle
-
-let load t = float_of_int (busy_slots t) /. float_of_int (length t)
-
-let validate g t =
-  let errs = ref [] in
-  let n = Comm_graph.n_elements g in
-  Array.iteri
-    (fun i s ->
-      match s with
-      | Run e when e < 0 || e >= n ->
-          errs := Printf.sprintf "slot %d runs unknown element %d" i e :: !errs
-      | _ -> ())
-    t.cycle;
-  if !errs = [] then begin
-    for e = 0 to n - 1 do
-      let w = Comm_graph.weight g e in
-      let occ = occurrences t e in
-      if occ > 0 && w > 0 && occ mod w <> 0 then
-        errs :=
-          Printf.sprintf
-            "element %s: %d slots per cycle is not a multiple of weight %d"
-            (Comm_graph.element g e).Element.name occ w
-          :: !errs;
-      (* Contiguity of executions for non-pipelinable elements.  The
-         induced trace starts at slot 0, so the canonical instance
-         decomposition (first w slots of e form execution 0, ...) never
-         benefits from wrapping the cycle boundary: an execution split
-         by the boundary leaves its first cycle's head slots dangling
-         and the very first instance non-contiguous.  The correct rule
-         is therefore linear: every maximal run of e within the cycle
-         must have a length divisible by w (a run of k*w slots is k
-         back-to-back executions). *)
-      if occ > 0 && w > 1 && not (Comm_graph.pipelinable g e) then begin
-        let len = Array.length t.cycle in
-        let run = ref 0 in
-        let flush () =
-          if !run > 0 && !run mod w <> 0 then
-            errs :=
-              Printf.sprintf
-                "non-pipelinable element %s has a split execution (run of \
-                 %d slots, weight %d)"
-                (Comm_graph.element g e).Element.name !run w
-              :: !errs;
-          run := 0
-        in
-        for i = 0 to len - 1 do
-          if t.cycle.(i) = Run e then incr run else flush ()
-        done;
-        flush ()
-      end
-    done
-  end;
-  match !errs with [] -> Ok () | es -> Error (List.rev es)
-
-let rotate t k =
-  let n = Array.length t.cycle in
-  let k = ((k mod n) + n) mod n in
-  { cycle = Array.init n (fun i -> t.cycle.((i + k) mod n)) }
-
-let concat a b = { cycle = Array.append a.cycle b.cycle }
-
-let repeat t k =
-  if k < 1 then invalid_arg "Schedule.repeat: k must be >= 1";
-  let n = Array.length t.cycle in
-  { cycle = Array.init (n * k) (fun i -> t.cycle.(i mod n)) }
-
-let equal a b = a.cycle = b.cycle
-
-let to_string g t =
-  Array.to_list t.cycle
-  |> List.map (function
-       | Idle -> "."
-       | Run e -> (Comm_graph.element g e).Element.name)
-  |> String.concat " "
-
-let of_string g s =
-  let tokens =
-    String.split_on_char ' ' s
-    |> List.concat_map (String.split_on_char '\t')
-    |> List.concat_map (String.split_on_char '\n')
-    |> List.filter (fun tok -> tok <> "")
-  in
-  let rec resolve acc = function
-    | [] -> Ok (List.rev acc)
-    | "." :: rest -> resolve (Idle :: acc) rest
-    | name :: rest -> (
-        match Comm_graph.find_opt g name with
-        | Some e -> resolve (Run e.Element.id :: acc) rest
-        | None -> Error ("unknown element in schedule: " ^ name))
-  in
-  match resolve [] tokens with
-  | Error e -> Error e
-  | Ok [] -> Error "empty schedule"
-  | Ok slots -> Ok (of_slots slots)
-
-let pp fmt t =
-  Format.fprintf fmt "[%s]"
-    (Array.to_list t.cycle
-    |> List.map (function Idle -> "." | Run e -> string_of_int e)
-    |> String.concat " ")
+include Rt_base.Schedule

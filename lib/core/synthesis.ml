@@ -193,12 +193,12 @@ let exact_eligible (m : Model.t) =
     else None
   end
 
-let exact_rescue ?pool (m : Model.t) granularity primary_error =
+let exact_rescue ?pool ?budget (m : Model.t) granularity primary_error =
   let stats =
     Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/exact-rescue" (fun () ->
         match granularity with
-        | `Unit -> Exact.enumerate ?pool m
-        | `Atomic -> Exact.solve_single_ops ?pool m)
+        | `Unit -> Exact.enumerate ?pool ?budget m
+        | `Atomic -> Exact.solve_single_ops ?pool ?budget m)
   in
   match stats.Exact.outcome with
   | Exact.Feasible schedule ->
@@ -219,9 +219,20 @@ let exact_rescue ?pool (m : Model.t) granularity primary_error =
         "provably infeasible: the exact game engine exhausted the state \
          space (%d states) without finding a safe cycle"
         stats.Exact.explored
+  | Exact.Timeout reason ->
+      (* Graceful degradation: the rescue was cut off by the caller's
+         budget, so the heuristic's own verdict stands — annotated so
+         the caller knows the exact engine did not get to finish. *)
+      Error
+        {
+          primary_error with
+          message =
+            primary_error.message
+            ^ Printf.sprintf " (exact fallback cut off: %s)" reason;
+        }
   | Exact.Unknown _ -> Error primary_error
 
-let synthesize ?pool ?(merge = true) ?(pipeline = true)
+let synthesize ?pool ?budget ?(merge = true) ?(pipeline = true)
     ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000)
     ?(exact_fallback = false) (m : Model.t) =
   (* Preference order: every round of the merged variant, cheapest
@@ -258,9 +269,17 @@ let synthesize ?pool ?(merge = true) ?(pipeline = true)
       preps
     |> Array.of_list
   in
+  (* The budget is checked once per candidate round — a round is the
+     natural cooperative grain here (each is one EDF construction plus
+     verification); rounds already tried when the budget trips are kept. *)
+  let rounds_tried = Atomic.make 0 in
   let run (p, r) =
-    Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/round" (fun () ->
-        attempt ~backend ~max_hyperperiod p r)
+    match budget with
+    | Some b when not (Budget.spend b 1) -> None
+    | _ ->
+        Atomic.incr rounds_tried;
+        Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/round" (fun () ->
+            attempt ~backend ~max_hyperperiod p r)
   in
   let found =
     Rt_par.Perf.time "synthesis" (fun () ->
@@ -278,13 +297,25 @@ let synthesize ?pool ?(merge = true) ?(pipeline = true)
   match found with
   | Some plan -> Ok plan
   | None -> (
-      (* Heuristic exhausted.  When requested and the model lies in a
-         decidable class, consult the exact game engine: a cycle gives a
-         plan the heuristic missed; a completed search upgrades the
-         error to a proof of infeasibility. *)
-      match (exact_fallback, exact_eligible m) with
-      | true, Some granularity -> exact_rescue ?pool m granularity primary_error
-      | _ -> Error primary_error)
+      match Option.bind budget Budget.exhausted with
+      | Some reason when Atomic.get rounds_tried < Array.length tasks ->
+          (* The budget cut the candidate sweep short.  Degrade
+             gracefully: report how far the heuristic got instead of
+             pretending the sweep was exhaustive (and skip the exact
+             rescue — it would burn no fuel and learn nothing). *)
+          fail "budget"
+            "synthesis budget exhausted (%s) after %d of %d candidate \
+             rounds; no feasible candidate found before the cut-off"
+            reason (Atomic.get rounds_tried) (Array.length tasks)
+      | _ -> (
+          (* Heuristic exhausted.  When requested and the model lies in a
+             decidable class, consult the exact game engine: a cycle gives
+             a plan the heuristic missed; a completed search upgrades the
+             error to a proof of infeasibility. *)
+          match (exact_fallback, exact_eligible m) with
+          | true, Some granularity ->
+              exact_rescue ?pool ?budget m granularity primary_error
+          | _ -> Error primary_error))
 
 let pp_plan (_orig : Model.t) fmt (p : plan) =
   Format.fprintf fmt "@[<v>hyperperiod: %d@,schedule: %s@,load: %.3f@,"

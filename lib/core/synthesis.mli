@@ -58,6 +58,7 @@ val polling_candidates : w:int -> d:int -> (int * int) list
 
 val synthesize :
   ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
   ?merge:bool ->
   ?pipeline:bool ->
   ?backend:Edf_cyclic.policy ->
@@ -81,6 +82,15 @@ val synthesize :
     completed search upgrades the error to stage ["exact"] with a
     proof of infeasibility; a state-budget [Unknown] leaves the
     original heuristic error untouched.
+
+    [budget] bounds the whole synthesis cooperatively, checked once per
+    candidate round and threaded into the exact fallback.  Degradation
+    is graceful, never an exception: rounds completed before the
+    cut-off still count (a feasible plan found early is returned
+    normally); if the budget trips mid-sweep the error has stage
+    ["budget"] and says how many rounds ran; if only the exact rescue
+    is cut off, the heuristic's own error stands, annotated with the
+    cut-off reason.
 
     With [pool], candidate configurations — every polling round of the
     merged variant followed by every round of the unmerged fallback —

@@ -27,6 +27,7 @@ type ('k, 'v) shard = {
   lock : Mutex.t;
   mutable buckets : ('k * 'v) list array;
   mutable count : int;
+  mutable evict_cursor : int;
 }
 
 type ('k, 'v) t = {
@@ -34,20 +35,34 @@ type ('k, 'v) t = {
   equal : 'k -> 'k -> bool;
   mask : int; (* shard count - 1; shard count is a power of two *)
   shards : ('k, 'v) shard array;
+  shard_cap : int; (* max bindings per shard; max_int when uncapped *)
+  evicted : int Atomic.t;
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
-let create ?(shards = 32) ~hash ~equal capacity =
+let create ?(shards = 32) ?max_entries ~hash ~equal capacity =
   let n = pow2_at_least (max 1 (min shards 1024)) 1 in
   let cap = max 16 capacity in
+  let shard_cap =
+    match max_entries with
+    | None -> max_int
+    | Some m -> max 1 ((max 1 m + n - 1) / n)
+  in
   {
     hash;
     equal;
     mask = n - 1;
+    shard_cap;
+    evicted = Atomic.make 0;
     shards =
       Array.init n (fun _ ->
-          { lock = Mutex.create (); buckets = Array.make cap []; count = 0 });
+          {
+            lock = Mutex.create ();
+            buckets = Array.make cap [];
+            count = 0;
+            evict_cursor = 0;
+          });
   }
 
 (* The shard index uses the high-ish bits, the bucket index the low
@@ -85,7 +100,31 @@ let find_opt t k =
 
 let mem t k = find_opt t k <> None
 
+(* Drop the oldest binding (chain tail) of the first nonempty bucket at
+   or after the rotating cursor.  Runs with the shard lock held.  Facts
+   in this table are memoized re-derivables, so losing one costs a
+   recomputation, never soundness. *)
+let evict_one t s =
+  let n = Array.length s.buckets in
+  let rec drop_last = function
+    | [] | [ _ ] -> []
+    | kv :: tl -> kv :: drop_last tl
+  in
+  let rec go tries i =
+    if tries >= n then ()
+    else
+      match s.buckets.(i) with
+      | [] -> go (tries + 1) ((i + 1) land (n - 1))
+      | chain ->
+          s.buckets.(i) <- drop_last chain;
+          s.count <- s.count - 1;
+          s.evict_cursor <- (i + 1) land (n - 1);
+          Atomic.incr t.evicted
+  in
+  go 0 (s.evict_cursor land (n - 1))
+
 let insert t s h k v =
+  if s.count >= t.shard_cap then evict_one t s;
   let i = bucket_of s h in
   s.buckets.(i) <- (k, v) :: s.buckets.(i);
   s.count <- s.count + 1;
@@ -112,3 +151,5 @@ let find_or_add t k mk =
       go s.buckets.(bucket_of s h))
 
 let length t = Array.fold_left (fun acc s -> acc + s.count) 0 t.shards
+
+let evictions t = Atomic.get t.evicted

@@ -17,9 +17,13 @@
       bindings per key);
     - a fact observed by {!find_opt}/{!mem} was fully published by the
       writing domain (the shard mutex orders the accesses);
-    - facts are never removed (there is no [remove]) — the solvers only
-      ever learn monotonically, which is what makes sharing them across
-      lanes sound.
+    - facts are never removed explicitly (there is no [remove]), but a
+      table created with [?max_entries] {e evicts} old bindings to stay
+      within its cap.  This is still sound for the solvers because every
+      fact stored here is re-derivable — losing one costs a repeated
+      computation (a transposition-table miss), never a wrong answer.
+      Without [?max_entries] nothing is ever dropped and long runs grow
+      without bound; cap callers that solve adversarial instances.
 
     All operations are thread-safe and non-blocking in the sense that a
     shard mutex is held only for the duration of one bucket probe or
@@ -45,12 +49,24 @@ end
 type ('k, 'v) t
 
 val create :
-  ?shards:int -> hash:('k -> int) -> equal:('k -> 'k -> bool) -> int -> ('k, 'v) t
-(** [create ?shards ~hash ~equal capacity] makes an empty table.
-    [shards] (default 32, rounded up to a power of two, clamped to
-    1..1024) is the number of independently locked stripes; [capacity]
-    is the initial bucket count {e per shard} hint.  [hash] must be
-    consistent with [equal] and must not raise. *)
+  ?shards:int ->
+  ?max_entries:int ->
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  int ->
+  ('k, 'v) t
+(** [create ?shards ?max_entries ~hash ~equal capacity] makes an empty
+    table.  [shards] (default 32, rounded up to a power of two, clamped
+    to 1..1024) is the number of independently locked stripes;
+    [capacity] is the initial bucket count {e per shard} hint.  [hash]
+    must be consistent with [equal] and must not raise.
+
+    [max_entries], when given, caps the {e total} binding count: the cap
+    is split evenly across shards (rounded up, at least 1 per shard),
+    and an insert into a full shard first evicts that shard's oldest
+    binding at a rotating bucket cursor — approximate FIFO, O(chain)
+    per eviction, counted by {!evictions}.  Omitting [max_entries]
+    keeps the historical never-drop behavior bit-identical. *)
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Current binding of the key, if any. *)
@@ -69,3 +85,7 @@ val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 val length : ('k, 'v) t -> int
 (** Total bindings across shards (each shard's count is exact; the sum
     is a snapshot, not a linearizable point, under concurrent use). *)
+
+val evictions : ('k, 'v) t -> int
+(** Bindings dropped so far to respect [max_entries]; always 0 for an
+    uncapped table. *)

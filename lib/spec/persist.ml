@@ -69,3 +69,246 @@ let load_file path =
         ~finally:(fun () -> close_in ic)
         (fun () ->
           load_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates: JSON written by Rt_check.Certificate.to_json.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The file embeds the certified model as specification source, so a
+   certificate is checkable self-contained: synthesis may rewrite the
+   model (merging, pipelining) before scheduling, and the certificate
+   binds to the model actually scheduled, not to the input spec. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 16) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* Elaboration canonicalizes task graphs (nodes ordered alphabetically
+   by element name, edges sorted), so a certificate built against a
+   programmatic or rewritten model must be re-indexed onto the
+   canonical form before it is written — otherwise the reloaded model's
+   node numbering would no longer line up with the witness exec arrays
+   and the digest would not round-trip.  Element ids are stable under
+   print/elaborate (elements are printed in id order), so the schedule
+   needs no translation. *)
+let canonicalize m cert =
+  if cert.Certificate.digest <> Certificate.digest_of_model m then
+    invalid_arg
+      "Persist.save_certificate_string: certificate does not bind to the model";
+  let src = Printer.print m in
+  match Elaborate.load src with
+  | Error errs ->
+      invalid_arg
+        ("Persist.save_certificate_string: model does not re-elaborate: "
+        ^ String.concat "; " errs)
+  | Ok m' ->
+      let find cs name =
+        List.find_opt (fun (c : Timing.t) -> c.Timing.name = name) cs
+      in
+      let remap_witness (name, w) =
+        match
+          (find m.Model.constraints name, find m'.Model.constraints name)
+        with
+        | Some c_old, Some c_new
+          when Task_graph.size c_old.Timing.graph
+               = Task_graph.size c_new.Timing.graph ->
+            let old_elems = Task_graph.node_elements c_old.Timing.graph in
+            let node_of_elem e =
+              let n = Array.length old_elems in
+              let rec go i = if i >= n || old_elems.(i) = e then i else go (i + 1) in
+              go 0
+            in
+            (* perm.(new node) = old node carrying the same element
+               (unique: printable task graphs have no duplicate
+               occurrences). *)
+            let perm =
+              Array.map node_of_elem
+                (Task_graph.node_elements c_new.Timing.graph)
+            in
+            let n = Array.length perm in
+            let remap_exec (x : Certificate.exec) =
+              if Array.length x <> n then x
+              else Array.init n (fun i -> x.(perm.(i)))
+            in
+            let w' =
+              match w with
+              | Certificate.Async es -> Certificate.Async (List.map remap_exec es)
+              | Certificate.Periodic es ->
+                  Certificate.Periodic (Array.map remap_exec es)
+            in
+            (name, w')
+        | _ ->
+            (* Unknown constraint or size mismatch: keep verbatim; the
+               checker reports it. *)
+            (name, w)
+      in
+      ( m',
+        {
+          Certificate.digest = Certificate.digest_of_model m';
+          schedule = cert.Certificate.schedule;
+          witnesses = List.map remap_witness cert.Certificate.witnesses;
+        } )
+
+let save_certificate_string m cert =
+  let m', cert' = canonicalize m cert in
+  let base = Certificate.to_json cert' in
+  (* [to_json] renders one object; splice the model source in as a
+     final field. *)
+  let close = String.rindex base '}' in
+  String.sub base 0 close
+  ^ ",\"model\":"
+  ^ json_escape (Printer.print m')
+  ^ "}\n"
+
+let save_certificate_file path m cert =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save_certificate_string m cert))
+
+let json_int j =
+  match Rt_obs.Json.to_float j with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let ( let* ) r f = Result.bind r f
+
+let req what = function Some v -> Ok v | None -> Error ("certificate: " ^ what)
+
+let parse_schedule j =
+  let* slots = req "schedule must be an int array" (Rt_obs.Json.to_list j) in
+  let* ints =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* v = req "schedule entries must be integers" (json_int s) in
+        Ok (v :: acc))
+      (Ok []) slots
+  in
+  let arr =
+    List.rev_map
+      (fun v -> if v < 0 then Schedule.Idle else Schedule.Run v)
+      ints
+    |> Array.of_list
+  in
+  if Array.length arr = 0 then Error "certificate: empty schedule"
+  else Ok (Schedule.of_array arr)
+
+let parse_exec j =
+  let* pairs = req "exec must be a list" (Rt_obs.Json.to_list j) in
+  let* rev =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        match Rt_obs.Json.to_list p with
+        | Some [ s; f ] -> (
+            match (json_int s, json_int f) with
+            | Some s, Some f -> Ok ((s, f) :: acc)
+            | _ -> Error "certificate: exec entries must be [start,finish]")
+        | _ -> Error "certificate: exec entries must be [start,finish]")
+      (Ok []) pairs
+  in
+  Ok (Array.of_list (List.rev rev))
+
+let parse_witness j =
+  let* name =
+    req "witness needs a \"constraint\" name"
+      (Option.bind (Rt_obs.Json.member "constraint" j) Rt_obs.Json.to_string)
+  in
+  let* kind =
+    req "witness needs a \"kind\""
+      (Option.bind (Rt_obs.Json.member "kind" j) Rt_obs.Json.to_string)
+  in
+  let* execs_j =
+    req "witness needs \"execs\""
+      (Option.bind (Rt_obs.Json.member "execs" j) Rt_obs.Json.to_list)
+  in
+  let* rev =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* x = parse_exec e in
+        Ok (x :: acc))
+      (Ok []) execs_j
+  in
+  let execs = List.rev rev in
+  match kind with
+  | "async" -> Ok (name, Certificate.Async execs)
+  | "periodic" -> Ok (name, Certificate.Periodic (Array.of_list execs))
+  | k -> Error (Printf.sprintf "certificate: unknown witness kind %S" k)
+
+let load_certificate_string s =
+  let* j = Rt_obs.Json.parse s in
+  let* fmt =
+    req "missing \"format\""
+      (Option.bind (Rt_obs.Json.member "format" j) Rt_obs.Json.to_string)
+  in
+  if fmt <> "rtsyn-certificate" then
+    Error (Printf.sprintf "certificate: unexpected format %S" fmt)
+  else
+    let* version =
+      req "missing \"version\""
+        (Option.bind (Rt_obs.Json.member "version" j) json_int)
+    in
+    if version <> Certificate.version then
+      Error
+        (Printf.sprintf "certificate: version %d unsupported (want %d)"
+           version Certificate.version)
+    else
+      let* digest =
+        req "missing \"digest\""
+          (Option.bind (Rt_obs.Json.member "digest" j) Rt_obs.Json.to_string)
+      in
+      let* schedule =
+        let* sj = req "missing \"schedule\"" (Rt_obs.Json.member "schedule" j) in
+        parse_schedule sj
+      in
+      let* witnesses_j =
+        req "missing \"witnesses\""
+          (Option.bind (Rt_obs.Json.member "witnesses" j) Rt_obs.Json.to_list)
+      in
+      let* rev =
+        List.fold_left
+          (fun acc w ->
+            let* acc = acc in
+            let* parsed = parse_witness w in
+            Ok (parsed :: acc))
+          (Ok []) witnesses_j
+      in
+      let* model_src =
+        req "missing \"model\""
+          (Option.bind (Rt_obs.Json.member "model" j) Rt_obs.Json.to_string)
+      in
+      let* m =
+        Result.map_error
+          (fun errs -> "certificate model: " ^ String.concat "; " errs)
+          (Elaborate.load model_src)
+      in
+      Ok
+        ( m,
+          {
+            Certificate.digest;
+            schedule;
+            witnesses = List.rev rev;
+          } )
+
+let load_certificate_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          load_certificate_string
+            (really_input_string ic (in_channel_length ic)))

@@ -133,6 +133,7 @@ let test_game_state_budget () =
   | Exact.Unknown _ -> ()
   | Exact.Feasible _ -> Alcotest.fail "3 states cannot suffice here"
   | Exact.Infeasible -> Alcotest.fail "must not claim infeasible when truncated"
+  | Exact.Timeout _ -> Alcotest.fail "no budget was supplied"
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                           *)
@@ -166,11 +167,13 @@ let test_enumerate_unknown_when_infeasible () =
    with
   | Exact.Unknown _ -> ()
   | Exact.Feasible _ -> Alcotest.fail "infeasible pair cannot be feasible"
-  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown");
+  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown"
+  | Exact.Timeout _ -> Alcotest.fail "no budget was supplied");
   match (Exact.enumerate Rt_workload.Suite.infeasible_pair).outcome with
   | Exact.Infeasible -> ()
   | Exact.Feasible _ -> Alcotest.fail "infeasible pair cannot be feasible"
-  | Exact.Unknown m -> Alcotest.failf "game engine should prove it: %s" m
+  | Exact.Timeout m | Exact.Unknown m ->
+      Alcotest.failf "game engine should prove it: %s" m
 
 let test_enumerate_rejects_weights () =
   let comm = Comm_graph.create ~elements:[ ("w", 2, true) ] ~edges:[] in
@@ -217,13 +220,15 @@ let test_enumerate_chain () =
   | Exact.Feasible s ->
       Alcotest.failf "impossible schedule found: %s"
         (Format.asprintf "%a" Schedule.pp s)
-  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown");
+  | Exact.Infeasible -> Alcotest.fail "bounded search reports Unknown"
+  | Exact.Timeout _ -> Alcotest.fail "no budget was supplied");
   match (Exact.enumerate (chain_model 4)).outcome with
   | Exact.Infeasible -> ()
   | Exact.Feasible s ->
       Alcotest.failf "impossible schedule found: %s"
         (Format.asprintf "%a" Schedule.pp s)
-  | Exact.Unknown m -> Alcotest.failf "game engine should prove it: %s" m
+  | Exact.Timeout m | Exact.Unknown m ->
+      Alcotest.failf "game engine should prove it: %s" m
 
 (* ------------------------------------------------------------------ *)
 (* enumerate_atomic                                                    *)
@@ -271,6 +276,8 @@ let test_atomic_agrees_with_game () =
     | (Exact.Unknown _ | Exact.Feasible _), Exact.Infeasible ->
         Alcotest.fail "bounded enumeration must not claim Infeasible"
     | Exact.Unknown _, _ -> Alcotest.fail "state budget should not bind"
+    | Exact.Timeout _, _ | _, Exact.Timeout _ ->
+        Alcotest.fail "no budget was supplied"
   done
 
 let test_atomic_keeps_blocks_contiguous () =
@@ -311,6 +318,8 @@ let test_deciders_agree_on_singles () =
         Alcotest.failf "game says infeasible but enumeration found %s"
           (Format.asprintf "%a" Schedule.pp s)
     | Exact.Unknown _, _ -> Alcotest.fail "state budget should not bind here"
+    | Exact.Timeout _, _ | _, Exact.Timeout _ ->
+        Alcotest.fail "no budget was supplied"
   done
 
 let test_three_partition_witness_matches_game () =
@@ -329,7 +338,8 @@ let test_three_partition_witness_matches_game () =
           checkb "game schedule verifies too" true
             (Latency.all_ok (Latency.verify model sched))
       | Exact.Infeasible -> Alcotest.fail "game contradicts the witness"
-      | Exact.Unknown msg -> Alcotest.failf "game ran out of budget: %s" msg)
+      | Exact.Timeout msg | Exact.Unknown msg ->
+          Alcotest.failf "game ran out of budget: %s" msg)
 
 let () =
   Alcotest.run "rt_core-exact"

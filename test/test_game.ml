@@ -42,6 +42,8 @@ let check_agreement ~what m game dfs =
       Alcotest.failf "%s: bounded DFS must never report Infeasible" what
   | Exact.Unknown msg, _ ->
       Alcotest.failf "%s: game state budget must not bind here (%s)" what msg
+  | Exact.Timeout msg, _ | _, Exact.Timeout msg ->
+      Alcotest.failf "%s: no budget was supplied (%s)" what msg
 
 let test_game_eq_dfs_unit () =
   let g = Rt_graph.Prng.create 1009 in
@@ -156,6 +158,7 @@ let test_game_budget_yields_unknown () =
   | Exact.Unknown _ -> ()
   | Exact.Feasible _ -> Alcotest.fail "4 states cannot suffice"
   | Exact.Infeasible -> Alcotest.fail "must not claim infeasible when truncated"
+  | Exact.Timeout _ -> Alcotest.fail "no budget was supplied"
 
 (* ------------------------------------------------------------------ *)
 (* Shard_tbl                                                           *)
@@ -182,6 +185,44 @@ let test_shard_tbl_basics () =
     (Rt_par.Shard_tbl.find_or_add t [| 123; 861 |] (fun () -> 99));
   Alcotest.check Alcotest.int "find_or_add fresh" 99
     (Rt_par.Shard_tbl.find_or_add t [| -5 |] (fun () -> 99))
+
+let test_shard_tbl_eviction () =
+  let mk max_entries =
+    Rt_par.Shard_tbl.create ~shards:4 ~max_entries
+      ~hash:Rt_par.Shard_tbl.Int_array.hash
+      ~equal:Rt_par.Shard_tbl.Int_array.equal 16
+  in
+  let t = mk 64 in
+  for i = 0 to 999 do
+    Rt_par.Shard_tbl.add t [| i; i * 7 |] i
+  done;
+  (* Cap 64 over 4 shards = 16 per shard; a thousand inserts must keep
+     the table at the cap and count every forced drop. *)
+  checkb "capped length" true (Rt_par.Shard_tbl.length t <= 64);
+  Alcotest.check Alcotest.int "evictions account for the overflow"
+    (1000 - Rt_par.Shard_tbl.length t)
+    (Rt_par.Shard_tbl.evictions t);
+  (* Replacing an existing binding must not evict. *)
+  let t2 = mk 4 in
+  Rt_par.Shard_tbl.add t2 [| 1 |] 1;
+  Rt_par.Shard_tbl.add t2 [| 1 |] 2;
+  checkb "replace under cap" true
+    (Rt_par.Shard_tbl.find_opt t2 [| 1 |] = Some 2);
+  Alcotest.check Alcotest.int "no evictions on replace" 0
+    (Rt_par.Shard_tbl.evictions t2);
+  (* An uncapped table never evicts. *)
+  let t3 =
+    Rt_par.Shard_tbl.create ~shards:4
+      ~hash:Rt_par.Shard_tbl.Int_array.hash
+      ~equal:Rt_par.Shard_tbl.Int_array.equal 16
+  in
+  for i = 0 to 999 do
+    Rt_par.Shard_tbl.add t3 [| i |] i
+  done;
+  Alcotest.check Alcotest.int "uncapped keeps everything" 1000
+    (Rt_par.Shard_tbl.length t3);
+  Alcotest.check Alcotest.int "uncapped never evicts" 0
+    (Rt_par.Shard_tbl.evictions t3)
 
 let test_shard_tbl_concurrent () =
   let t =
@@ -232,6 +273,7 @@ let () =
       ( "shard-tbl",
         [
           Alcotest.test_case "basics" `Quick test_shard_tbl_basics;
+          Alcotest.test_case "eviction" `Quick test_shard_tbl_eviction;
           Alcotest.test_case "concurrent" `Quick test_shard_tbl_concurrent;
         ] );
     ]
