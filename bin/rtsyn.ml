@@ -17,7 +17,9 @@
      2  command-line usage error
      3  a --budget-ms/--fuel budget was exhausted (TIMEOUT)
      4  internal error (unexpected exception, or an engine result the
-        independent certificate checker rejected — fail closed) *)
+        independent certificate checker rejected — fail closed)
+     5  the analytic admission test was inconclusive (admit only —
+        shared contract with the rtsynd daemon's degraded answers) *)
 
 open Cmdliner
 open Rt_core
@@ -215,6 +217,20 @@ let make_budget budget_ms fuel =
                   (Option.map (fun ms -> float_of_int ms /. 1000.) budget_ms)
                 ?fuel ()))
 
+(* Budgeted synthesis front end shared by the subcommands that
+   synthesize as a means to another end (simulate, gantt, emit-c): a
+   budget cut reports TIMEOUT (exit 3), any other failure is
+   infeasible (exit 1), and the continuation gets the plan. *)
+let budgeted_synthesis ?budget m k =
+  match Synthesis.synthesize ?budget m with
+  | Error e when e.Synthesis.stage = "budget" ->
+      Format.eprintf "synthesis timed out: %a@." Synthesis.pp_error e;
+      exit_timeout
+  | Error e ->
+      Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
+      exit_infeasible
+  | Ok plan -> k plan
+
 let cert_out_arg =
   Arg.(
     value
@@ -400,35 +416,49 @@ let analyze_cmd =
             "Space-separated schedule: element names and '.' for idle, e.g. \
              \"f_x f_s f_s . f_k\".")
   in
-  let run path sched_str trace =
+  let run path sched_str budget_ms fuel trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    match Schedule.of_string m.Model.comm sched_str with
-    | Error e -> usage_error e
-    | Ok sched -> (
-        match Schedule.validate m.Model.comm sched with
-        | Error errs ->
-            List.iter prerr_endline errs;
-            Format.printf "INFEASIBLE@.";
-            exit_infeasible
-        | Ok () ->
-            let verdicts = Latency.verify m sched in
-            List.iter
-              (fun v -> Format.printf "%a@." Latency.pp_verdict v)
-              verdicts;
-            if Latency.all_ok verdicts then begin
-              Format.printf "FEASIBLE@.";
-              exit_ok
-            end
-            else begin
-              Format.printf "INFEASIBLE@.";
-              exit_infeasible
-            end)
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget -> (
+        match Schedule.of_string m.Model.comm sched_str with
+        | Error e -> usage_error e
+        | Ok sched -> (
+            match Schedule.validate m.Model.comm sched with
+            | Error errs ->
+                List.iter prerr_endline errs;
+                Format.printf "INFEASIBLE@.";
+                exit_infeasible
+            | Ok () -> (
+                let result =
+                  match budget with
+                  | None -> Ok (Latency.verify m sched)
+                  | Some b -> Latency.verify_budgeted ~budget:b m sched
+                in
+                match result with
+                | Error reason ->
+                    Format.printf "TIMEOUT: %s@." reason;
+                    exit_timeout
+                | Ok verdicts ->
+                    List.iter
+                      (fun v -> Format.printf "%a@." Latency.pp_verdict v)
+                      verdicts;
+                    if Latency.all_ok verdicts then begin
+                      Format.printf "FEASIBLE@.";
+                      exit_ok
+                    end
+                    else begin
+                      Format.printf "INFEASIBLE@.";
+                      exit_infeasible
+                    end)))
   in
   Cmd.v
     (cmd_info "analyze"
        ~doc:"Latency/response verdicts for a user-supplied schedule.")
-    Term.(const run $ spec_file $ schedule_arg $ trace_arg)
+    Term.(
+      const run $ spec_file $ schedule_arg $ budget_ms_arg $ fuel_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -445,14 +475,13 @@ let simulate_cmd =
       value & opt int 1
       & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for arrivals.")
   in
-  let run path horizon seed trace =
+  let run path horizon seed budget_ms fuel trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    match Synthesis.synthesize m with
-    | Error e ->
-        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        exit_infeasible
-    | Ok plan ->
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget ->
+        budgeted_synthesis ?budget m @@ fun plan ->
         let prng = Rt_graph.Prng.create seed in
         let arrivals =
           List.map
@@ -479,7 +508,9 @@ let simulate_cmd =
   Cmd.v
     (cmd_info "simulate"
        ~doc:"Synthesize, then replay against random arrivals.")
-    Term.(const run $ spec_file $ horizon $ seed $ trace_arg)
+    Term.(
+      const run $ spec_file $ horizon $ seed $ budget_ms_arg $ fuel_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -606,21 +637,32 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 
 let admit_cmd =
+  (* Shares the daemon's analytic answer path (Rt_daemon.Engine.admission)
+     so the standalone tool and a degraded rtsynd render the same verdict
+     with the same contract: 0 guaranteed, 1 impossible, 5 inconclusive. *)
+  let admit_exits =
+    exits
+    @ [
+        Cmd.Exit.info 5
+          ~doc:
+            "when the analytic gap tests are inconclusive — the exact \
+             boundary is NP-hard (Theorem 2); run $(b,rtsyn synth) or \
+             $(b,rtsyn exact) for a definitive answer.";
+      ]
+  in
   let run path trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    (match Admission.admit m with
-    | Admission.Guaranteed why ->
-        Format.printf "GUARANTEED feasible (%s)@." why
-    | Admission.Impossible why -> Format.printf "IMPOSSIBLE: %s@." why
-    | Admission.Inconclusive ->
-        Format.printf
-          "INCONCLUSIVE (run 'rtsyn synth' — the exact boundary is NP-hard)@.");
+    let line, code = Rt_daemon.Engine.admission m in
+    Format.printf "%s@." line;
+    if code = 5 then
+      Format.printf "(run 'rtsyn synth' — the exact boundary is NP-hard)@.";
     Format.printf "element demand rate bound: %.3f@." (Admission.rate_bound m);
-    exit_ok
+    code
   in
   Cmd.v
-    (cmd_info "admit" ~doc:"Fast analytic admission test (no synthesis).")
+    (Cmd.info "admit" ~exits:admit_exits
+       ~doc:"Fast analytic admission test (no synthesis).")
     Term.(const run $ spec_file $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -638,14 +680,13 @@ let gantt_cmd =
       value & flag
       & info [ "optimize" ] ~doc:"Trim removable idle slots first.")
   in
-  let run path width optimize trace =
+  let run path width optimize budget_ms fuel trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    match Synthesis.synthesize m with
-    | Error e ->
-        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        exit_infeasible
-    | Ok plan ->
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget ->
+        budgeted_synthesis ?budget m @@ fun plan ->
         let mu = plan.Synthesis.model_used in
         let sched =
           if optimize then
@@ -662,7 +703,9 @@ let gantt_cmd =
   in
   Cmd.v
     (cmd_info "gantt" ~doc:"Synthesize and draw the schedule as ASCII Gantt.")
-    Term.(const run $ spec_file $ width $ optimize $ trace_arg)
+    Term.(
+      const run $ spec_file $ width $ optimize $ budget_ms_arg $ fuel_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
@@ -779,43 +822,63 @@ let exact_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sensitivity_cmd =
-  let run path trace =
+  (* The binary searches call synthesis many times; the budget is one
+     shared sticky pool across all probes, surfaced through the
+     ?synthesize hook so a cut aborts the whole analysis as TIMEOUT
+     rather than mislabelling the probe infeasible. *)
+  let exception Budget_cut of string in
+  let run path budget_ms fuel trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    (match Sensitivity.critical_speed ~resolution:16 m with
-    | None -> Format.printf "the model does not synthesize as given@."
-    | Some s ->
-        Format.printf
-          "critical time scale: %.3f (timing can shrink to %.0f%%)@."
-          s (100.0 *. s);
-        List.iter
-          (fun (c : Timing.t) ->
-            match Sensitivity.tightest_deadline m c.name with
-            | Some d ->
-                Format.printf "  %s: deadline %d could tighten to %d@." c.name
-                  c.deadline d
-            | None -> ())
-          m.Model.constraints);
-    exit_ok
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget -> (
+        let synthesize m =
+          match Synthesis.synthesize ?budget m with
+          | Ok _ -> true
+          | Error e when e.Synthesis.stage = "budget" ->
+              raise (Budget_cut (Format.asprintf "%a" Synthesis.pp_error e))
+          | Error _ -> false
+        in
+        match
+          (match Sensitivity.critical_speed ~synthesize ~resolution:16 m with
+          | None -> Format.printf "the model does not synthesize as given@."
+          | Some s ->
+              Format.printf
+                "critical time scale: %.3f (timing can shrink to %.0f%%)@." s
+                (100.0 *. s);
+              List.iter
+                (fun (c : Timing.t) ->
+                  match Sensitivity.tightest_deadline ~synthesize m c.name with
+                  | Some d ->
+                      Format.printf "  %s: deadline %d could tighten to %d@."
+                        c.name c.deadline d
+                  | None -> ())
+                m.Model.constraints);
+          exit_ok
+        with
+        | code -> code
+        | exception Budget_cut reason ->
+            Format.printf "TIMEOUT: %s@." reason;
+            exit_timeout)
   in
   Cmd.v
     (cmd_info "sensitivity"
        ~doc:"Margin analysis: tightest deadlines and critical time scale.")
-    Term.(const run $ spec_file $ trace_arg)
+    Term.(const run $ spec_file $ budget_ms_arg $ fuel_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* emit-c                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let emit_c_cmd =
-  let run path trace =
+  let run path budget_ms fuel trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
-    match Synthesis.synthesize m with
-    | Error e ->
-        Format.eprintf "synthesis failed: %a@." Synthesis.pp_error e;
-        exit_infeasible
-    | Ok plan ->
+    match make_budget budget_ms fuel with
+    | Error msg -> usage_error msg
+    | Ok budget ->
+        budgeted_synthesis ?budget m @@ fun plan ->
         print_string
           (Emit_c.emit plan.Synthesis.model_used plan.Synthesis.schedule);
         exit_ok
@@ -825,7 +888,7 @@ let emit_c_cmd =
        ~doc:
          "Synthesize and emit the C run-time scheduler (schedule table + \
           rt_tick dispatcher).")
-    Term.(const run $ spec_file $ trace_arg)
+    Term.(const run $ spec_file $ budget_ms_arg $ fuel_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faultsim                                                            *)

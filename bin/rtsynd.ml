@@ -1,0 +1,123 @@
+(* rtsynd — the resident admission/synthesis daemon.
+
+   Speaks the versioned jsonl protocol of Rt_daemon.Protocol on
+   stdin/stdout; every state mutation is journaled (write-ahead,
+   fsynced) before it is acknowledged, so kill -9 + restart replays to
+   the digest-verified pre-crash certified state.  See docs/DAEMON.md. *)
+
+open Cmdliner
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error e -> Error e
+
+let run spec journal max_queue degrade_heuristic degrade_analytic budget_ms
+    fuel jobs =
+  let cfg =
+    {
+      Rt_daemon.Daemon.journal;
+      spec = None;
+      max_queue;
+      degrade_heuristic;
+      degrade_analytic;
+      default_budget_ms = budget_ms;
+      default_fuel = fuel;
+      jobs;
+    }
+  in
+  match spec with
+  | None -> Rt_daemon.Daemon.run cfg
+  | Some path -> (
+      match read_file path with
+      | Error e ->
+          prerr_endline ("rtsynd: " ^ e);
+          1
+      | Ok src -> Rt_daemon.Daemon.run { cfg with Rt_daemon.Daemon.spec = Some src })
+
+let spec_arg =
+  let doc =
+    "Base system specification (elements, edges, optional initial \
+     constraints).  Required on a fresh start; ignored when the journal \
+     already holds an init record."
+  in
+  Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let journal_arg =
+  let doc = "Write-ahead journal path (created if missing)." in
+  Arg.(
+    value
+    & opt string Rt_daemon.Daemon.default_config.Rt_daemon.Daemon.journal
+    & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let max_queue_arg =
+  let doc =
+    "Bounded request queue; requests beyond this depth are shed with an \
+     $(i,overloaded) response."
+  in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let degrade_heuristic_arg =
+  let doc =
+    "Queue depth at which the exact game-engine rescue is dropped from \
+     admits (first degradation step)."
+  in
+  Arg.(value & opt int 8 & info [ "degrade-heuristic" ] ~docv:"N" ~doc)
+
+let degrade_analytic_arg =
+  let doc =
+    "Queue depth at which admits are answered from the analytic admission \
+     tests alone, without committing (second degradation step)."
+  in
+  Arg.(value & opt int 24 & info [ "degrade-analytic" ] ~docv:"N" ~doc)
+
+let budget_ms_arg =
+  let doc =
+    "Default per-request wall-clock budget in milliseconds (0 = unlimited; \
+     requests may override with $(i,budget_ms))."
+  in
+  Arg.(value & opt int 2000 & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let fuel_arg =
+  let doc =
+    "Default per-request fuel (state expansions; 0 = unlimited; requests \
+     may override with $(i,fuel))."
+  in
+  Arg.(value & opt int 2_000_000 & info [ "fuel" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc = "Domain-pool lanes for synthesis (1 = sequential)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "resident admission daemon for graph-based real-time models" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "$(tname) keeps a graph-based model, its certified schedule and the \
+         exact engine's learned state resident, and serves admit / retire / \
+         what-if / reverify / stats / snapshot / shutdown requests as one \
+         JSON object per line on stdin/stdout.";
+      `P
+        "Every acknowledged mutation has passed the trusted certificate \
+         checker and been fsynced to the write-ahead journal first; restart \
+         replays the journal and re-verifies every digest.  Overload sheds \
+         deterministically and degrades exact $(b,->) heuristic $(b,->) \
+         analytic as queue depth grows.";
+      `S Manpage.s_exit_status;
+      `P "0 on clean shutdown (stdin closed or $(i,shutdown) request);";
+      `P
+        "1 when startup fails: corrupt journal, digest mismatch on replay, \
+         or an infeasible base system;";
+      `P "124 on usage errors (cmdliner).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rtsynd" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ spec_arg $ journal_arg $ max_queue_arg
+      $ degrade_heuristic_arg $ degrade_analytic_arg $ budget_ms_arg
+      $ fuel_arg $ jobs_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -54,7 +54,7 @@ let no_schedule budget explored ~max_len =
             (Printf.sprintf "no feasible schedule of length <= %d" max_len);
       }
 
-let enumerate ?pool ?budget ?(engine = `Game) ?(max_len = 12)
+let enumerate ?pool ?budget ?table ?(engine = `Game) ?(max_len = 12)
     ?(max_states = 500_000) (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let elements =
@@ -74,7 +74,7 @@ let enumerate ?pool ?budget ?(engine = `Game) ?(max_len = 12)
              (Comm_graph.weight m.comm e)))
     elements;
   match engine with
-  | `Game -> Game.solve ?pool ?budget ~max_states ~granularity:`Unit m
+  | `Game -> Game.solve ?pool ?budget ?table ~max_states ~granularity:`Unit m
   | `Dfs ->
       if asyncs = [] then
         {
@@ -161,10 +161,10 @@ let enumerate ?pool ?budget ?(engine = `Game) ?(max_len = 12)
 (* Execution-granularity enumeration: complete for atomic elements.    *)
 (* ------------------------------------------------------------------ *)
 
-let enumerate_atomic ?pool ?budget ?(engine = `Game) ?(max_len = 16)
+let enumerate_atomic ?pool ?budget ?table ?(engine = `Game) ?(max_len = 16)
     ?(max_states = 500_000) (m : Model.t) =
   match engine with
-  | `Game -> Game.solve ?pool ?budget ~max_states ~granularity:`Atomic m
+  | `Game -> Game.solve ?pool ?budget ?table ~max_states ~granularity:`Atomic m
   | `Dfs ->
       let asyncs = Model.asynchronous m in
       let elements =
@@ -288,7 +288,8 @@ let enumerate_atomic ?pool ?budget ?(engine = `Game) ?(max_len = 16)
    table, dominance pruning and pool fan-out on top.                   *)
 (* ------------------------------------------------------------------ *)
 
-let solve_single_ops ?pool ?budget ?(max_states = 1_000_000) (m : Model.t) =
+let solve_single_ops ?pool ?budget ?table ?(max_states = 1_000_000)
+    (m : Model.t) =
   let asyncs = Model.asynchronous m in
   List.iter
     (fun (c : Timing.t) ->
@@ -298,4 +299,4 @@ let solve_single_ops ?pool ?budget ?(max_states = 1_000_000) (m : Model.t) =
              "Exact.solve_single_ops: constraint %s is not a single operation"
              c.name))
     asyncs;
-  Game.solve ?pool ?budget ~max_states ~granularity:`Atomic m
+  Game.solve ?pool ?budget ?table ~max_states ~granularity:`Atomic m

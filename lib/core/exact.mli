@@ -56,6 +56,7 @@ type engine = [ `Dfs | `Game ]
 val enumerate :
   ?pool:Rt_par.Pool.t ->
   ?budget:Budget.t ->
+  ?table:Game.table ->
   ?engine:engine ->
   ?max_len:int ->
   ?max_states:int ->
@@ -68,7 +69,9 @@ val enumerate :
     [budget] bounds the whole solve by wall clock and/or fuel, checked
     cooperatively at every state expansion (game) or DFS node;
     exhausting it yields [Timeout].  With no [budget] the search is
-    bit-for-bit the default path.
+    bit-for-bit the default path.  [table] supplies a resident
+    {!Game.table} of dead facts reused across game-engine solves of the
+    same model (ignored by [`Dfs]).
 
     With [~engine:`Dfs]: searches schedule lengths [1 .. max_len]
     (default 12) in increasing order; within a length, depth-first over
@@ -94,6 +97,7 @@ val enumerate :
 val enumerate_atomic :
   ?pool:Rt_par.Pool.t ->
   ?budget:Budget.t ->
+  ?table:Game.table ->
   ?engine:engine ->
   ?max_len:int ->
   ?max_states:int ->
@@ -112,7 +116,12 @@ val enumerate_atomic :
     {!enumerate}. *)
 
 val solve_single_ops :
-  ?pool:Rt_par.Pool.t -> ?budget:Budget.t -> ?max_states:int -> Model.t -> stats
+  ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
+  ?table:Game.table ->
+  ?max_states:int ->
+  Model.t ->
+  stats
 (** [solve_single_ops m] runs the simulation game (default bound: one
     million states).  Raises [Invalid_argument] if some asynchronous
     constraint's task graph is not a single operation.  [Infeasible]

@@ -90,10 +90,28 @@ type shared = {
    adversarial long runs stay bounded. *)
 let default_table_cap = 2 * 1024 * 1024
 
-let make_shared ?antichain ?budget ?(table_cap = default_table_cap) ~subsumed
-    ~max_states () =
+(* A resident dead-fact table a caller may thread through several solves
+   of the SAME model (and granularity): "state s is dead" is a property
+   of the model alone, not of the path or budget that proved it, so a
+   later solve may consume facts an earlier (even timed-out) solve
+   derived.  Reusing a table across different models is unsound — the
+   daemon keys its resident tables by model digest. *)
+type table = (int array, unit) Stbl.t
+
+let table ?(cap = default_table_cap) () =
+  Stbl.create ~max_entries:cap ~hash:Key.hash ~equal:Key.equal 1024
+
+let table_size = Stbl.length
+
+let make_shared ?antichain ?budget ?table:dead_table
+    ?(table_cap = default_table_cap) ~subsumed ~max_states () =
   {
-    dead = Stbl.create ~max_entries:table_cap ~hash:Key.hash ~equal:Key.equal 1024;
+    dead =
+      (match dead_table with
+      | Some t -> t
+      | None ->
+          Stbl.create ~max_entries:table_cap ~hash:Key.hash ~equal:Key.equal
+            1024);
     antichain;
     subsumed;
     expanded = Atomic.make 1 (* the initial state *);
@@ -212,7 +230,7 @@ let budget_subsumed v d =
   let rec go i = i >= n || (v.(i) <= d.(i) && go (i + 1)) in
   go 0
 
-let solve_budget ?pool ?budget ~max_states (m : Model.t) =
+let solve_budget ?pool ?budget ?table ~max_states (m : Model.t) =
   let asyncs = Model.asynchronous m in
   let specs =
     (* (element, weight, deadline) per constraint; single-op by
@@ -301,7 +319,7 @@ let solve_budget ?pool ?budget ~max_states (m : Model.t) =
             List.init (Hashtbl.find weight_of e) (fun _ -> Schedule.Run e)
       in
       let sh =
-        make_shared ~antichain:(Antichain.create ()) ?budget
+        make_shared ~antichain:(Antichain.create ()) ?budget ?table
           ~subsumed:budget_subsumed ~max_states ()
       in
       Perf.incr Perf.game_states;
@@ -447,7 +465,7 @@ let path_push p v ~start =
   Bytes.set p.starts p.len (if start then '\001' else '\000');
   p.len <- p.len + 1
 
-let solve_trace ?pool ?budget ~max_states ~granularity (m : Model.t) =
+let solve_trace ?pool ?budget ?table ~max_states ~granularity (m : Model.t) =
   let asyncs = Model.asynchronous m in
   if asyncs = [] then trivially_feasible ()
   else begin
@@ -476,7 +494,7 @@ let solve_trace ?pool ?budget ~max_states ~granularity (m : Model.t) =
     let sh =
       make_shared
         ?antichain:(if unit_weights then Some (Antichain.create ()) else None)
-        ?budget ~subsumed:residue_subsumed ~max_states ()
+        ?budget ?table ~subsumed:residue_subsumed ~max_states ()
     in
     Perf.incr Perf.game_states;
     (* Windows ending at [l] (1-based length), over a trace spanning at
@@ -663,11 +681,12 @@ let solve_trace ?pool ?budget ~max_states ~granularity (m : Model.t) =
 (* Entry point.                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let solve ?pool ?budget ?(max_states = 500_000) ~granularity (m : Model.t) =
+let solve ?pool ?budget ?table ?(max_states = 500_000) ~granularity
+    (m : Model.t) =
   Perf.time "game" @@ fun () ->
   let asyncs = Model.asynchronous m in
   if asyncs = [] then trivially_feasible ()
   else if
     List.for_all (fun (c : Timing.t) -> Task_graph.size c.graph = 1) asyncs
-  then solve_budget ?pool ?budget ~max_states m
-  else solve_trace ?pool ?budget ~max_states ~granularity m
+  then solve_budget ?pool ?budget ?table ~max_states m
+  else solve_trace ?pool ?budget ?table ~max_states ~granularity m

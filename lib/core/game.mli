@@ -62,9 +62,28 @@ type outcome =
 
 type stats = { explored : int; outcome : outcome }
 
+type table
+(** A resident dead-fact (transposition) table.  "State [s] is dead" is
+    a property of the model alone — independent of the path or budget
+    under which it was proven — so a table may be reused across many
+    {!solve} calls on the {e same} model (and granularity): facts a
+    timed-out solve derived still speed up the next attempt.  Reuse
+    across different models is unsound; key resident tables by model
+    digest. *)
+
+val table : ?cap:int -> unit -> table
+(** [table ()] creates an empty resident table ([cap] defaults to the
+    engine's 2M-entry cap; the cap evicts approximately-FIFO and only
+    ever costs re-derivation). *)
+
+val table_size : table -> int
+(** Number of dead facts currently resident (approximate under
+    concurrent use). *)
+
 val solve :
   ?pool:Rt_par.Pool.t ->
   ?budget:Budget.t ->
+  ?table:table ->
   ?max_states:int ->
   granularity:[ `Unit | `Atomic ] ->
   Model.t ->
@@ -90,9 +109,12 @@ val solve :
     {!Rt_par.Perf.game_states}, {!Rt_par.Perf.table_hits},
     {!Rt_par.Perf.table_misses}, {!Rt_par.Perf.dominance_kills}.
 
-    The transposition table is capped (2M entries, split over its
-    shards) so adversarial long runs cannot grow it without bound; the
-    cap evicts approximately-FIFO and only ever costs re-derivation.
+    [table] supplies a resident transposition table (see {!type-table})
+    shared across solves of the same model; without it each solve gets
+    a fresh one.  The transposition table is capped (2M entries, split
+    over its shards) so adversarial long runs cannot grow it without
+    bound; the cap evicts approximately-FIFO and only ever costs
+    re-derivation.
     The default [max_states] keeps default runs far below the cap, so
     they never evict and stay bit-identical to the uncapped engine.
     Each solve publishes the final table size as the

@@ -513,6 +513,28 @@ let verify ?(cached = true) (m : Model.t) sched =
         verdict_of c achieved)
       m.constraints
 
+let verify_budgeted ?cached ~budget (m : Model.t) sched =
+  (* Cooperative cut between constraint analyses: each constraint's
+     verdict is computed by the plain engine on a single-constraint
+     submodel (identical verdicts — [verify] is per-constraint
+     modular), with one budget check before each. *)
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (c : Timing.t) :: rest ->
+        if not (Budget.spend budget 1) then
+          Error
+            (Option.value ~default:"budget exhausted" (Budget.exhausted budget))
+        else
+          let sub = Model.make ~comm:m.comm ~constraints:[ c ] in
+          let v =
+            match verify ?cached sub sched with
+            | [ v ] -> v
+            | _ -> assert false (* one constraint in, one verdict out *)
+          in
+          go (v :: acc) rest
+  in
+  go [] m.constraints
+
 let all_ok vs = List.for_all (fun v -> v.ok) vs
 
 let pp_verdict fmt v =

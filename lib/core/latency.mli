@@ -131,6 +131,21 @@ val verify : ?cached:bool -> Model.t -> Schedule.t -> verdict list
     [Rt_obs.Metrics] gauge ["cache/size"] and counter
     ["cache/evictions"]. *)
 
+val verify_budgeted :
+  ?cached:bool ->
+  budget:Budget.t ->
+  Model.t ->
+  Schedule.t ->
+  (verdict list, string) result
+(** Budgeted {!verify}: the budget is checked (one fuel unit) before
+    each constraint's analysis, so a spent budget cuts the report off
+    with [Error reason] instead of analysing the remaining
+    constraints.  Granularity is per constraint — one constraint's
+    analysis, once started, runs to completion.  Verdicts are
+    identical to {!verify}'s (the per-constraint engine is modular);
+    only the cross-constraint trace sharing of the cached path is
+    forgone. *)
+
 val all_ok : verdict list -> bool
 (** [all_ok vs] is true when every verdict is satisfied. *)
 

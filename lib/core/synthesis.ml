@@ -193,12 +193,13 @@ let exact_eligible (m : Model.t) =
     else None
   end
 
-let exact_rescue ?pool ?budget (m : Model.t) granularity primary_error =
+let exact_rescue ?pool ?budget ?game_table (m : Model.t) granularity
+    primary_error =
   let stats =
     Rt_obs.Tracer.span ~cat:"synthesis" "synthesis/exact-rescue" (fun () ->
         match granularity with
-        | `Unit -> Exact.enumerate ?pool ?budget m
-        | `Atomic -> Exact.solve_single_ops ?pool ?budget m)
+        | `Unit -> Exact.enumerate ?pool ?budget ?table:game_table m
+        | `Atomic -> Exact.solve_single_ops ?pool ?budget ?table:game_table m)
   in
   match stats.Exact.outcome with
   | Exact.Feasible schedule ->
@@ -232,7 +233,7 @@ let exact_rescue ?pool ?budget (m : Model.t) granularity primary_error =
         }
   | Exact.Unknown _ -> Error primary_error
 
-let synthesize ?pool ?budget ?(merge = true) ?(pipeline = true)
+let synthesize ?pool ?budget ?game_table ?(merge = true) ?(pipeline = true)
     ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000)
     ?(exact_fallback = false) (m : Model.t) =
   (* Preference order: every round of the merged variant, cheapest
@@ -314,7 +315,8 @@ let synthesize ?pool ?budget ?(merge = true) ?(pipeline = true)
              error to a proof of infeasibility. *)
           match (exact_fallback, exact_eligible m) with
           | true, Some granularity ->
-              exact_rescue ?pool ?budget m granularity primary_error
+              exact_rescue ?pool ?budget ?game_table m granularity
+                primary_error
           | _ -> Error primary_error))
 
 let pp_plan (_orig : Model.t) fmt (p : plan) =

@@ -59,6 +59,7 @@ val polling_candidates : w:int -> d:int -> (int * int) list
 val synthesize :
   ?pool:Rt_par.Pool.t ->
   ?budget:Budget.t ->
+  ?game_table:Game.table ->
   ?merge:bool ->
   ?pipeline:bool ->
   ?backend:Edf_cyclic.policy ->
@@ -82,6 +83,11 @@ val synthesize :
     completed search upgrades the error to stage ["exact"] with a
     proof of infeasibility; a state-budget [Unknown] leaves the
     original heuristic error untouched.
+
+    [game_table] supplies a resident {!Game.table} threaded into the
+    exact fallback, so dead facts survive across repeated synthesis
+    attempts on the same model (the daemon's warm-solve path); it is
+    only sound to reuse a table for one model.
 
     [budget] bounds the whole synthesis cooperatively, checked once per
     candidate round and threaded into the exact fallback.  Degradation

@@ -1,0 +1,46 @@
+(** Canonical forms of graph-based models — the memo key of the
+    admission daemon.
+
+    Two models that differ only in element names, constraint names, or
+    the order constraints were declared in describe the same scheduling
+    problem, and a schedule for one maps to a schedule for the other by
+    renaming elements.  Canonisation computes a labelling of the
+    elements that depends only on the structure (Gonczarowski's
+    canonisation of timely constraint sets is the motif): the canonical
+    {e key} is the model rendered in that labelling, so
+
+    - renaming elements or constraints, or reordering constraints,
+      leaves the key unchanged, and
+    - equal keys imply isomorphic models — the key {e is} a complete
+      structural description, so distinct models can never collide.
+
+    The labelling is found by Weisfeiler-Leman colour refinement over
+    the communication graph seeded with element weights, pipelinability
+    and constraint-usage signatures, followed by
+    individualisation-refinement on surviving symmetric classes,
+    choosing the lexicographically least rendering.  The backtracking
+    is capped; past the cap a deterministic name-based fallback keeps
+    the key well-defined (it merely stops being renaming-invariant for
+    that pathological model — a lost cache hit, never a wrong one,
+    because every memo hit is re-certified fail-closed before use). *)
+
+type t = {
+  key : string;
+      (** The canonical rendering.  Equal keys iff isomorphic models
+          (up to the individualisation cap). *)
+  order : int array;
+      (** [order.(i)] is the element id holding canonical index [i];
+          maps a schedule stored in canonical indices back onto this
+          model's elements. *)
+}
+
+val of_model : Rt_core.Model.t -> t
+
+val canonical_slots : t -> Rt_base.Schedule.t -> int array
+(** One schedule cycle in canonical element indices ([-1] = idle) —
+    the form a memo entry stores. *)
+
+val schedule_of_slots : t -> int array -> Rt_base.Schedule.t option
+(** Map canonical slots back onto this model's elements; [None] if an
+    index is out of range (a memo entry from an incompatible key —
+    callers re-verify anyway). *)

@@ -1,0 +1,310 @@
+open Rt_core
+
+type config = {
+  journal : string;
+  spec : string option;
+  max_queue : int;
+  degrade_heuristic : int;
+  degrade_analytic : int;
+  default_budget_ms : int;
+  default_fuel : int;
+  jobs : int;
+}
+
+let default_config =
+  {
+    journal = "rtsynd.journal";
+    spec = None;
+    max_queue = 64;
+    degrade_heuristic = 8;
+    degrade_analytic = 24;
+    default_budget_ms = 2000;
+    default_fuel = 2_000_000;
+    jobs = 1;
+  }
+
+let requests_ctr = Rt_obs.Metrics.counter "daemon/requests"
+let overloaded_ctr = Rt_obs.Metrics.counter "daemon/overloaded"
+let degraded_ctr = Rt_obs.Metrics.counter "daemon/degraded"
+let shed_depth_gauge = Rt_obs.Metrics.gauge "daemon/queue_depth"
+let request_us = Rt_obs.Metrics.histogram "daemon/request_us"
+let admit_us = Rt_obs.Metrics.histogram "daemon/admit_us"
+
+(* ------------------------------------------------------------------ *)
+(* Input: drain everything already readable on stdin into whole lines
+   without blocking, so queue depth is observable before each serve.   *)
+(* ------------------------------------------------------------------ *)
+
+type input = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let make_input fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; eof = false }
+
+let split_lines input =
+  let s = Buffer.contents input.buf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+        Buffer.clear input.buf;
+        Buffer.add_substring input.buf s start (String.length s - start);
+        List.rev acc
+    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+(* Read whatever is available right now (non-blocking). *)
+let drain input =
+  let rec go () =
+    if input.eof then ()
+    else
+      match Unix.select [ input.fd ] [] [] 0.0 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.read input.fd input.chunk 0 (Bytes.length input.chunk) with
+          | 0 -> input.eof <- true
+          | n ->
+              Buffer.add_subbytes input.buf input.chunk 0 n;
+              go ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+              ())
+  in
+  go ();
+  split_lines input
+
+(* Block until at least one more line (or EOF). *)
+let wait_line input =
+  let rec go () =
+    if input.eof then []
+    else
+      match Unix.select [ input.fd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | _ -> (
+          match Unix.read input.fd input.chunk 0 (Bytes.length input.chunk) with
+          | 0 ->
+              input.eof <- true;
+              split_lines input
+          | n -> (
+              Buffer.add_subbytes input.buf input.chunk 0 n;
+              match split_lines input with [] -> go () | lines -> lines)
+          | exception Unix.Unix_error (EINTR, _, _) -> go ())
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Serving.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let respond line =
+  print_string line;
+  print_newline ();
+  flush stdout
+
+let mk_budget cfg (req : Protocol.request) =
+  let ms = Option.value ~default:cfg.default_budget_ms req.budget_ms in
+  let fuel = Option.value ~default:cfg.default_fuel req.fuel in
+  if ms <= 0 && fuel <= 0 then None
+  else
+    Some
+      (Budget.create
+         ?wall_s:(if ms > 0 then Some (float_of_int ms /. 1000.) else None)
+         ?fuel:(if fuel > 0 then Some fuel else None)
+         ())
+
+let level_for cfg depth =
+  if depth >= cfg.degrade_analytic then Engine.Analytic
+  else if depth >= cfg.degrade_heuristic then Engine.Heuristic
+  else Engine.Full
+
+let level_name = function
+  | Engine.Full -> "full"
+  | Engine.Heuristic -> "heuristic"
+  | Engine.Analytic -> "analytic"
+
+let outcome_response ~id ~level (o : Engine.outcome) =
+  match o with
+  | Engine.Admitted { path; verdict } ->
+      Protocol.ok ~id
+        [
+          ("path", Protocol.S path);
+          ("verdict", Protocol.S verdict);
+          ("level", Protocol.S (level_name level));
+        ]
+  | Engine.Analytic_only { verdict } ->
+      Protocol.ok ~id
+        [
+          ("path", Protocol.S "analytic");
+          ("verdict", Protocol.S verdict);
+          ("level", Protocol.S (level_name level));
+          ("committed", Protocol.B false);
+        ]
+  | Engine.Rejected diags ->
+      Protocol.error ~id ~kind:"rejected" (String.concat "; " diags)
+  | Engine.Timed_out reason -> Protocol.error ~id ~kind:"timeout" reason
+  | Engine.Check_failed diags ->
+      Protocol.error ~id ~kind:"check-failed"
+        ("trusted checker rejected the result (rolled back): "
+        ^ String.concat "; " diags)
+  | Engine.Journal_failed e ->
+      Protocol.error ~id ~kind:"internal" ("journal append failed: " ^ e)
+
+let stats_response engine ~id ~depth ~started =
+  let c name = Rt_obs.Metrics.value (Rt_obs.Metrics.counter name) in
+  let h name =
+    let hist = Rt_obs.Metrics.histogram name in
+    let q p = Option.value ~default:0 (Rt_obs.Metrics.quantile hist p) in
+    Printf.sprintf "{\"count\":%d,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+      (Rt_obs.Metrics.h_count hist) (q 0.5) (q 0.95) (q 0.99)
+  in
+  let m = Engine.model engine in
+  Protocol.ok ~id
+    [
+      ("uptime_s", Protocol.F (Unix.gettimeofday () -. started));
+      ("queue_depth", Protocol.I depth);
+      ("constraints", Protocol.I (List.length m.Model.constraints));
+      ("digest", Protocol.S (Rt_check.Certificate.digest_of_model m));
+      ("cert", Protocol.S (Engine.cert_digest engine));
+      ("memo_size", Protocol.I (Engine.memo_size engine));
+      ("resident_tables", Protocol.I (Engine.resident_tables engine));
+      ("requests", Protocol.I (c "daemon/requests"));
+      ("admits_ok", Protocol.I (c "daemon/admits_ok"));
+      ("admits_rejected", Protocol.I (c "daemon/admits_rejected"));
+      ("timeouts", Protocol.I (c "daemon/timeouts"));
+      ("overloaded", Protocol.I (c "daemon/overloaded"));
+      ("degraded", Protocol.I (c "daemon/degraded"));
+      ("memo_hits", Protocol.I (c "daemon/memo_hits"));
+      ("memo_misses", Protocol.I (c "daemon/memo_misses"));
+      ("warm_hits", Protocol.I (c "daemon/warm_hits"));
+      ("check_failures", Protocol.I (c "daemon/check_failures"));
+      ("journal_records", Protocol.I (c "daemon/journal_records"));
+      ("replayed_records", Protocol.I (c "daemon/replayed_records"));
+      ("request_us", Protocol.Raw (h "daemon/request_us"));
+      ("admit_us", Protocol.Raw (h "daemon/admit_us"));
+      ("solve_us", Protocol.Raw (h "daemon/solve_us"));
+      ("check_us", Protocol.Raw (h "daemon/check_us"));
+    ]
+
+let serve cfg engine ~started ~depth line =
+  Rt_obs.Metrics.incr requests_ctr;
+  let t0 = Unix.gettimeofday () in
+  let response =
+    match Protocol.parse line with
+    | Error (kind, msg) ->
+        `Continue (Protocol.error ~id:(Protocol.parse_request_id line) ~kind msg)
+    | Ok req -> (
+        let id = req.Protocol.id in
+        let level = level_for cfg depth in
+        if level <> Engine.Full then Rt_obs.Metrics.incr degraded_ctr;
+        match req.Protocol.op with
+        | Protocol.Admit decl ->
+            let budget = mk_budget cfg req in
+            let o =
+              Engine.admit ?budget ~level engine decl
+            in
+            Rt_obs.Metrics.observe admit_us
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+            `Continue (outcome_response ~id ~level o)
+        | Protocol.What_if decl ->
+            let budget = mk_budget cfg req in
+            `Continue
+              (outcome_response ~id ~level
+                 (Engine.what_if ?budget ~level engine decl))
+        | Protocol.Retire name ->
+            `Continue (outcome_response ~id ~level (Engine.retire engine name))
+        | Protocol.Reverify -> (
+            match Engine.reverify engine with
+            | Ok digest ->
+                `Continue (Protocol.ok ~id [ ("digest", Protocol.S digest) ])
+            | Error diags ->
+                `Continue
+                  (Protocol.error ~id ~kind:"check-failed"
+                     (String.concat "; " diags)))
+        | Protocol.Stats -> `Continue (stats_response engine ~id ~depth ~started)
+        | Protocol.Snapshot -> (
+            match Engine.snapshot engine with
+            | Ok (spec, digest) ->
+                `Continue
+                  (Protocol.ok ~id
+                     [
+                       ("digest", Protocol.S digest); ("spec", Protocol.S spec);
+                     ])
+            | Error e -> `Continue (Protocol.error ~id ~kind:"internal" e))
+        | Protocol.Shutdown ->
+            `Stop (Protocol.ok ~id [ ("bye", Protocol.B true) ]))
+  in
+  Rt_obs.Metrics.observe request_us
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  response
+
+let run cfg =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let pool =
+    if cfg.jobs > 1 then Some (Rt_par.Pool.create ~jobs:cfg.jobs ()) else None
+  in
+  let startup_budget =
+    if cfg.default_budget_ms > 0 then
+      Some
+        (Budget.create
+           ~wall_s:(float_of_int (cfg.default_budget_ms * 10) /. 1000.)
+           ())
+    else None
+  in
+  match
+    Engine.create ?pool ?startup_budget ~journal:cfg.journal ?spec:cfg.spec ()
+  with
+  | Error e ->
+      prerr_endline ("rtsynd: " ^ e);
+      Option.iter Rt_par.Pool.shutdown pool;
+      1
+  | Ok engine ->
+      let started = Unix.gettimeofday () in
+      let input = make_input Unix.stdin in
+      let pending = Queue.create () in
+      let stop = ref false in
+      let enqueue lines =
+        List.iter
+          (fun line ->
+            if String.trim line = "" then ()
+            else if Queue.length pending >= cfg.max_queue then begin
+              (* Deterministic shedding: newest request beyond the cap
+                 bounces immediately; resident state and queue are
+                 untouched. *)
+              Rt_obs.Metrics.incr overloaded_ctr;
+              respond
+                (Protocol.error
+                   ~id:(Protocol.parse_request_id line)
+                   ~kind:"overloaded"
+                   ~retry_after_ms:
+                     (max 100
+                        (Queue.length pending
+                        * max 1 cfg.default_budget_ms))
+                   (Printf.sprintf "queue full (%d pending)"
+                      (Queue.length pending)))
+            end
+            else Queue.add line pending)
+          lines
+      in
+      while (not !stop) && not (Queue.is_empty pending && input.eof) do
+        enqueue (drain input);
+        if Queue.is_empty pending then
+          if input.eof then ()
+          else enqueue (wait_line input)
+        else begin
+          let line = Queue.pop pending in
+          let depth = Queue.length pending in
+          Rt_obs.Metrics.set shed_depth_gauge depth;
+          match serve cfg engine ~started ~depth line with
+          | `Continue r -> respond r
+          | `Stop r ->
+              respond r;
+              stop := true
+        end
+      done;
+      Engine.close engine;
+      Option.iter Rt_par.Pool.shutdown pool;
+      0

@@ -1,0 +1,35 @@
+(** The [rtsynd] request loop: stdin jsonl in, stdout jsonl out.
+
+    Robustness properties (see [docs/DAEMON.md]):
+
+    - every request runs under a per-request {!Rt_core.Budget} (wall
+      clock + fuel; defaults from the config, overridable per request)
+      and a spent budget returns a structured ["timeout"] error instead
+      of wedging the loop;
+    - pending input is drained into a bounded queue before each request
+      is served; past [max_queue] the newest requests are shed
+      immediately with an ["overloaded"] error carrying a
+      [retry_after_ms] hint — responses carry the request [id], and
+      their order is not guaranteed under overload;
+    - queue depth drives the degradation ladder: beyond
+      [degrade_heuristic] the exact game-engine rescue is dropped,
+      beyond [degrade_analytic] admits are answered from the analytic
+      {!Rt_core.Admission} gap tests alone (and not committed). *)
+
+type config = {
+  journal : string;
+  spec : string option;  (** Base system source (fresh start only). *)
+  max_queue : int;
+  degrade_heuristic : int;  (** Queue depth at which exact rescue drops. *)
+  degrade_analytic : int;  (** Queue depth for analytic-only answers. *)
+  default_budget_ms : int;  (** 0 = unlimited. *)
+  default_fuel : int;  (** 0 = unlimited. *)
+  jobs : int;  (** Pool lanes for synthesis; 1 = sequential. *)
+}
+
+val default_config : config
+
+val run : config -> int
+(** Serve until stdin closes or a [shutdown] request arrives.  Returns
+    the process exit code: 0 on clean shutdown, 1 when startup fails
+    (corrupt journal, failed replay, infeasible base system). *)

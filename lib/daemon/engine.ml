@@ -1,0 +1,597 @@
+open Rt_core
+module Checker = Rt_check.Checker
+
+type level = Full | Heuristic | Analytic
+
+type outcome =
+  | Admitted of { path : string; verdict : string }
+  | Analytic_only of { verdict : string }
+  | Rejected of string list
+  | Timed_out of string
+  | Check_failed of string list
+  | Journal_failed of string
+
+type t = {
+  mutable model : Model.t;
+  mutable schedule : Rt_base.Schedule.t option;
+  mutable cert : string;  (* digest of the persisted certificate, "" if none *)
+  journal : Journal.t;
+  tables : (string, Game.table) Hashtbl.t;  (* model digest -> dead facts *)
+  memo : (string, int array) Hashtbl.t;  (* canonical key -> canonical slots *)
+  pool : Rt_par.Pool.t option;
+}
+
+(* Caps on the resident caches: both only ever cost re-derivation, so
+   a full reset on overflow is sound and keeps memory bounded under
+   adversarial churn. *)
+let max_tables = 32
+let max_memo = 1024
+
+let memo_hits = Rt_obs.Metrics.counter "daemon/memo_hits"
+let memo_misses = Rt_obs.Metrics.counter "daemon/memo_misses"
+let warm_hits = Rt_obs.Metrics.counter "daemon/warm_hits"
+let admits_ok = Rt_obs.Metrics.counter "daemon/admits_ok"
+let admits_rejected = Rt_obs.Metrics.counter "daemon/admits_rejected"
+let timeouts = Rt_obs.Metrics.counter "daemon/timeouts"
+let check_failures = Rt_obs.Metrics.counter "daemon/check_failures"
+let journal_records = Rt_obs.Metrics.counter "daemon/journal_records"
+let replayed_records = Rt_obs.Metrics.counter "daemon/replayed_records"
+let solve_us = Rt_obs.Metrics.histogram "daemon/solve_us"
+let check_us = Rt_obs.Metrics.histogram "daemon/check_us"
+
+let timed h f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Rt_obs.Metrics.observe h (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  r
+
+let digest_of = Rt_check.Certificate.digest_of_model
+
+(* ------------------------------------------------------------------ *)
+(* The fail-closed certification step: untrusted Certify, trusted
+   Checker, then the digest of the certificate as it would persist.    *)
+(* ------------------------------------------------------------------ *)
+
+let certify_checked m sched =
+  timed check_us @@ fun () ->
+  match Certify.schedule m sched with
+  | Error e -> Error [ "certify: " ^ e ]
+  | exception Invalid_argument e -> Error [ "certify: " ^ e ]
+  | Ok cert -> (
+      match Checker.check m cert with
+      | Error diags -> Error diags
+      | Ok () -> (
+          match Rt_spec.Persist.save_certificate_string m cert with
+          | json -> Ok (Journal.digest_string json)
+          | exception Invalid_argument e -> Error [ "persist: " ^ e ]))
+
+let table_for t digest =
+  match Hashtbl.find_opt t.tables digest with
+  | Some tb -> tb
+  | None ->
+      if Hashtbl.length t.tables >= max_tables then Hashtbl.reset t.tables;
+      let tb = Game.table () in
+      Hashtbl.replace t.tables digest tb;
+      tb
+
+let memo_store t canon slots =
+  if Hashtbl.length t.memo >= max_memo then Hashtbl.reset t.memo;
+  Hashtbl.replace t.memo canon.Canon.key slots
+
+(* ------------------------------------------------------------------ *)
+(* Spec-source plumbing: the resident model rendered back to source,
+   and one constraint declaration spliced into it.                     *)
+(* ------------------------------------------------------------------ *)
+
+let print_model m =
+  match Rt_spec.Printer.print m with
+  | s -> Ok s
+  | exception Invalid_argument e -> Error [ "print: " ^ e ]
+
+let insert_decl src decl =
+  match String.rindex_opt src '}' with
+  | None -> Error [ "malformed system source (no closing brace)" ]
+  | Some i ->
+      Ok
+        (String.sub src 0 i
+        ^ "\n" ^ decl ^ "\n}"
+        ^ String.sub src (i + 1) (String.length src - i - 1))
+
+let parse_decl decl =
+  match Rt_spec.Parser.parse_result ("system \"d\" {\n" ^ decl ^ "\n}") with
+  | Error e -> Error [ "declaration: " ^ e ]
+  | Ok sys -> (
+      match
+        ( sys.Rt_spec.Ast.sy_elements,
+          sys.Rt_spec.Ast.sy_edges,
+          sys.Rt_spec.Ast.sy_asserts,
+          sys.Rt_spec.Ast.sy_constraints )
+      with
+      | [], [], [], [ c ] -> Ok c
+      | _ ->
+          Error
+            [
+              "declaration must be exactly one constraint (no elements, \
+               edges or asserts)";
+            ])
+
+let verdict_string = function
+  | Admission.Guaranteed cond -> "guaranteed:" ^ cond
+  | Admission.Impossible cond -> "impossible:" ^ cond
+  | Admission.Inconclusive -> "inconclusive"
+
+let admission m =
+  match Admission.admit m with
+  | Admission.Guaranteed cond -> ("GUARANTEED (" ^ cond ^ ")", 0)
+  | Admission.Impossible cond -> ("IMPOSSIBLE (" ^ cond ^ ")", 1)
+  | Admission.Inconclusive -> ("INCONCLUSIVE", 5)
+
+(* ------------------------------------------------------------------ *)
+(* The answer path: memo, then warm reuse, then synthesis.             *)
+(* ------------------------------------------------------------------ *)
+
+let verifies m sched =
+  match Latency.verify m sched with
+  | verdicts -> Latency.all_ok verdicts
+  | exception Invalid_argument _ -> false
+
+(* Find a certified schedule for candidate model [m'].  Returns
+   (schedule, path) or a diagnosable failure.  Never mutates [t]. *)
+let find_schedule ?budget ~level t canon (m' : Model.t) =
+  let memo_hit =
+    match Hashtbl.find_opt t.memo canon.Canon.key with
+    | None -> None
+    | Some slots -> (
+        match Canon.schedule_of_slots canon slots with
+        | Some sched when verifies m' sched -> Some sched
+        | _ -> None)
+  in
+  match memo_hit with
+  | Some sched ->
+      Rt_obs.Metrics.incr memo_hits;
+      Ok (sched, "memo")
+  | None -> (
+      Rt_obs.Metrics.incr memo_misses;
+      match t.schedule with
+      | Some sched when verifies m' sched ->
+          Rt_obs.Metrics.incr warm_hits;
+          Ok (sched, "warm")
+      | _ -> (
+          let game_table = table_for t (digest_of m') in
+          let result =
+            timed solve_us @@ fun () ->
+            (* Merging and pipelining rewrite the model, which would
+               decouple the resident schedule from the resident
+               constraint set; the daemon synthesizes against the
+               admitted model verbatim (documented v1 limitation). *)
+            Synthesis.synthesize ?pool:t.pool ?budget ~game_table
+              ~merge:false ~pipeline:false
+              ~exact_fallback:(level = Full)
+              m'
+          in
+          match result with
+          | Ok plan -> Ok (plan.Synthesis.schedule, "synth")
+          | Error err -> (
+              match Option.bind budget Budget.exhausted with
+              | Some reason -> Error (`Timeout reason)
+              | None ->
+                  Error
+                    (`Rejected
+                      [
+                        Format.asprintf "%a" Synthesis.pp_error err;
+                      ]))))
+
+let admit_or_probe ?budget ~level ~commit t decl =
+  let ( let* ) r f = match r with Error e -> Rejected e | Ok v -> f v in
+  let* c = parse_decl decl in
+  let name = c.Rt_spec.Ast.co_name in
+  if
+    List.exists
+      (fun (tc : Timing.t) -> tc.Timing.name = name)
+      t.model.Model.constraints
+  then Rejected [ Printf.sprintf "constraint %S is already resident" name ]
+  else
+    let* src = print_model t.model in
+    let* candidate_src = insert_decl src decl in
+    let* m' =
+      match Rt_spec.Elaborate.load candidate_src with
+      | Ok m -> Ok m
+      | Error errs -> Error errs
+    in
+    let verdict = Admission.admit m' in
+    match verdict with
+    | Admission.Impossible cond -> Rejected [ "impossible: " ^ cond ]
+    | _ when level = Analytic ->
+        (* Deepest degradation: answer from the gap tests alone and do
+           not touch resident state — it stays certified. *)
+        Analytic_only { verdict = verdict_string verdict }
+    | _ -> (
+        let canon = Canon.of_model m' in
+        match find_schedule ?budget ~level t canon m' with
+        | Error (`Timeout reason) ->
+            Rt_obs.Metrics.incr timeouts;
+            Timed_out reason
+        | Error (`Rejected diags) ->
+            Rt_obs.Metrics.incr admits_rejected;
+            Rejected diags
+        | Ok (sched, path) -> (
+            match certify_checked m' sched with
+            | Error diags ->
+                (* The trusted core vetoed the untrusted answer: roll
+                   back (state was never touched) and fail closed. *)
+                Rt_obs.Metrics.incr check_failures;
+                Check_failed diags
+            | Ok cert_digest ->
+                if not commit then
+                  Admitted { path; verdict = verdict_string verdict }
+                else
+                  let record =
+                    Journal.Admit
+                      {
+                        name;
+                        decl;
+                        digest = digest_of m';
+                        schedule =
+                          Rt_base.Schedule.to_string m'.Model.comm sched;
+                        cert = cert_digest;
+                      }
+                  in
+                  (match Journal.append t.journal record with
+                  | Error e -> Journal_failed e
+                  | Ok () ->
+                      Rt_obs.Metrics.incr journal_records;
+                      t.model <- m';
+                      t.schedule <- Some sched;
+                      t.cert <- cert_digest;
+                      memo_store t canon (Canon.canonical_slots canon sched);
+                      Rt_obs.Metrics.incr admits_ok;
+                      Admitted { path; verdict = verdict_string verdict })))
+
+let admit ?budget ~level t decl = admit_or_probe ?budget ~level ~commit:true t decl
+let what_if ?budget ~level t decl = admit_or_probe ?budget ~level ~commit:false t decl
+
+let retire t name =
+  let present =
+    List.exists
+      (fun (c : Timing.t) -> c.Timing.name = name)
+      t.model.Model.constraints
+  in
+  if not present then Rejected [ Printf.sprintf "unknown constraint %S" name ]
+  else
+    let constraints' =
+      List.filter
+        (fun (c : Timing.t) -> c.Timing.name <> name)
+        t.model.Model.constraints
+    in
+    match Model.make ~comm:t.model.Model.comm ~constraints:constraints' with
+    | exception Invalid_argument e -> Rejected [ e ]
+    | m' -> (
+        (* Shrinking the constraint set can only relax the problem: the
+           resident schedule still verifies, only the certificate must
+           be re-issued against the reduced model. *)
+        let recert =
+          match t.schedule with
+          | Some sched when constraints' <> [] -> (
+              match certify_checked m' sched with
+              | Error diags -> Error diags
+              | Ok cd -> Ok cd)
+          | _ -> Ok ""
+        in
+        match recert with
+        | Error diags ->
+            Rt_obs.Metrics.incr check_failures;
+            Check_failed diags
+        | Ok cert_digest -> (
+            let record =
+              Journal.Retire { name; digest = digest_of m'; cert = cert_digest }
+            in
+            match Journal.append t.journal record with
+            | Error e -> Journal_failed e
+            | Ok () ->
+                Rt_obs.Metrics.incr journal_records;
+                t.model <- m';
+                if constraints' = [] then t.schedule <- None;
+                t.cert <- cert_digest;
+                (match t.schedule with
+                | Some sched ->
+                    let canon = Canon.of_model m' in
+                    memo_store t canon (Canon.canonical_slots canon sched)
+                | None -> ());
+                Admitted { path = "retire"; verdict = "retired" }))
+
+let reverify t =
+  match t.schedule with
+  | None -> Ok (digest_of t.model)
+  | Some sched -> (
+      if not (verifies t.model sched) then
+        Error [ "resident schedule no longer verifies" ]
+      else
+        match certify_checked t.model sched with
+        | Error diags -> Error diags
+        | Ok cert_digest ->
+            if t.cert <> "" && t.cert <> cert_digest then
+              Error
+                [
+                  Printf.sprintf
+                    "certificate digest drift: resident %s, recomputed %s"
+                    t.cert cert_digest;
+                ]
+            else Ok (digest_of t.model))
+
+let snapshot t =
+  match print_model t.model with
+  | Error e -> Error (String.concat "; " e)
+  | Ok spec -> (
+      let record =
+        Journal.Init
+          {
+            spec;
+            digest = digest_of t.model;
+            schedule =
+              (match t.schedule with
+              | None -> ""
+              | Some s -> Rt_base.Schedule.to_string t.model.Model.comm s);
+            cert = t.cert;
+          }
+      in
+      match Journal.truncate t.journal record with
+      | Error e -> Error e
+      | Ok () -> Ok (spec, digest_of t.model))
+
+(* ------------------------------------------------------------------ *)
+(* Startup: fresh init or journal replay.                              *)
+(* ------------------------------------------------------------------ *)
+
+let load_schedule m s =
+  match Rt_base.Schedule.of_string m.Model.comm s with
+  | Error e -> Error [ "schedule: " ^ e ]
+  | Ok sched -> (
+      match Rt_base.Schedule.validate m.Model.comm sched with
+      | Error errs -> Error errs
+      | Ok () ->
+          if verifies m sched then Ok sched
+          else Error [ "journaled schedule does not verify" ])
+
+(* Re-validate one journaled certified state: digests and the trusted
+   checker, exactly as at admit time. *)
+let revalidate what m sched_s cert_d =
+  if sched_s = "" then if cert_d = "" then Ok None else Error [ what ^ ": certificate digest without schedule" ]
+  else
+    match load_schedule m sched_s with
+    | Error e -> Error (List.map (fun x -> what ^ ": " ^ x) e)
+    | Ok sched -> (
+        match certify_checked m sched with
+        | Error e -> Error (List.map (fun x -> what ^ ": " ^ x) e)
+        | Ok cd ->
+            if cd <> cert_d then
+              Error
+                [
+                  Printf.sprintf
+                    "%s: certificate digest mismatch (journal %s, recomputed \
+                     %s)"
+                    what cert_d cd;
+                ]
+            else Ok (Some sched))
+
+let seed_memo t m sched =
+  let canon = Canon.of_model m in
+  memo_store t canon (Canon.canonical_slots canon sched)
+
+let replay t records =
+  let step = function
+    | Journal.Init _ -> Error [ "unexpected second init record" ]
+    | Journal.Admit r -> (
+        let ( let* ) = Result.bind in
+        let* src = print_model t.model in
+        let* candidate = insert_decl src r.decl in
+        let* m' =
+          match Rt_spec.Elaborate.load candidate with
+          | Ok m -> Ok m
+          | Error e -> Error e
+        in
+        if digest_of m' <> r.digest then
+          Error
+            [
+              Printf.sprintf "admit %S: model digest mismatch (journal %s, \
+                              replayed %s)" r.name r.digest (digest_of m');
+            ]
+        else
+          let* sched =
+            match revalidate ("admit " ^ r.name) m' r.schedule r.cert with
+            | Ok (Some s) -> Ok s
+            | Ok None -> Error [ "admit " ^ r.name ^ ": record has no schedule" ]
+            | Error e -> Error e
+          in
+          t.model <- m';
+          t.schedule <- Some sched;
+          t.cert <- r.cert;
+          seed_memo t m' sched;
+          Ok ())
+    | Journal.Retire r -> (
+        let constraints' =
+          List.filter
+            (fun (c : Timing.t) -> c.Timing.name <> r.name)
+            t.model.Model.constraints
+        in
+        if List.length constraints' = List.length t.model.Model.constraints
+        then Error [ Printf.sprintf "retire %S: not resident" r.name ]
+        else
+          match Model.make ~comm:t.model.Model.comm ~constraints:constraints' with
+          | exception Invalid_argument e -> Error [ e ]
+          | m' ->
+              if digest_of m' <> r.digest then
+                Error
+                  [
+                    Printf.sprintf
+                      "retire %S: model digest mismatch (journal %s, replayed \
+                       %s)" r.name r.digest (digest_of m');
+                  ]
+              else (
+                t.model <- m';
+                if constraints' = [] then t.schedule <- None;
+                let check =
+                  match (t.schedule, r.cert) with
+                  | Some sched, cert when cert <> "" -> (
+                      match certify_checked m' sched with
+                      | Error e -> Error e
+                      | Ok cd when cd <> cert ->
+                          Error
+                            [
+                              Printf.sprintf
+                                "retire %S: certificate digest mismatch \
+                                 (journal %s, recomputed %s)" r.name cert cd;
+                            ]
+                      | Ok _ -> Ok ())
+                  | None, cert when cert <> "" ->
+                      Error
+                        [
+                          Printf.sprintf
+                            "retire %S: certificate digest without schedule"
+                            r.name;
+                        ]
+                  | _ -> Ok ()
+                in
+                match check with
+                | Error e -> Error e
+                | Ok () ->
+                    t.cert <- r.cert;
+                    Ok ()))
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        match step r with
+        | Ok () ->
+            Rt_obs.Metrics.incr replayed_records;
+            go (i + 1) rest
+        | Error e ->
+            Error
+              (Printf.sprintf "journal replay failed at record %d: %s" i
+                 (String.concat "; " e)))
+  in
+  go 2 records
+
+let create ?pool ?startup_budget ~journal ?spec () =
+  match Journal.load journal with
+  | Error e -> Error ("journal: " ^ e)
+  | Ok records -> (
+      match Journal.open_append journal with
+      | Error e -> Error e
+      | Ok jh -> (
+          let mk model =
+            {
+              model;
+              schedule = None;
+              cert = "";
+              journal = jh;
+              tables = Hashtbl.create 8;
+              memo = Hashtbl.create 64;
+              pool;
+            }
+          in
+          match records with
+          | [] -> (
+              match spec with
+              | None ->
+                  Journal.close jh;
+                  Error "fresh start requires a base specification (--spec)"
+              | Some src -> (
+                  match Rt_spec.Elaborate.load src with
+                  | Error errs ->
+                      Journal.close jh;
+                      Error (String.concat "; " errs)
+                  | Ok m -> (
+                      let t = mk m in
+                      let startup =
+                        if m.Model.constraints = [] then Ok None
+                        else
+                          let game_table = table_for t (digest_of m) in
+                          match
+                            Synthesis.synthesize ?pool ?budget:startup_budget
+                              ~game_table ~merge:false ~pipeline:false
+                              ~exact_fallback:true m
+                          with
+                          | Error err ->
+                              Error
+                                (Format.asprintf "base system: %a"
+                                   Synthesis.pp_error err)
+                          | Ok plan -> (
+                              match
+                                certify_checked m plan.Synthesis.schedule
+                              with
+                              | Error diags ->
+                                  Error
+                                    ("base system: "
+                                    ^ String.concat "; " diags)
+                              | Ok cd -> Ok (Some (plan.Synthesis.schedule, cd)))
+                      in
+                      match startup with
+                      | Error e ->
+                          Journal.close jh;
+                          Error e
+                      | Ok pair -> (
+                          (match pair with
+                          | Some (sched, cd) ->
+                              t.schedule <- Some sched;
+                              t.cert <- cd;
+                              seed_memo t m sched
+                          | None -> ());
+                          let record =
+                            Journal.Init
+                              {
+                                spec = src;
+                                digest = digest_of m;
+                                schedule =
+                                  (match t.schedule with
+                                  | None -> ""
+                                  | Some s ->
+                                      Rt_base.Schedule.to_string
+                                        m.Model.comm s);
+                                cert = t.cert;
+                              }
+                          in
+                          match Journal.append jh record with
+                          | Error e ->
+                              Journal.close jh;
+                              Error e
+                          | Ok () -> Ok t))))
+          | Journal.Init i :: rest -> (
+              match Rt_spec.Elaborate.load i.spec with
+              | Error errs ->
+                  Journal.close jh;
+                  Error ("journal init: " ^ String.concat "; " errs)
+              | Ok m ->
+                  if digest_of m <> i.digest then (
+                    Journal.close jh;
+                    Error
+                      (Printf.sprintf
+                         "journal init: model digest mismatch (journal %s, \
+                          replayed %s)" i.digest (digest_of m)))
+                  else (
+                    let t = mk m in
+                    match revalidate "init" m i.schedule i.cert with
+                    | Error e ->
+                        Journal.close jh;
+                        Error (String.concat "; " e)
+                    | Ok sched_opt -> (
+                        (match sched_opt with
+                        | Some sched ->
+                            t.schedule <- Some sched;
+                            t.cert <- i.cert;
+                            seed_memo t m sched
+                        | None -> ());
+                        match replay t rest with
+                        | Error e ->
+                            Journal.close jh;
+                            Error e
+                        | Ok () -> Ok t)))
+          | _ :: _ ->
+              Journal.close jh;
+              Error "journal does not start with an init record"))
+
+let model t = t.model
+let schedule t = t.schedule
+let cert_digest t = t.cert
+let memo_size t = Hashtbl.length t.memo
+let resident_tables t = Hashtbl.length t.tables
+let close t = Journal.close t.journal

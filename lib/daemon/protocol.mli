@@ -1,0 +1,50 @@
+(** The versioned jsonl wire protocol of [rtsynd].
+
+    One JSON object per line in each direction.  Requests carry
+    [{"v":1, "op":..., "id":...}] plus op-specific fields; responses
+    echo the [id] and are either [{"ok":true, ...}] or
+    [{"ok":false, "error":{"kind":..., "message":...}}].  Error kinds:
+    ["parse"], ["version"], ["rejected"], ["timeout"], ["overloaded"]
+    (with ["retry_after_ms"]), ["check-failed"], ["internal"].  See
+    [docs/DAEMON.md] for the full schema. *)
+
+val version : int
+
+type op =
+  | Admit of string  (** Constraint declaration, spec syntax. *)
+  | What_if of string
+  | Retire of string  (** Constraint name. *)
+  | Reverify
+  | Stats
+  | Snapshot
+  | Shutdown
+
+type request = {
+  id : string;  (** Client correlation id; [""] when absent. *)
+  op : op;
+  budget_ms : int option;  (** Per-request wall-clock budget override. *)
+  fuel : int option;  (** Per-request fuel override. *)
+}
+
+val parse : string -> (request, string * string) result
+(** [parse line] is the request, or [Error (kind, message)] with
+    [kind] one of ["parse"] / ["version"].  The [id] is recovered on a
+    best-effort basis even for malformed requests so the error
+    response can be correlated. *)
+
+val parse_request_id : string -> string
+(** Best-effort extraction of ["id"] from a (possibly malformed)
+    request line, for error correlation. *)
+
+type field = S of string | I of int | F of float | B of bool | Raw of string
+
+val ok : id:string -> (string * field) list -> string
+(** Render a success response line (no trailing newline). *)
+
+val error :
+  id:string ->
+  kind:string ->
+  ?retry_after_ms:int ->
+  string ->
+  string
+(** Render an error response line. *)

@@ -22,6 +22,14 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '#'
 
 let is_digit c = c >= '0' && c <= '9'
 
+(* A literal too large for the native int must be a diagnostic, not an
+   uncaught [Failure]: spec files cross trust boundaries (certificates
+   embed them, the daemon journal replays them). *)
+let int_literal p s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Lex_error (p, Printf.sprintf "integer literal %s out of range" s))
+
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
@@ -61,7 +69,7 @@ let tokenize src =
         while !i < n && is_digit src.[!i] do
           advance ()
         done;
-        emit (INT (-int_of_string (String.sub src start (!i - start)))) p
+        emit (INT (-int_literal p (String.sub src start (!i - start)))) p
       end
       else raise (Lex_error (p, "expected '>' or a digit after '-'"))
     end
@@ -80,7 +88,7 @@ let tokenize src =
       while !i < n && is_digit src.[!i] do
         advance ()
       done;
-      emit (INT (int_of_string (String.sub src start (!i - start)))) p
+      emit (INT (int_literal p (String.sub src start (!i - start)))) p
     end
     else if is_ident_start c then begin
       let start = !i in

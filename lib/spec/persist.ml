@@ -12,7 +12,21 @@ let save_string (m : Model.t) sched =
     (Schedule.to_string m.Model.comm sched)
     separator (Printer.print m)
 
+(* Loaders sit on a trust boundary (files from disk, journal replay,
+   operator hand-offs): a malformed input must come back as a
+   structured [Error] the caller maps to "rejected" (exit 1), never as
+   an uncaught exception (exit 4, "internal").  The parsers below are
+   exception-free by construction; this wrapper is the backstop that
+   keeps any future raising path inside the contract. *)
+let structured what f =
+  match f () with
+  | r -> r
+  | exception Stack_overflow -> Error (what ^ ": input too deeply nested")
+  | exception exn ->
+      Error (Printf.sprintf "%s: malformed input (%s)" what (Printexc.to_string exn))
+
 let load_string s =
+  structured "plan" @@ fun () ->
   let lines = String.split_on_char '\n' s in
   match lines with
   | first :: rest when String.trim first = header -> (
@@ -249,6 +263,7 @@ let parse_witness j =
   | k -> Error (Printf.sprintf "certificate: unknown witness kind %S" k)
 
 let load_certificate_string s =
+  structured "certificate" @@ fun () ->
   let* j = Rt_obs.Json.parse s in
   let* fmt =
     req "missing \"format\""

@@ -1,0 +1,289 @@
+(* Daemon-layer tests: canonical-form invariance (the memo key of
+   rtsynd), key injectivity over the example suite, journal torn-tail
+   and corruption semantics, and engine crash-replay.  The canonical
+   form must be invariant under α-renaming of elements and constraints,
+   element id permutation and constraint reordering — that is exactly
+   what makes the cross-request memo sound for renamed tenants. *)
+
+open Rt_core
+module Canon = Rt_daemon.Canon
+module Journal = Rt_daemon.Journal
+module Engine = Rt_daemon.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle prng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rt_graph.Prng.int prng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+(* α-rename every element and constraint, permute the element ids and
+   reorder the constraint list — structurally the same model. *)
+let renamed_permuted prng salt (m : Model.t) =
+  let g = m.Model.comm in
+  let n = Rt_base.Comm_graph.n_elements g in
+  let perm = Array.init n Fun.id in
+  shuffle prng perm;
+  let inv = Array.make n 0 in
+  Array.iteri (fun old_id new_id -> inv.(new_id) <- old_id) perm;
+  let name new_id = Printf.sprintf "t%d_e%d" salt new_id in
+  let elements =
+    List.init n (fun new_id ->
+        let old_id = inv.(new_id) in
+        ( name new_id,
+          Rt_base.Comm_graph.weight g old_id,
+          Rt_base.Comm_graph.pipelinable g old_id ))
+  in
+  let edges =
+    List.map
+      (fun (u, v) -> (name perm.(u), name perm.(v)))
+      (Rt_graph.Digraph.edges (Rt_base.Comm_graph.graph g))
+  in
+  let comm = Rt_base.Comm_graph.create ~elements ~edges in
+  let constraints =
+    List.mapi
+      (fun i (c : Timing.t) ->
+        let tg =
+          Rt_base.Task_graph.map_elements c.graph ~f:(fun e -> perm.(e))
+        in
+        let c' =
+          Timing.make
+            ~name:(Printf.sprintf "t%d_c%d" salt i)
+            ~graph:tg ~period:c.period ~deadline:c.deadline ~kind:c.kind
+        in
+        if c.offset = 0 || Timing.is_asynchronous c then c'
+        else Timing.with_offset c' c.offset)
+      m.Model.constraints
+  in
+  let arr = Array.of_list constraints in
+  shuffle prng arr;
+  Model.make ~comm ~constraints:(Array.to_list arr)
+
+let random_model prng i =
+  match i mod 4 with
+  | 0 ->
+      Rt_workload.Model_gen.single_op_model prng
+        ~n_constraints:(2 + Rt_graph.Prng.int prng 3)
+        ~max_weight:3 ~target_ratio_sum:0.8
+  | 1 ->
+      Rt_workload.Model_gen.theorem3_model prng
+        ~n_constraints:(2 + Rt_graph.Prng.int prng 3)
+        ~max_weight:2
+  | 2 ->
+      Rt_workload.Model_gen.shared_block_model prng
+        ~n_pairs:(1 + Rt_graph.Prng.int prng 2)
+        ~shared_weight:2 ~private_weight:1 ~period:16
+  | _ ->
+      Rt_workload.Model_gen.dag_model prng
+        ~n_constraints:(2 + Rt_graph.Prng.int prng 2)
+        ~utilization:0.5 ~periods:[ 10; 12; 20 ]
+
+let test_canon_invariance () =
+  let prng = Rt_graph.Prng.create 4242 in
+  for i = 1 to 60 do
+    let m = random_model prng i in
+    let key = (Canon.of_model m).Canon.key in
+    for salt = 1 to 3 do
+      let m' = renamed_permuted prng ((100 * i) + salt) m in
+      checks
+        (Printf.sprintf "key invariant under renaming (model %d salt %d)" i
+           salt)
+        key
+        (Canon.of_model m').Canon.key
+    done
+  done
+
+let test_canon_no_collisions () =
+  let ps = Rt_workload.Suite.default_params in
+  let suite =
+    [
+      ("control", Rt_workload.Suite.control_system ps);
+      ("control_equal_rates", Rt_workload.Suite.control_system_equal_rates ps);
+      ("tiny_two_ops", Rt_workload.Suite.tiny_two_ops);
+      ("exact_stress_2", Rt_workload.Suite.exact_stress ~n_constraints:2 ());
+      ("exact_stress_3", Rt_workload.Suite.exact_stress ~n_constraints:3 ());
+      ("replicated_2", Rt_workload.Suite.replicated_control ~n:2);
+      ("replicated_3", Rt_workload.Suite.replicated_control ~n:3);
+      ("infeasible_pair", Rt_workload.Suite.infeasible_pair);
+    ]
+  in
+  let keyed =
+    List.map (fun (n, m) -> (n, (Canon.of_model m).Canon.key)) suite
+  in
+  List.iteri
+    (fun i (ni, ki) ->
+      List.iteri
+        (fun j (nj, kj) ->
+          if i < j then
+            checkb
+              (Printf.sprintf "distinct models %s / %s do not collide" ni nj)
+              false (String.equal ki kj))
+        keyed)
+    keyed
+
+let test_canon_schedule_roundtrip () =
+  let m = Rt_workload.Suite.control_system Rt_workload.Suite.default_params in
+  match Synthesis.synthesize m with
+  | Error e -> Alcotest.failf "synthesize: %a" Synthesis.pp_error e
+  | Ok plan ->
+      let mu = plan.Synthesis.model_used in
+      let sched = plan.Synthesis.schedule in
+      let cn = Canon.of_model mu in
+      let slots = Canon.canonical_slots cn sched in
+      (match Canon.schedule_of_slots cn slots with
+      | None -> Alcotest.fail "schedule_of_slots refused its own slots"
+      | Some sched' ->
+          checks "schedule survives the canonical round trip"
+            (Rt_base.Schedule.to_string mu.Model.comm sched)
+            (Rt_base.Schedule.to_string mu.Model.comm sched'));
+      (* and the canonical slots are themselves renaming-invariant up
+         to the element relabelling: same multiset of indices *)
+      let sorted a =
+        let c = Array.copy a in
+        Array.sort compare c;
+        c
+      in
+      checkb "canonical slots cover the same work" true
+        (sorted slots = sorted (Canon.canonical_slots cn sched))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_digest () =
+  let d = Journal.digest_string in
+  checks "digest is deterministic" (d "hello") (d "hello");
+  checkb "distinct payloads get distinct digests" false
+    (String.equal (d "hello") (d "hello "));
+  checkb "digest carries the fnv1a prefix" true
+    (String.length (d "") > 6 && String.sub (d "") 0 6 = "fnv1a:")
+
+(* ------------------------------------------------------------------ *)
+(* Engine: fresh start, memo, crash replay, corruption refusal         *)
+(* ------------------------------------------------------------------ *)
+
+let base_spec =
+  {|system "base" {
+  element f_x weight 1 pipelinable;
+  element f_y weight 1 pipelinable;
+  constraint px periodic period 10 deadline 10 { f_x; }
+}|}
+
+let with_temp_journal f =
+  let path = Filename.temp_file "rtsynd_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let decl_q name =
+  Printf.sprintf "constraint %s asynchronous separation 10 deadline 6 { f_x; }"
+    name
+
+let admit_path eng decl =
+  match Engine.admit ~level:Engine.Full eng decl with
+  | Engine.Admitted { path; _ } -> path
+  | Engine.Analytic_only _ -> Alcotest.fail "unexpected analytic-only answer"
+  | Engine.Rejected ds -> Alcotest.failf "rejected: %s" (String.concat "; " ds)
+  | Engine.Timed_out r -> Alcotest.failf "timed out: %s" r
+  | Engine.Check_failed ds ->
+      Alcotest.failf "check failed: %s" (String.concat "; " ds)
+  | Engine.Journal_failed e -> Alcotest.failf "journal failed: %s" e
+
+let test_engine_memo_and_replay () =
+  with_temp_journal @@ fun journal ->
+  let digest_before_crash =
+    match Engine.create ~journal ~spec:base_spec () with
+    | Error e -> Alcotest.failf "fresh create: %s" e
+    | Ok eng ->
+        checks "first admit synthesizes" "synth" (admit_path eng (decl_q "q"));
+        (match Engine.retire eng "q" with
+        | Engine.Admitted _ -> ()
+        | _ -> Alcotest.fail "retire failed");
+        (* α-renamed tenant: same canonical form, must hit the memo *)
+        checks "renamed tenant hits the memo" "memo"
+          (admit_path eng (decl_q "tenant_b"));
+        let d = Rt_check.Certificate.digest_of_model (Engine.model eng) in
+        Engine.close eng;
+        d
+  in
+  (* kill -9 equivalent: no snapshot, no graceful shutdown — replay *)
+  (match Engine.create ~journal ~spec:base_spec () with
+  | Error e -> Alcotest.failf "replay create: %s" e
+  | Ok eng ->
+      checks "replay reaches the pre-crash digest" digest_before_crash
+        (Rt_check.Certificate.digest_of_model (Engine.model eng));
+      (match Engine.reverify eng with
+      | Ok _ -> ()
+      | Error ds ->
+          Alcotest.failf "reverify after replay: %s" (String.concat "; " ds));
+      checkb "memo reseeded from the journal" true (Engine.memo_size eng > 0);
+      Engine.close eng);
+  (* a torn tail (partial last line) is discarded, not fatal *)
+  let oc = open_out_gen [ Open_append ] 0o644 journal in
+  output_string oc "{\"torn";
+  close_out oc;
+  (match Engine.create ~journal ~spec:base_spec () with
+  | Error e -> Alcotest.failf "torn tail should replay: %s" e
+  | Ok eng ->
+      checks "torn tail dropped, state unchanged" digest_before_crash
+        (Rt_check.Certificate.digest_of_model (Engine.model eng));
+      Engine.close eng);
+  (* mid-file corruption is fatal: refuse to start rather than serve
+     from an unverifiable state *)
+  let lines =
+    In_channel.with_open_bin journal (fun ic ->
+        String.split_on_char '\n' (In_channel.input_all ic))
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (match lines with
+  | first :: rest ->
+      Out_channel.with_open_bin journal (fun oc ->
+          output_string oc (first ^ "\n{corrupt}\n");
+          List.iter (fun l -> output_string oc (l ^ "\n")) rest)
+  | [] -> Alcotest.fail "journal unexpectedly empty");
+  match Engine.create ~journal ~spec:base_spec () with
+  | Ok eng ->
+      Engine.close eng;
+      Alcotest.fail "mid-file corruption must refuse to start"
+  | Error _ -> ()
+
+let test_engine_admission_contract () =
+  let _, code = Engine.admission Rt_workload.Suite.infeasible_pair in
+  Alcotest.check Alcotest.int "impossible model exits 1" 1 code;
+  let _, code =
+    Engine.admission
+      (Rt_workload.Suite.control_system Rt_workload.Suite.default_params)
+  in
+  checkb "verdict code is one of the contract's {0,1,5}" true
+    (List.mem code [ 0; 1; 5 ])
+
+let () =
+  Alcotest.run "rt_daemon"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "key invariant under renaming/permutation" `Quick
+            test_canon_invariance;
+          Alcotest.test_case "no collisions across the example suite" `Quick
+            test_canon_no_collisions;
+          Alcotest.test_case "canonical schedule round trip" `Quick
+            test_canon_schedule_roundtrip;
+        ] );
+      ( "journal",
+        [ Alcotest.test_case "digest" `Quick test_journal_digest ] );
+      ( "engine",
+        [
+          Alcotest.test_case "memo hit, crash replay, corruption refusal"
+            `Quick test_engine_memo_and_replay;
+          Alcotest.test_case "analytic admission contract" `Quick
+            test_engine_admission_contract;
+        ] );
+    ]
