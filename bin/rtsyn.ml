@@ -726,15 +726,19 @@ let exact_cmd =
   let engine =
     Arg.(
       value
-      & opt (enum [ ("game", `Game); ("dfs", `Dfs) ]) `Game
+      & opt
+          (enum [ ("game", `Game); ("game-ref", `Game_ref); ("dfs", `Dfs) ])
+          `Game
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "Search engine behind the $(b,atomic) and $(b,unit) solvers: \
              $(b,game) (default) plays the state-space simulation game with \
              memoization and dominance pruning — INFEASIBLE is definitive \
-             and $(b,--budget) bounds the states explored; $(b,dfs) is the \
-             bounded schedule enumeration — $(b,--budget) bounds the \
-             schedule length (capped at 64) and exhaustion reports UNKNOWN.")
+             and $(b,--budget) bounds the states explored; $(b,game-ref) is \
+             the same game on the frozen reference engine (slower, kept as \
+             an independent cross-check); $(b,dfs) is the bounded schedule \
+             enumeration — $(b,--budget) bounds the schedule length (capped \
+             at 64) and exhaustion reports UNKNOWN.")
   in
   let bound =
     Arg.(
@@ -756,8 +760,20 @@ let exact_cmd =
         let stats =
           with_jobs jobs (fun pool ->
               match solver with
-              | `Game ->
+              | `Game
+                when List.for_all
+                       (fun (c : Timing.t) -> Task_graph.size c.graph = 1)
+                       (Model.asynchronous m) ->
                   Exact.solve_single_ops ?pool ?budget ~max_states:bound m
+              | `Game ->
+                  (* A constraint with a real task graph has no budget-
+                     vector state; the residue-state game at execution
+                     granularity decides it instead of raising. *)
+                  Format.printf
+                    "note: not all constraints are single operations — \
+                     playing the game at execution granularity@.";
+                  Exact.enumerate_atomic ?pool ?budget ~engine
+                    ~max_len:(min bound 64) ~max_states:bound m
               | `Atomic ->
                   Exact.enumerate_atomic ?pool ?budget ~engine
                     ~max_len:(min bound 64) ~max_states:bound m

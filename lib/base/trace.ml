@@ -8,23 +8,36 @@ type instance = {
 
 type t = { horizon : int; by_elem : instance array array }
 
+(* Two counting passes over the slots, then direct array fills — the
+   function sits under every latency question and used to spend its
+   time consing and reversing per-element slot lists. *)
 let of_slots g a =
   let n = Comm_graph.n_elements g in
-  let slots_of = Array.make n [] in
+  let occ = Array.make n 0 in
+  Array.iter
+    (fun s ->
+      match s with
+      | Schedule.Idle -> ()
+      | Schedule.Run e ->
+          if e < 0 || e >= n then invalid_arg "Trace.of_slots: unknown element";
+          occ.(e) <- occ.(e) + 1)
+    a;
+  let slots_of = Array.init n (fun e -> Array.make occ.(e) 0) in
+  let fill = Array.make n 0 in
   Array.iteri
     (fun i s ->
       match s with
       | Schedule.Idle -> ()
       | Schedule.Run e ->
-          if e < 0 || e >= n then invalid_arg "Trace.of_slots: unknown element";
-          slots_of.(e) <- i :: slots_of.(e))
+          (slots_of.(e)).(fill.(e)) <- i;
+          fill.(e) <- fill.(e) + 1)
     a;
   let by_elem =
     Array.init n (fun e ->
         let w = Comm_graph.weight g e in
         if w <= 0 then [||]
         else
-          let slots = Array.of_list (List.rev slots_of.(e)) in
+          let slots = slots_of.(e) in
           let count = Array.length slots / w in
           Array.init count (fun k ->
               let mine = Array.sub slots (k * w) w in

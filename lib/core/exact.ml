@@ -8,7 +8,7 @@ type outcome = Game.outcome =
   | Unknown of string
 
 type stats = Game.stats = { explored : int; outcome : outcome }
-type engine = [ `Dfs | `Game ]
+type engine = [ `Dfs | `Game | `Game_ref ]
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive enumeration for unit-weight models (Theorem 2 case (i)). *)
@@ -74,7 +74,9 @@ let enumerate ?pool ?budget ?table ?(engine = `Game) ?(max_len = 12)
              (Comm_graph.weight m.comm e)))
     elements;
   match engine with
-  | `Game -> Game.solve ?pool ?budget ?table ~max_states ~granularity:`Unit m
+  | (`Game | `Game_ref) as g ->
+      let impl = if g = `Game then `Packed else `Reference in
+      Game.solve ?pool ?budget ?table ~max_states ~impl ~granularity:`Unit m
   | `Dfs ->
       if asyncs = [] then
         {
@@ -164,7 +166,9 @@ let enumerate ?pool ?budget ?table ?(engine = `Game) ?(max_len = 12)
 let enumerate_atomic ?pool ?budget ?table ?(engine = `Game) ?(max_len = 16)
     ?(max_states = 500_000) (m : Model.t) =
   match engine with
-  | `Game -> Game.solve ?pool ?budget ?table ~max_states ~granularity:`Atomic m
+  | (`Game | `Game_ref) as g ->
+      let impl = if g = `Game then `Packed else `Reference in
+      Game.solve ?pool ?budget ?table ~max_states ~impl ~granularity:`Atomic m
   | `Dfs ->
       let asyncs = Model.asynchronous m in
       let elements =

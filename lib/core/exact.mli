@@ -43,15 +43,19 @@ type stats = Game.stats = {
   outcome : outcome;
 }
 
-type engine = [ `Dfs | `Game ]
+type engine = [ `Dfs | `Game | `Game_ref ]
 (** [`Game] (the default): reachable-cycle search over game states with
     memoization — definitive [Infeasible], no length bound, state
-    budget [max_states].  [`Dfs]: the original bounded enumeration —
-    answers are [Feasible] or [Unknown] (never [Infeasible]), bounded
-    by [max_len]; slower but with an independent, elementary
-    completeness argument, which keeps it useful as an oracle and for
-    minimal-length-schedule queries (the game returns {e some} cycle,
-    not the shortest one). *)
+    budget [max_states].  Runs {!Game}'s packed implementation
+    ([~impl:`Packed]).  [`Game_ref] is the same game played by the
+    frozen reference engine ({!Game_ref}, [~impl:`Reference]) — slower,
+    kept as an independent cross-check and as the packed engine's
+    before/after benchmark peer.  [`Dfs]: the original bounded
+    enumeration — answers are [Feasible] or [Unknown] (never
+    [Infeasible]), bounded by [max_len]; slower but with an
+    independent, elementary completeness argument, which keeps it
+    useful as an oracle and for minimal-length-schedule queries (the
+    game returns {e some} cycle, not the shortest one). *)
 
 val enumerate :
   ?pool:Rt_par.Pool.t ->

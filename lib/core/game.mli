@@ -62,6 +62,20 @@ type outcome =
 
 type stats = { explored : int; outcome : outcome }
 
+type impl = [ `Packed | `Reference ]
+(** Engine implementation selector.  [`Packed] (the default) runs the
+    hardware-fast engine: states packed into flat machine words with
+    guard bits (dominance = one word-parallel subtract-and-mask per
+    word), zero-allocation successor generation over preallocated
+    per-depth scratch, open-addressing flat transposition/gray tables,
+    canonical (symmetry-sorted) dead-fact keys, a score-bucketed
+    {!Rt_par.Antichain}, and a small-model bypass.  [`Reference] runs
+    the frozen PR-4 engine ({!Game_ref}) unchanged — the oracle the
+    packed engine is tested against.  Verdicts agree always; with the
+    bypass disabled the returned schedules are bit-identical (pruning
+    differences only skip provably cycle-free subtrees, so the first
+    cycle found — and hence the schedule — is the same). *)
+
 type table
 (** A resident dead-fact (transposition) table.  "State [s] is dead" is
     a property of the model alone — independent of the path or budget
@@ -85,6 +99,8 @@ val solve :
   ?budget:Budget.t ->
   ?table:table ->
   ?max_states:int ->
+  ?impl:impl ->
+  ?bypass:bool ->
   granularity:[ `Unit | `Atomic ] ->
   Model.t ->
   stats
@@ -119,4 +135,25 @@ val solve :
     they never evict and stay bit-identical to the uncapped engine.
     Each solve publishes the final table size as the
     [Rt_obs.Metrics] gauge ["game/table_size"] and accumulates
-    cap-forced drops on the counter ["game/table_evictions"]. *)
+    cap-forced drops on the counter ["game/table_evictions"].  The
+    packed engine additionally publishes ["game/alloc_words"] (minor
+    words allocated by the solve on the calling domain — near zero for
+    packed budget games), ["game/antichain_evictions"] (dead facts the
+    antichain cap forced out; the old engine dropped them silently)
+    and the sampled probe-length histogram
+    ["game/antichain_probe_len"]; all surface via [rtsyn --stats].
+
+    [impl] selects the engine implementation (see {!type-impl});
+    resident [table]s may be shared across both implementations of the
+    same model — their key formats never collide — but facts only hit
+    within the implementation that wrote them.
+
+    [bypass] (default [true], [`Packed] only, inert under a [budget])
+    first tries the small-model shortcut: concatenate every
+    constraint's graph in topological order and verify that fixed
+    cycle once.  Success returns it with [explored = 0] and no engine
+    setup at all — this is what makes trivial admission probes and the
+    unit-chains bench family faster than the DFS oracle.  Failure
+    proves nothing and falls through to the engine.  Disable it when
+    the engine's own first-found cycle must be returned (the
+    bit-identity tests do). *)

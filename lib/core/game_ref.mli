@@ -1,0 +1,85 @@
+(** The frozen PR-4 game engine, kept as an independent oracle.
+
+    This is the state-space simulation-game solver exactly as it stood
+    before the packed-state rewrite in {!Game}: heap-allocated
+    [int array] states, a linear CAS-list antichain, and a per-solve
+    32-shard transposition table.  {!Game.solve ?impl} dispatches here
+    with [~impl:`Reference]; the equivalence tests and bench E15 use it
+    to pin the packed engine's verdicts and schedules bit-for-bit.
+
+    Semantics, verdicts, counters and the pooled determinism guarantee
+    are documented in {!Game} — the two engines implement the same
+    contract. *)
+
+type outcome =
+  | Feasible of Schedule.t
+  | Infeasible
+  | Timeout of string
+      (** A caller-supplied {!Budget.t} ran out (the payload is the
+          reason) before the game graph was exhausted.  Distinct from
+          [Unknown]: the search was cut off by the caller's resource
+          bound, not by the engine's own state cap. *)
+  | Unknown of string
+
+type stats = { explored : int; outcome : outcome }
+
+type table = (int array, unit) Rt_par.Shard_tbl.t
+(** A resident dead-fact (transposition) table.  Concrete (unlike the
+    abstract {!Game.table}) so [Game] can thread one table through
+    either implementation.  "State [s] is dead" is
+    a property of the model alone — independent of the path or budget
+    under which it was proven — so a table may be reused across many
+    {!solve} calls on the {e same} model (and granularity): facts a
+    timed-out solve derived still speed up the next attempt.  Reuse
+    across different models is unsound; key resident tables by model
+    digest. *)
+
+val table : ?cap:int -> unit -> table
+(** [table ()] creates an empty resident table ([cap] defaults to the
+    engine's 2M-entry cap; the cap evicts approximately-FIFO and only
+    ever costs re-derivation). *)
+
+val table_size : table -> int
+(** Number of dead facts currently resident (approximate under
+    concurrent use). *)
+
+val solve :
+  ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
+  ?table:table ->
+  ?max_states:int ->
+  granularity:[ `Unit | `Atomic ] ->
+  Model.t ->
+  stats
+(** [solve ~granularity m] decides feasibility of [m]'s asynchronous
+    constraints by reachable-cycle search over the game graph.
+
+    [`Unit] plays one slot per edge and requires every used element to
+    have unit weight (the caller — {!Exact.enumerate} — validates
+    this); [`Atomic] plays one whole execution block (or one idle
+    slot) per edge, keeping executions contiguous, matching
+    {!Exact.enumerate_atomic} and {!Exact.solve_single_ops}.  When all
+    constraints are single operations both granularities reduce to the
+    budget-vector game and are solved as such.
+
+    [max_states] (default 500_000) bounds the number of distinct
+    states expanded; exhausting it yields [Unknown], never a wrong
+    [Infeasible].  [budget] adds a caller-owned wall-clock/fuel bound
+    checked cooperatively at every state expansion; exhausting it
+    yields [Timeout].  With no [budget] the exploration is bit-for-bit
+    the default path (the bench counters pin it).  [explored] counts
+    expanded states.  Counters:
+    {!Rt_par.Perf.game_states}, {!Rt_par.Perf.table_hits},
+    {!Rt_par.Perf.table_misses}, {!Rt_par.Perf.dominance_kills}.
+
+    [table] supplies a resident transposition table (see {!type-table})
+    shared across solves of the same model; without it each solve gets
+    a fresh one.  The transposition table is capped (2M entries, split
+    over its shards) so adversarial long runs cannot grow it without
+    bound; the cap evicts approximately-FIFO and only ever costs
+    re-derivation.
+    The default [max_states] keeps default runs far below the cap, so
+    they never evict and stay bit-identical to the uncapped engine.
+    Each solve publishes the final table size as the
+    [Rt_obs.Metrics] gauge ["game/table_size"] and accumulates
+    cap-forced drops on the counter ["game/table_evictions"]. *)

@@ -26,7 +26,11 @@ module Perf = Rt_par.Perf
 
 type scratch = {
   assignment : Trace.instance option array;
-  used : (int * int, unit) Hashtbl.t;
+  mutable used : (int * int) list;
+      (* (elem, instance index) pairs claimed by assigned nodes — at
+         most [size tg] entries, pushed/popped with stack discipline,
+         so a list scan beats a hashtable on these microsecond-scale
+         searches. *)
 }
 
 type ctx = {
@@ -50,10 +54,7 @@ let make_ctx g tg trace =
     order = Array.of_list (Task_graph.topological_order tg);
     preds = Rt_graph.Digraph.pred (Task_graph.graph tg);
     scratch =
-      {
-        assignment = Array.make (Task_graph.size tg) None;
-        used = Hashtbl.create 16;
-      };
+      { assignment = Array.make (Task_graph.size tg) None; used = [] };
     finishes = None;
   }
 
@@ -76,9 +77,10 @@ let finishes_of ctx =
    in [ctx.scratch.assignment]. *)
 let search ctx ~t0 ~t1 =
   Perf.incr Perf.windows_checked;
-  let { assignment; used } = ctx.scratch in
+  let sc = ctx.scratch in
+  let assignment = sc.assignment in
   Array.fill assignment 0 (Array.length assignment) None;
-  Hashtbl.reset used;
+  sc.used <- [];
   let order = ctx.order in
   let n = Array.length order in
   let tg = ctx.tg in
@@ -108,13 +110,16 @@ let search ctx ~t0 ~t1 =
           let inst = insts.(i) in
           if inst.start >= t1 || inst.finish > t1 then false
             (* starts are ascending, so later instances also overflow *)
-          else if Hashtbl.mem used (e, i) then try_from (i + 1)
+          else if List.exists (fun (e', i') -> e' = e && i' = i) sc.used
+          then try_from (i + 1)
           else begin
             assignment.(v) <- Some inst;
-            Hashtbl.add used (e, i) ();
+            sc.used <- (e, i) :: sc.used;
             if assign (pos + 1) then true
             else begin
-              Hashtbl.remove used (e, i);
+              (* stack discipline: a failed [assign] leaves [used] as it
+                 found it, so the head is exactly our push *)
+              (sc.used <- (match sc.used with _ :: tl -> tl | [] -> []));
               assignment.(v) <- None;
               try_from (i + 1)
             end
@@ -152,10 +157,13 @@ let first_above a v =
    horizon this question may look at (so several constraints can share
    one long trace and still answer exactly as if each had built its own
    shorter one). *)
-let next_completion_ctx ctx ~limit ~from =
+let next_completion_ctx ?(floor = 0) ctx ~limit ~from =
   if search ctx ~t0:from ~t1:limit then begin
     let finishes = finishes_of ctx in
-    let lo0 = first_above finishes from in
+    (* [floor] is a caller-supplied lower bound on the answer (e.g. the
+       completion of an earlier window start — completions are monotone
+       in [from]); finishes below it need not be probed. *)
+    let lo0 = max (first_above finishes from) (first_above finishes (floor - 1)) in
     let hi0 = first_above finishes limit - 1 in
     let rec bsearch lo hi =
       (* invariant: containment holds for finishes.(hi), fails below lo *)
@@ -262,34 +270,48 @@ let memo_cycle ~slot_period:d g tg sched =
   else if instance_periodic g tg sched then Some n
   else None
 
-let latency_argmax_ctx ctx ~cycle ~limit =
+(* next_completion is a non-decreasing step function of the window
+   start t, constant except where an instance of one of the task
+   graph's elements stops being available — i.e. at t = start + 1.
+   On each constancy interval, completion - t peaks at the left end,
+   so it suffices to evaluate t = 0 and t = s + 1 for every instance
+   start s within the first cycle.  Instance starts ascend, so the
+   scan stops at the first start past the cycle instead of walking
+   the whole trace. *)
+let window_start_candidates ctx ~cycle =
   let trace = ctx.trace in
-  (* next_completion is a non-decreasing step function of the window
-     start t, constant except where an instance of one of the task
-     graph's elements stops being available — i.e. at t = start + 1.
-     On each constancy interval, completion - t peaks at the left end,
-     so it suffices to evaluate t = 0 and t = s + 1 for every instance
-     start s within the first cycle. *)
-  let candidates =
-    0
-    :: (Task_graph.elements_used ctx.tg
-       |> List.concat_map (fun e ->
-              Array.to_list (Trace.instances trace e)
-              |> List.filter_map (fun (i : Trace.instance) ->
-                     if i.start + 1 < cycle then Some (i.start + 1) else None)))
-    |> List.sort_uniq Int.compare
+  let cands =
+    List.concat_map
+      (fun e ->
+        let insts = Trace.instances trace e in
+        let rec take i acc =
+          if i >= Array.length insts then acc
+          else
+            let s = (insts.(i) : Trace.instance).start in
+            if s + 1 >= cycle then acc else take (i + 1) ((s + 1) :: acc)
+        in
+        take 0 [])
+      (Task_graph.elements_used ctx.tg)
   in
-  let rec worst ts acc =
+  List.sort_uniq Int.compare (0 :: cands)
+
+let latency_argmax_ctx ctx ~cycle ~limit =
+  let candidates = window_start_candidates ctx ~cycle in
+  (* Candidates ascend, and next_completion is monotone in the window
+     start, so each question's answer floors the next one's bisection
+     range — the per-question cost drops from O(log horizon) searches
+     to O(log gap). *)
+  let rec worst ts ~floor acc =
     match ts with
     | [] -> Some acc
     | t :: rest -> (
-        match next_completion_ctx ctx ~limit ~from:t with
+        match next_completion_ctx ~floor ctx ~limit ~from:t with
         | None -> None
         | Some f ->
             let _, best_lat = acc in
-            worst rest (if f - t > best_lat then (t, f - t) else acc))
+            worst rest ~floor:f (if f - t > best_lat then (t, f - t) else acc))
   in
-  worst candidates (0, 0)
+  worst candidates ~floor:0 (0, 0)
 
 let latency_argmax g sched tg =
   if not (elements_all_present g tg sched) then None
@@ -310,6 +332,52 @@ let meets_asynchronous g sched (c : Timing.t) =
   match latency g sched c.graph with
   | Some k -> k <= c.deadline
   | None -> false
+
+(* Batched form of [meets_asynchronous]: one trace at the largest
+   analysis horizon serves every constraint, each questioned under its
+   own [limit] so the answers are exactly those of the per-constraint
+   builds.  Verifying a candidate schedule against k constraints this
+   way pays one [Trace.of_schedule] instead of k — on the game engine's
+   small-model path the trace build is most of the solve. *)
+let meets_all_asynchronous g sched cs =
+  cs = []
+  || (* Presence is a property of the schedule alone — reject before
+        paying for the trace unroll (the bypass probes many candidate
+        schedules that fail exactly here). *)
+  List.for_all (fun (c : Timing.t) -> elements_all_present g c.graph sched) cs
+  &&
+  let cycle = Schedule.length sched in
+  let horizon_of (c : Timing.t) =
+    analysis_horizon g c.graph sched ~last_question:cycle
+  in
+  (* A yes/no question is cheaper than the argmax: the worst latency is
+     within the deadline iff every candidate window [t, t + deadline)
+     contains an execution — one containment search per candidate, no
+     completion bisection and no sorted-finishes build.  Clamping the
+     window end to the analysis horizon is exact (any completion lies
+     within it) and dodges overflow on huge deadlines.  Window starts
+     stay below the cycle, so the trace only needs to reach the last
+     window end — usually cycle + deadline, far short of the full
+     analysis horizon. *)
+  let max_h =
+    List.fold_left
+      (fun acc (c : Timing.t) ->
+        let l = horizon_of c in
+        let need = if c.deadline >= l - cycle then l else cycle + c.deadline in
+        max acc need)
+      cycle cs
+  in
+  let trace = Trace.of_schedule g sched ~horizon:max_h in
+  List.for_all
+    (fun (c : Timing.t) ->
+      let ctx = make_ctx g c.graph trace in
+      let limit = horizon_of c in
+      List.for_all
+        (fun t ->
+          let t1 = if c.deadline >= limit - t then limit else t + c.deadline in
+          search ctx ~t0:t ~t1)
+        (window_start_candidates ctx ~cycle))
+    cs
 
 (* The residue memo is capped: schedules with huge memo cycles (lcm-
    driven) would otherwise grow the table one entry per distinct

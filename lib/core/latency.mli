@@ -85,6 +85,15 @@ val meets_asynchronous : Comm_graph.t -> Schedule.t -> Timing.t -> bool
     — i.e. every possible invocation of the asynchronous constraint
     meets its deadline under the round-robin scheduler. *)
 
+val meets_all_asynchronous :
+  Comm_graph.t -> Schedule.t -> Timing.t list -> bool
+(** [meets_all_asynchronous g l cs] is
+    [List.for_all (meets_asynchronous g l) cs], computed over one
+    shared trace instead of one per constraint (each constraint is
+    questioned under its own horizon, so the answers are identical).
+    Prefer it when verifying a candidate schedule against a whole
+    constraint set: the trace build dominates small verifications. *)
+
 val periodic_response : Comm_graph.t -> Schedule.t -> Timing.t -> int option
 (** [periodic_response g l c] is the worst-case response time over the
     periodic invocations at [offset, offset + p, ...] (exact:

@@ -1,0 +1,113 @@
+(* Score-bucketed antichain: an immutable bucket array behind one
+   Atomic root.  Readers grab the snapshot and scan — no locks, no
+   retries; writers rebuild the (small) bucket spine and CAS.  Bucket
+   [s] holds the entries with clamped score [s]; monotonicity of the
+   score w.r.t. subsumption confines queries to [score v .. max_score]
+   and insert-side redundancy sweeps to [0 .. score d]. *)
+
+type snap = { buckets : int array list array; n : int }
+
+type t = {
+  subsumed : int array -> int array -> bool;
+  score : int array -> int;
+  max_score : int;
+  cap : int;
+  root : snap Atomic.t;
+  evicted : int Atomic.t;
+  n_probes : int Atomic.t;
+  n_probe_entries : int Atomic.t;
+  on_probe : (int -> unit) option;
+}
+
+let create ?(cap = 512) ?on_probe ~subsumed ~score ~max_score () =
+  let max_score = max 0 max_score in
+  {
+    subsumed;
+    score;
+    max_score;
+    cap = max 1 cap;
+    root = Atomic.make { buckets = Array.make (max_score + 1) []; n = 0 };
+    evicted = Atomic.make 0;
+    n_probes = Atomic.make 0;
+    n_probe_entries = Atomic.make 0;
+    on_probe;
+  }
+
+let clamp t s = if s < 0 then 0 else if s > t.max_score then t.max_score else s
+
+(* One dominance query against a snapshot.  Returns the number of
+   entries tested (the probe length) and whether a cover was found. *)
+let query t snap v =
+  let lo = clamp t (t.score v) in
+  let tested = ref 0 in
+  let hit = ref false in
+  let s = ref lo in
+  while (not !hit) && !s <= t.max_score do
+    let rec scan = function
+      | [] -> ()
+      | d :: tl ->
+          incr tested;
+          if t.subsumed v d then hit := true else scan tl
+    in
+    scan snap.buckets.(!s);
+    incr s
+  done;
+  (!tested, !hit)
+
+let record_probe t tested =
+  let k = Atomic.fetch_and_add t.n_probes 1 in
+  ignore (Atomic.fetch_and_add t.n_probe_entries tested);
+  match t.on_probe with
+  | Some f when k land 127 = 0 -> f tested
+  | _ -> ()
+
+let covered t v =
+  let tested, hit = query t (Atomic.get t.root) v in
+  record_probe t tested;
+  hit
+
+let add t d =
+  let sd = clamp t (t.score d) in
+  let rec attempt () =
+    let snap = Atomic.get t.root in
+    let tested, hit = query t snap d in
+    record_probe t tested;
+    if hit then false
+    else begin
+      let buckets = Array.copy snap.buckets in
+      (* Drop entries the new vector subsumes: only buckets <= sd can
+         hold them (monotone score). *)
+      let removed = ref 0 in
+      for s = 0 to sd do
+        let keep = List.filter (fun e -> not (t.subsumed e d)) buckets.(s) in
+        removed := !removed + (List.length buckets.(s) - List.length keep);
+        buckets.(s) <- keep
+      done;
+      buckets.(sd) <- d :: buckets.(sd);
+      let n = ref (snap.n - !removed + 1) in
+      (* Cap: evict lowest-score entries — they dominate the fewest
+         states, so they are the cheapest facts to lose. *)
+      let evicted_here = ref 0 in
+      let s = ref 0 in
+      while !n > t.cap && !s <= t.max_score do
+        (match buckets.(!s) with
+        | [] -> incr s
+        | _ :: tl ->
+            buckets.(!s) <- tl;
+            decr n;
+            incr evicted_here)
+      done;
+      if Atomic.compare_and_set t.root snap { buckets; n = !n } then begin
+        if !evicted_here > 0 then
+          ignore (Atomic.fetch_and_add t.evicted !evicted_here);
+        true
+      end
+      else attempt ()
+    end
+  in
+  attempt ()
+
+let size t = (Atomic.get t.root).n
+let evictions t = Atomic.get t.evicted
+let probes t = Atomic.get t.n_probes
+let probe_entries t = Atomic.get t.n_probe_entries

@@ -1,0 +1,75 @@
+(** A score-bucketed dominance antichain over integer vectors, shared
+    lock-free across pool domains.
+
+    The game engines ({!Rt_core.Game}) prune the state space with dead
+    facts ordered by a domination relation: a live state [v] can be
+    killed when some recorded dead state [d] {e subsumes} it.  The
+    structure below replaces the former flat [int array list] (O(n)
+    linear scan per query {e and} per insert, plus an O(n)
+    [List.length] on every insert to enforce the cap) with buckets
+    indexed by a caller-supplied {e score} that is monotone with respect
+    to subsumption:
+
+      [subsumed v d] implies [score v <= score d].
+
+    A cover of [v] can therefore only live in buckets
+    [score v .. max_score], and an insert of [d] can only make entries
+    in buckets [0 .. score d] redundant — both operations touch a score
+    interval, not the whole set.  For budget-vector states the score is
+    the component sum; for trace residues it is the count of productive
+    slots.  Entries are maintained as a true antichain: inserting a
+    vector drops every entry it subsumes.
+
+    Concurrency: the whole structure is an immutable snapshot behind one
+    [Atomic] root.  Queries ({!covered}) read the snapshot and never
+    lock, block, or retry; inserts build a new snapshot and CAS it in,
+    retrying on contention.  Pool lanes therefore pay zero
+    synchronization on the (hot) query path.
+
+    The cap is enforced exactly: when an insert would exceed it, entries
+    are evicted lowest-score-first (they dominate the fewest states) and
+    counted — {!evictions} replaces the old silent drop. *)
+
+type t
+
+val create :
+  ?cap:int ->
+  ?on_probe:(int -> unit) ->
+  subsumed:(int array -> int array -> bool) ->
+  score:(int array -> int) ->
+  max_score:int ->
+  unit ->
+  t
+(** [create ?cap ?on_probe ~subsumed ~score ~max_score ()] makes an
+    empty antichain.  [score] must map every vector into
+    [0..max_score] and be monotone for [subsumed] as described above
+    (vectors scoring outside the range are clamped, which keeps the
+    structure sound but degrades bucketing).  [cap] (default 512)
+    bounds the entry count.  [on_probe], when given, receives a sampled
+    probe length (entries tested by one query) roughly every 128th
+    query — wire it to a metrics histogram without taxing the hot
+    path. *)
+
+val covered : t -> int array -> bool
+(** [covered t v] is true iff some recorded entry subsumes [v].
+    Lock-free and wait-free on the reader side. *)
+
+val add : t -> int array -> bool
+(** [add t d] records dead vector [d].  Returns [false] (no change) if
+    [d] is already covered by an existing entry; otherwise inserts [d],
+    drops every entry that [d] subsumes, evicts lowest-score entries if
+    the cap would be exceeded, and returns [true]. *)
+
+val size : t -> int
+(** Current number of entries (snapshot). *)
+
+val evictions : t -> int
+(** Entries dropped so far to respect the cap. *)
+
+val probes : t -> int
+(** Total {!covered}/{!add} dominance queries answered (each [add] runs
+    one query first). *)
+
+val probe_entries : t -> int
+(** Total entries tested across all queries — [probe_entries / probes]
+    is the mean probe length the bucketing is there to minimize. *)

@@ -45,8 +45,36 @@ let stage_prefix = "stage/"
    the p50/p95/p99 of individual span durations come for free.  Each
    span is also emitted to the tracer (category "stage") when tracing is
    on. *)
+(* Stage-name -> histogram cell memo: [Metrics.histogram] takes the
+   registry mutex on every call, which shows up on microsecond-scale
+   solves ([time] sits on the game engine's entry path).  The memo is an
+   immutable assoc list behind an [Atomic] — lock-free reads, CAS
+   insert on first use; [Metrics.reset] zeroes cells in place so cached
+   cells never go stale. *)
+let stage_cells : (string * Metrics.histogram) list Atomic.t = Atomic.make []
+
+let stage_cell name =
+  let rec find = function
+    | (n, h) :: tl -> if String.equal n name then Some h else find tl
+    | [] -> None
+  in
+  match find (Atomic.get stage_cells) with
+  | Some h -> h
+  | None ->
+      let h = Metrics.histogram (stage_prefix ^ name) in
+      let rec publish () =
+        let cur = Atomic.get stage_cells in
+        match find cur with
+        | Some h -> h
+        | None ->
+            if Atomic.compare_and_set stage_cells cur ((name, h) :: cur) then
+              h
+            else publish ()
+      in
+      publish ()
+
 let time name f =
-  let h = Metrics.histogram (stage_prefix ^ name) in
+  let h = stage_cell name in
   let t0 = Unix.gettimeofday () in
   Rt_obs.Tracer.span ~cat:"stage" name (fun () ->
       Fun.protect
@@ -71,11 +99,39 @@ let stage_seconds () =
 let snapshot () = List.map (fun (n, c) -> (n, Metrics.value c)) all_counters
 let reset () = Metrics.reset ()
 
+(* Registry metrics beyond the fixed counter list and the stage
+   histograms — e.g. the game engine's game/alloc_words gauge,
+   game/antichain_evictions counter and game/antichain_probe_len
+   histogram.  Shown by [pp] (rtsyn --stats) but deliberately not part
+   of [all_counters], which the bench JSON counter gates pin. *)
+let extras () =
+  let fixed = List.map fst all_counters in
+  List.filter
+    (fun s ->
+      match s with
+      | Metrics.Counter_v { name; _ } -> not (List.mem name fixed)
+      | Metrics.Gauge_v _ -> true
+      | Metrics.Histogram_v { name; _ } ->
+          not (String.starts_with ~prefix:stage_prefix name))
+    (Metrics.snapshot ())
+
 let pp fmt () =
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun (name, v) -> Format.fprintf fmt "%-18s %d@," name v)
     (snapshot ());
+  List.iter
+    (fun s ->
+      match s with
+      | Metrics.Counter_v { name; value } ->
+          Format.fprintf fmt "%-18s %d@," name value
+      | Metrics.Gauge_v { name; value } ->
+          Format.fprintf fmt "%-18s %d@," name value
+      | Metrics.Histogram_v { name; count; p50; p95; max; _ } ->
+          if count > 0 then
+            Format.fprintf fmt "%-18s n=%d p50=%d p95=%d max=%d@," name count
+              p50 p95 max)
+    (extras ());
   List.iter
     (fun (name, s) -> Format.fprintf fmt "%-18s %.4fs (wall)@," name s)
     (stage_seconds ());

@@ -23,9 +23,16 @@ module Int_array = struct
     !h land max_int
 end
 
+(* Each shard is an open-addressing table: a flat [codes] int array
+   (0 = empty slot; an occupied slot stores [hash lor min_int], which is
+   never 0) probed linearly, with the boxed key/value pair held in a
+   parallel [slots] array that is only dereferenced on a code match.
+   Probing therefore scans a contiguous int array — no chain pointers,
+   no per-binding cons cells. *)
 type ('k, 'v) shard = {
   lock : Mutex.t;
-  mutable buckets : ('k * 'v) list array;
+  mutable codes : int array;
+  mutable slots : ('k * 'v) option array;
   mutable count : int;
   mutable evict_cursor : int;
 }
@@ -43,7 +50,7 @@ let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
 let create ?(shards = 32) ?max_entries ~hash ~equal capacity =
   let n = pow2_at_least (max 1 (min shards 1024)) 1 in
-  let cap = max 16 capacity in
+  let cap = pow2_at_least (max 16 capacity) 16 in
   let shard_cap =
     match max_entries with
     | None -> max_int
@@ -59,96 +66,145 @@ let create ?(shards = 32) ?max_entries ~hash ~equal capacity =
       Array.init n (fun _ ->
           {
             lock = Mutex.create ();
-            buckets = Array.make cap [];
+            codes = Array.make cap 0;
+            slots = Array.make cap None;
             count = 0;
             evict_cursor = 0;
           });
   }
 
-(* The shard index uses the high-ish bits, the bucket index the low
-   bits, so the two selections stay independent even for weak hashes. *)
+(* The shard index uses the high-ish bits, the slot index the low bits,
+   so the two selections stay independent even for weak hashes. *)
 let shard_of t h = t.shards.(((h lsr 16) lxor h) land t.mask)
-let bucket_of s h = h land (Array.length s.buckets - 1)
+let code_of h = h lor min_int
+let home_of code mask = code land max_int land mask
+
+(* Index of the key's slot, or of the empty slot where it belongs. *)
+let probe t s code k =
+  let mask = Array.length s.codes - 1 in
+  let i = ref (home_of code mask) in
+  let res = ref (-1) in
+  while !res < 0 do
+    let c = Array.unsafe_get s.codes !i in
+    if c = 0 then res := !i
+    else if
+      c = code
+      &&
+      match Array.unsafe_get s.slots !i with
+      | Some (k', _) -> t.equal k k'
+      | None -> false
+    then res := !i
+    else i := (!i + 1) land mask
+  done;
+  !res
 
 let resize t s =
-  let old = s.buckets in
-  let n = Array.length old * 2 in
-  let fresh = Array.make n [] in
-  Array.iter
-    (fun chain ->
-      List.iter
-        (fun ((k, _) as kv) ->
-          let i = t.hash k land (n - 1) in
-          fresh.(i) <- kv :: fresh.(i))
-        chain)
-    old;
-  s.buckets <- fresh
+  let old_codes = s.codes and old_slots = s.slots in
+  let n = Array.length old_codes * 2 in
+  let mask = n - 1 in
+  s.codes <- Array.make n 0;
+  s.slots <- Array.make n None;
+  for i = 0 to Array.length old_codes - 1 do
+    let c = old_codes.(i) in
+    if c <> 0 then begin
+      let j = ref (home_of c mask) in
+      while s.codes.(!j) <> 0 do
+        j := (!j + 1) land mask
+      done;
+      s.codes.(!j) <- c;
+      s.slots.(!j) <- old_slots.(i)
+    end
+  done;
+  ignore t
+
+(* Backward-shift deletion: close the gap at [i] by walking the cluster
+   forward and pulling back any entry whose home position lies at or
+   before the gap, so linear probes never cross a spurious hole. *)
+let remove_at s i =
+  let mask = Array.length s.codes - 1 in
+  s.codes.(i) <- 0;
+  s.slots.(i) <- None;
+  s.count <- s.count - 1;
+  let gap = ref i in
+  let k = ref ((i + 1) land mask) in
+  let scanning = ref true in
+  while !scanning do
+    let c = s.codes.(!k) in
+    if c = 0 then scanning := false
+    else begin
+      let home = home_of c mask in
+      (* distance from home to k vs. from gap to k, cyclically: the
+         entry may move back iff its home is not inside (gap, k] *)
+      if (!k - home) land mask >= (!k - !gap) land mask then begin
+        s.codes.(!gap) <- c;
+        s.slots.(!gap) <- s.slots.(!k);
+        s.codes.(!k) <- 0;
+        s.slots.(!k) <- None;
+        gap := !k
+      end;
+      k := (!k + 1) land mask
+    end
+  done
 
 let with_shard t k f =
   let h = t.hash k in
   let s = shard_of t h in
   Mutex.lock s.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s h)
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s (code_of h))
 
 let find_opt t k =
-  with_shard t k (fun s h ->
-      let rec go = function
-        | [] -> None
-        | (k', v) :: tl -> if t.equal k k' then Some v else go tl
-      in
-      go s.buckets.(bucket_of s h))
+  with_shard t k (fun s code ->
+      let i = probe t s code k in
+      if s.codes.(i) = 0 then None
+      else match s.slots.(i) with Some (_, v) -> Some v | None -> None)
 
 let mem t k = find_opt t k <> None
 
-(* Drop the oldest binding (chain tail) of the first nonempty bucket at
-   or after the rotating cursor.  Runs with the shard lock held.  Facts
-   in this table are memoized re-derivables, so losing one costs a
-   recomputation, never soundness. *)
+(* Drop the binding in the first occupied slot at or after the rotating
+   cursor.  Runs with the shard lock held.  Facts in this table are
+   memoized re-derivables, so losing one costs a recomputation, never
+   soundness. *)
 let evict_one t s =
-  let n = Array.length s.buckets in
-  let rec drop_last = function
-    | [] | [ _ ] -> []
-    | kv :: tl -> kv :: drop_last tl
-  in
+  let n = Array.length s.codes in
   let rec go tries i =
     if tries >= n then ()
-    else
-      match s.buckets.(i) with
-      | [] -> go (tries + 1) ((i + 1) land (n - 1))
-      | chain ->
-          s.buckets.(i) <- drop_last chain;
-          s.count <- s.count - 1;
-          s.evict_cursor <- (i + 1) land (n - 1);
-          Atomic.incr t.evicted
+    else if s.codes.(i) <> 0 then begin
+      remove_at s i;
+      s.evict_cursor <- (i + 1) land (n - 1);
+      Atomic.incr t.evicted
+    end
+    else go (tries + 1) ((i + 1) land (n - 1))
   in
   go 0 (s.evict_cursor land (n - 1))
 
-let insert t s h k v =
+let insert t s code k v =
   if s.count >= t.shard_cap then evict_one t s;
-  let i = bucket_of s h in
-  s.buckets.(i) <- (k, v) :: s.buckets.(i);
-  s.count <- s.count + 1;
-  if s.count > 2 * Array.length s.buckets then resize t s
+  (* 3/4 load-factor growth keeps probe clusters short; the cap check
+     above means a capped shard stops growing once it can hold its cap. *)
+  if 4 * (s.count + 1) > 3 * Array.length s.codes then resize t s;
+  let i = probe t s code k in
+  s.codes.(i) <- code;
+  s.slots.(i) <- Some (k, v);
+  s.count <- s.count + 1
 
 let add t k v =
-  with_shard t k (fun s h ->
-      let i = bucket_of s h in
-      let chain = s.buckets.(i) in
-      if List.exists (fun (k', _) -> t.equal k k') chain then
-        s.buckets.(i) <-
-          (k, v) :: List.filter (fun (k', _) -> not (t.equal k k')) chain
-      else insert t s h k v)
+  with_shard t k (fun s code ->
+      let i = probe t s code k in
+      if s.codes.(i) <> 0 then s.slots.(i) <- Some (k, v)
+      else insert t s code k v)
 
 let find_or_add t k mk =
-  with_shard t k (fun s h ->
-      let rec go = function
-        | [] ->
-            let v = mk () in
-            insert t s h k v;
-            v
-        | (k', v) :: tl -> if t.equal k k' then v else go tl
-      in
-      go s.buckets.(bucket_of s h))
+  with_shard t k (fun s code ->
+      let i = probe t s code k in
+      if s.codes.(i) <> 0 then
+        match s.slots.(i) with
+        | Some (_, v) -> v
+        | None -> assert false
+      else begin
+        let v = mk () in
+        insert t s code k v;
+        v
+      end)
 
 let length t = Array.fold_left (fun acc s -> acc + s.count) 0 t.shards
 

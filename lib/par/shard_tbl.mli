@@ -8,6 +8,12 @@
     mutex, so lanes only contend when they hash into the same shard at
     the same instant.
 
+    Each shard is an open-addressing flat table: occupied slots keep
+    their (nonzero-tagged) hash code in a contiguous [int array] probed
+    linearly, and the boxed binding is touched only on a code match.
+    Deletion (eviction) uses backward-shift compaction so probe chains
+    never cross stale holes — no tombstones accumulate.
+
     Unlike [Hashtbl.Make] the hash and equality functions are supplied
     at {!create} time, so one polymorphic implementation serves every
     key type without a functor application per instantiation.
@@ -63,10 +69,11 @@ val create :
 
     [max_entries], when given, caps the {e total} binding count: the cap
     is split evenly across shards (rounded up, at least 1 per shard),
-    and an insert into a full shard first evicts that shard's oldest
-    binding at a rotating bucket cursor — approximate FIFO, O(chain)
-    per eviction, counted by {!evictions}.  Omitting [max_entries]
-    keeps the historical never-drop behavior bit-identical. *)
+    and an insert into a full shard first evicts the binding at that
+    shard's rotating slot cursor — approximate FIFO, O(cluster) per
+    eviction (backward-shift compaction), counted by {!evictions}.
+    Omitting [max_entries] keeps the historical never-drop behavior
+    bit-identical. *)
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Current binding of the key, if any. *)

@@ -161,6 +161,261 @@ let test_game_budget_yields_unknown () =
   | Exact.Timeout _ -> Alcotest.fail "no budget was supplied"
 
 (* ------------------------------------------------------------------ *)
+(* Packed vs reference vs DFS (QCheck)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed engine must be indistinguishable from the frozen PR-4
+   reference engine on random models: identical verdicts always, and —
+   with the small-model bypass disabled so the engine's own first-found
+   cycle is returned — bit-identical schedules, sequentially and under
+   a 4-lane pool.  The bounded DFS rides along as an independent
+   oracle.  The batched latency verifier must answer exactly as the
+   per-constraint one on every schedule we see. *)
+let qcheck_packed_eq_reference =
+  let gen_seed = QCheck.make QCheck.Gen.(int_bound 10_000) in
+  QCheck.Test.make ~count:30
+    ~name:"packed = reference = dfs on random models (jobs 1 and 4)" gen_seed
+    (fun seed ->
+      let m =
+        let g = Rt_graph.Prng.create (1 + seed) in
+        if seed mod 2 = 0 then
+          Rt_workload.Model_gen.unit_chain_model g
+            ~n_constraints:(1 + (seed mod 3))
+            ~n_elements:(3 + (seed mod 2))
+            ~max_deadline:7
+        else
+          Rt_workload.Model_gen.single_op_model g ~max_deadline:9
+            ~n_constraints:(1 + (seed mod 3))
+            ~max_weight:2
+            ~target_ratio_sum:(0.4 +. (float_of_int (seed mod 5) /. 10.))
+      in
+      let solve ?pool ~impl ~bypass () =
+        Game.solve ?pool ~impl ~bypass ~max_states:200_000 ~granularity:`Atomic
+          m
+      in
+      let packed = solve ~impl:`Packed ~bypass:false () in
+      let reference = solve ~impl:`Reference ~bypass:false () in
+      let meets_agree sched =
+        Latency.meets_all_asynchronous m.Model.comm sched
+          (Model.asynchronous m)
+        = List.for_all
+            (fun c -> Latency.meets_asynchronous m.Model.comm sched c)
+            (Model.asynchronous m)
+      in
+      (match (packed.outcome, reference.outcome) with
+      | Exact.Feasible a, Exact.Feasible b ->
+          if not (Schedule.equal a b) then
+            QCheck.Test.fail_reportf "packed schedule differs from reference";
+          if not (oracle_ok m a) then
+            QCheck.Test.fail_reportf "packed schedule fails the oracle";
+          if not (meets_agree a) then
+            QCheck.Test.fail_reportf "batched verifier diverged (feasible)"
+      | Exact.Infeasible, Exact.Infeasible -> ()
+      | Exact.Unknown _, Exact.Unknown _ -> ()
+      | a, b ->
+          QCheck.Test.fail_reportf "verdicts diverged: packed %s, reference %s"
+            (match a with
+            | Exact.Feasible _ -> "feasible"
+            | Exact.Infeasible -> "infeasible"
+            | Exact.Unknown _ -> "unknown"
+            | Exact.Timeout _ -> "timeout")
+            (match b with
+            | Exact.Feasible _ -> "feasible"
+            | Exact.Infeasible -> "infeasible"
+            | Exact.Unknown _ -> "unknown"
+            | Exact.Timeout _ -> "timeout"));
+      (* Bypass on (the default): verdict must not change, and any
+         shortcut schedule still passes the independent oracle. *)
+      (match ((solve ~impl:`Packed ~bypass:true ()).outcome, packed.outcome)
+       with
+      | Exact.Feasible s, Exact.Feasible _ ->
+          if not (oracle_ok m s) then
+            QCheck.Test.fail_reportf "bypass schedule fails the oracle";
+          if not (meets_agree s) then
+            QCheck.Test.fail_reportf "batched verifier diverged (bypass)"
+      | Exact.Infeasible, Exact.Infeasible -> ()
+      | Exact.Unknown _, Exact.Unknown _ -> ()
+      | _ -> QCheck.Test.fail_reportf "bypass changed the verdict");
+      (* 4 lanes: bit-identity against the sequential run. *)
+      Rt_par.Pool.with_pool ~jobs:4 (fun p ->
+          match ((solve ~pool:p ~impl:`Packed ~bypass:false ()).outcome,
+                 packed.outcome)
+          with
+          | Exact.Feasible a, Exact.Feasible b ->
+              if not (Schedule.equal a b) then
+                QCheck.Test.fail_reportf "pooled packed schedule diverged"
+          | Exact.Infeasible, Exact.Infeasible -> ()
+          | Exact.Unknown _, Exact.Unknown _ -> ()
+          | _ -> QCheck.Test.fail_reportf "pooled packed verdict diverged");
+      (* DFS oracle compatibility (check_agreement raises on violation). *)
+      let dfs = (Exact.enumerate_atomic ~engine:`Dfs ~max_len:8 m).Exact.outcome in
+      (match packed.outcome with
+      | Exact.Unknown _ -> () (* budget bound — legal, uninformative *)
+      | o -> check_agreement ~what:"qcheck packed vs dfs" m o dfs);
+      true)
+
+(* The batched verifier must agree with the per-constraint one on
+   degenerate schedules too (absent elements, single slots). *)
+let qcheck_meets_all_matches_perconstraint =
+  let gen_seed = QCheck.make QCheck.Gen.(int_bound 10_000) in
+  QCheck.Test.make ~count:50
+    ~name:"meets_all_asynchronous = per-constraint meets_asynchronous" gen_seed
+    (fun seed ->
+      let g = Rt_graph.Prng.create (1 + seed) in
+      let m =
+        Rt_workload.Model_gen.single_op_model g ~max_deadline:9
+          ~n_constraints:(1 + (seed mod 4))
+          ~max_weight:2
+          ~target_ratio_sum:(0.3 +. (float_of_int (seed mod 6) /. 10.))
+      in
+      let asyncs = Model.asynchronous m in
+      let agree sched =
+        Latency.meets_all_asynchronous m.Model.comm sched asyncs
+        = List.for_all
+            (fun c -> Latency.meets_asynchronous m.Model.comm sched c)
+            asyncs
+      in
+      let scheds =
+        Schedule.of_slots [ Schedule.Run 0 ]
+        :: Schedule.of_slots [ Schedule.Idle ]
+        ::
+        (match (Exact.solve_single_ops ~max_states:100_000 m).Exact.outcome with
+        | Exact.Feasible s -> [ s ]
+        | _ -> [])
+      in
+      List.for_all agree scheds)
+
+(* ------------------------------------------------------------------ *)
+(* Antichain vs linear-scan oracle                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pointwise_le v d =
+  Array.length v = Array.length d
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > d.(i) then ok := false) v;
+  !ok
+
+(* The bucketed antichain must behave exactly like the naive structure
+   it replaced — a flat list with linear-scan covered/insert — on any
+   insertion sequence, as long as the cap never binds. *)
+let qcheck_antichain_matches_linear_oracle =
+  let gen_seed = QCheck.make QCheck.Gen.(int_bound 10_000) in
+  QCheck.Test.make ~count:60 ~name:"antichain matches linear-scan oracle"
+    gen_seed
+    (fun seed ->
+      let g = Rt_graph.Prng.create (1 + seed) in
+      let dims = 2 + Rt_graph.Prng.int g 3 in
+      let max_c = 7 in
+      let score v = Array.fold_left ( + ) 0 v in
+      let ac =
+        Rt_par.Antichain.create ~cap:4096 ~subsumed:pointwise_le ~score
+          ~max_score:(dims * max_c) ()
+      in
+      let oracle = ref [] in
+      let o_covered v = List.exists (fun d -> pointwise_le v d) !oracle in
+      let o_add d =
+        if o_covered d then false
+        else begin
+          oracle := d :: List.filter (fun e -> not (pointwise_le e d)) !oracle;
+          true
+        end
+      in
+      let draw () =
+        Array.init dims (fun _ -> Rt_graph.Prng.int g (max_c + 1))
+      in
+      for _ = 1 to 80 do
+        let v = draw () in
+        let c_ac = Rt_par.Antichain.covered ac v in
+        let c_o = o_covered v in
+        if c_ac <> c_o then
+          QCheck.Test.fail_reportf "covered diverged: antichain %b, oracle %b"
+            c_ac c_o;
+        let a_ac = Rt_par.Antichain.add ac v in
+        let a_o = o_add v in
+        if a_ac <> a_o then
+          QCheck.Test.fail_reportf "add diverged: antichain %b, oracle %b" a_ac
+            a_o;
+        if Rt_par.Antichain.size ac <> List.length !oracle then
+          QCheck.Test.fail_reportf "size diverged: antichain %d, oracle %d"
+            (Rt_par.Antichain.size ac)
+            (List.length !oracle)
+      done;
+      (* The oracle maintains a true antichain; sizes matched at every
+         step, so the bucketed structure did too.  Fresh probes must
+         still agree after the whole insertion sequence. *)
+      List.for_all
+        (fun v -> Rt_par.Antichain.covered ac v = o_covered v)
+        (List.init 40 (fun _ -> draw ()))
+      && Rt_par.Antichain.evictions ac = 0)
+
+let test_antichain_cap_evicts_soundly () =
+  (* When the cap binds, eviction may lose kills (covered becomes an
+     under-approximation — sound for the engine) but never invents
+     them, and every forced drop is counted. *)
+  let score v = Array.fold_left ( + ) 0 v in
+  let ac =
+    Rt_par.Antichain.create ~cap:8 ~subsumed:pointwise_le ~score ~max_score:64
+      ()
+  in
+  let oracle = ref [] in
+  (* pairwise-incomparable vectors: (i, 32 - i) *)
+  for i = 0 to 31 do
+    let v = [| i; 32 - i |] in
+    ignore (Rt_par.Antichain.add ac v);
+    oracle := v :: !oracle
+  done;
+  checkb "capped" true (Rt_par.Antichain.size ac <= 8);
+  Alcotest.check Alcotest.int "every forced drop is counted"
+    (32 - Rt_par.Antichain.size ac)
+    (Rt_par.Antichain.evictions ac);
+  (* soundness: anything the capped antichain kills, the full set would *)
+  let g = Rt_graph.Prng.create 99 in
+  for _ = 1 to 200 do
+    let v = [| Rt_graph.Prng.int g 40; Rt_graph.Prng.int g 40 |] in
+    if Rt_par.Antichain.covered ac v then
+      checkb "capped kill implied by full set" true
+        (List.exists (fun d -> pointwise_le v d) !oracle)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Small-model bypass                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bypass_small_models () =
+  (* The m = 1 3-partition reductions are exactly the family the bypass
+     exists for: a topological concatenation is feasible, so the solve
+     must return with zero states expanded — and the schedule must
+     still pass the trusted analyser. *)
+  List.iter
+    (fun b ->
+      let prng = Rt_graph.Prng.create 42 in
+      let items = Rt_workload.Npc.three_partition_yes prng ~m:1 ~b in
+      let m = Rt_workload.Npc.reduction_model items ~b in
+      (match Game.solve ~granularity:`Atomic m with
+      | { explored = 0; outcome = Feasible s } ->
+          checkb "bypass schedule passes the oracle" true (oracle_ok m s)
+      | { explored; outcome = Feasible _ } ->
+          Alcotest.failf "bypass missed: %d states expanded" explored
+      | _ -> Alcotest.fail "m=1 3-partition reduction must be feasible");
+      (* bypass off: the engine proper agrees, doing real work *)
+      match Game.solve ~bypass:false ~granularity:`Atomic m with
+      | { explored; outcome = Feasible s } ->
+          checkb "engine schedule passes the oracle" true (oracle_ok m s);
+          checkb "engine searched" true (explored > 0)
+      | _ -> Alcotest.fail "engine must agree with the bypass")
+    [ 13; 17 ]
+
+let test_bypass_infeasible_falls_through () =
+  (* A failed shortcut proves nothing: the engine must still run and
+     return its definitive verdict. *)
+  match Game.solve ~granularity:`Atomic Rt_workload.Suite.infeasible_pair with
+  | { outcome = Infeasible; _ } -> ()
+  | { outcome = Feasible _; _ } ->
+      Alcotest.fail "infeasible_pair cannot be feasible"
+  | _ -> Alcotest.fail "small infeasible model must get a definitive verdict"
+
+(* ------------------------------------------------------------------ *)
 (* Shard_tbl                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -269,6 +524,24 @@ let () =
             test_game_pool_equals_sequential;
           Alcotest.test_case "budget yields unknown" `Quick
             test_game_budget_yields_unknown;
+        ] );
+      ( "packed-vs-reference",
+        [
+          QCheck_alcotest.to_alcotest qcheck_packed_eq_reference;
+          QCheck_alcotest.to_alcotest qcheck_meets_all_matches_perconstraint;
+        ] );
+      ( "antichain",
+        [
+          QCheck_alcotest.to_alcotest qcheck_antichain_matches_linear_oracle;
+          Alcotest.test_case "cap evicts soundly" `Quick
+            test_antichain_cap_evicts_soundly;
+        ] );
+      ( "bypass",
+        [
+          Alcotest.test_case "small models solved with zero expansion" `Quick
+            test_bypass_small_models;
+          Alcotest.test_case "failed shortcut falls through" `Quick
+            test_bypass_infeasible_falls_through;
         ] );
       ( "shard-tbl",
         [

@@ -14,6 +14,10 @@
      --counter NAME[:TOL] compare counter NAME from the counters block
                           (repeatable)
      --all-counters[:TOL] compare every counter in the reference
+     --counter-min NAME:V require candidate counter NAME >= V (repeatable;
+                          an absolute floor, independent of the reference —
+                          e.g. table_hits:1 fails the build if the
+                          transposition table never hit)
      --allow-missing      skip (rather than fail on) reference benchmarks
                           absent from the candidate
 
@@ -30,7 +34,7 @@ let usage () =
   prerr_endline
     "usage: bench_check CANDIDATE REFERENCE [--tolerance T] [--eps E] \
      [--metric NAME[:TOL]]... [--counter NAME[:TOL]]... \
-     [--all-counters[:TOL]] [--allow-missing]";
+     [--all-counters[:TOL]] [--counter-min NAME:V]... [--allow-missing]";
   exit 2
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
@@ -54,6 +58,7 @@ let () =
   let metrics = ref [] in
   let counters = ref [] in
   let all_counters = ref None in
+  let counter_mins = ref [] in
   let allow_missing = ref false in
   let rec parse = function
     | [] -> ()
@@ -86,6 +91,18 @@ let () =
             all_counters := Some (Some v);
             parse rest
         | _ -> die "bad tolerance in %S" a)
+    | "--counter-min" :: c :: rest -> (
+        match String.rindex_opt c ':' with
+        | None -> die "--counter-min needs NAME:V, got %S" c
+        | Some i -> (
+            let name = String.sub c 0 i in
+            match
+              float_of_string_opt (String.sub c (i + 1) (String.length c - i - 1))
+            with
+            | Some v ->
+                counter_mins := (name, v) :: !counter_mins;
+                parse rest
+            | None -> die "bad minimum in %S" c))
     | "--allow-missing" :: rest ->
         allow_missing := true;
         parse rest
@@ -109,7 +126,7 @@ let () =
   let candidate = load cand_path and reference = load ref_path in
   let metric_checks =
     match List.rev !metrics with
-    | [] when !counters = [] && !all_counters = None ->
+    | [] when !counters = [] && !all_counters = None && !counter_mins = [] ->
         (* no check requested at all: gate wall time *)
         [ { BD.metric = "optimized_seconds"; tol = !tolerance; eps = !eps;
             scope = `Benchmarks } ]
@@ -147,4 +164,25 @@ let () =
   in
   Format.printf "bench_check: %s vs %s@.%a" cand_path ref_path BD.pp_outcome
     outcome;
-  if BD.passed outcome then exit 0 else exit 1
+  (* Absolute counter floors are checked against the candidate alone —
+     the reference has no say in whether e.g. the transposition table
+     hit at all this run. *)
+  let mins_ok =
+    List.fold_left
+      (fun ok (name, v) ->
+        match List.assoc_opt name candidate.BD.counters with
+        | None ->
+            Format.printf "FAIL counter %s: absent (minimum %g required)@."
+              name v;
+            false
+        | Some actual when actual < v ->
+            Format.printf "FAIL counter %s: %g below required minimum %g@."
+              name actual v;
+            false
+        | Some actual ->
+            Format.printf "ok   counter %s: %g >= %g@." name actual v;
+            ok)
+      true
+      (List.rev !counter_mins)
+  in
+  if BD.passed outcome && mins_ok then exit 0 else exit 1
