@@ -40,6 +40,8 @@ let perf_cells =
     [
       windows_checked; cache_hits; cache_misses; dfs_nodes; schedules_built;
       game_states; table_hits; table_misses; dominance_kills;
+      decompose_components; decompose_component_solves;
+      decompose_component_reuses;
     ]
 
 let counters_preserved f =
@@ -57,7 +59,7 @@ let counters_preserved f =
 let json_sinks : (string * string list ref) list =
   [
     ("BENCH_synthesis.json", ref []); ("BENCH_exact.json", ref []);
-    ("BENCH_daemon.json", ref []);
+    ("BENCH_daemon.json", ref []); ("BENCH_decompose.json", ref []);
   ]
 
 let json_bench ?(file = "BENCH_synthesis.json") ~name ~baseline ~optimized
@@ -1586,6 +1588,317 @@ let e16 () =
     ()
 
 (* ------------------------------------------------------------------ *)
+(* E17: compositional synthesis — component-wise game search, and     *)
+(* component-local re-admission at 10k resident constraints            *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  section
+    "E17 Compositional synthesis: component-wise game search vs the \
+     whole-model game,\n    and rtsynd component-local re-admission at \
+     10k resident constraints";
+  Rt_par.Perf.reset ();
+  let jobs = Rt_par.Pool.default_jobs () in
+  let load src =
+    match Rt_spec.Elaborate.load src with
+    | Ok m -> m
+    | Error errs -> failwith ("E17: " ^ String.concat "; " errs)
+  in
+  let show = function
+    | Exact.Feasible _ -> "FEASIBLE"
+    | Exact.Infeasible -> "INFEASIBLE"
+    | Exact.Timeout r -> "TIMEOUT:" ^ r
+    | Exact.Unknown r -> "UNKNOWN:" ^ r
+  in
+  (* (a) exact family: 24 loosely-coupled feasible components (one
+     element, two constraints each — the looser deadline is shed by
+     Decompose.representatives) plus one coupled component that is
+     infeasible by itself (singleton demands 1/2 + 1/3 + 1/4 > 1, tied
+     together by a loose chain).  The chain keeps the whole model off
+     the single-op engine's analytic rate check, so the whole-model
+     game must search out the infeasibility across every component's
+     actions; the component-wise search proves it inside the one guilty
+     component — a subset of the model's constraints, hence definitive
+     — and both verdicts are INFEASIBLE. *)
+  Printf.printf
+    "\n(a) loosely-coupled exact family (25 components): whole-model \
+     game vs component-wise\n    game (both sequential; the pooled \
+     re-run checks bit-identical results at %d domains).\n"
+    jobs;
+  let family nf =
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "system \"family\" {\n";
+    for i = 0 to nf - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "  element x%d weight 1 pipelinable;\n" i)
+    done;
+    Buffer.add_string b
+      "  element p weight 1 pipelinable;\n\
+      \  element q weight 1 pipelinable;\n\
+      \  element r weight 1 pipelinable;\n\
+      \  edge p -> q;\n\
+      \  edge q -> r;\n";
+    for i = 0 to nf - 1 do
+      Buffer.add_string b
+        (Printf.sprintf
+           "  constraint s%d asynchronous separation %d deadline %d { \
+            x%d; }\n"
+           i (24 + i) (8 + i) i);
+      Buffer.add_string b
+        (Printf.sprintf
+           "  constraint t%d asynchronous separation %d deadline %d { \
+            x%d; }\n"
+           i (30 + i) (10 + i) i)
+    done;
+    Buffer.add_string b
+      "  constraint kp asynchronous separation 32 deadline 2 { p; }\n\
+      \  constraint kq asynchronous separation 32 deadline 3 { q; }\n\
+      \  constraint kr asynchronous separation 32 deadline 4 { r; }\n\
+      \  constraint kc asynchronous separation 32 deadline 20 { p -> q \
+       -> r; }\n\
+       }";
+    load (Buffer.contents b)
+  in
+  let m = family 24 in
+  let (whole : Exact.stats), t_whole =
+    time_wall (fun () -> Exact.enumerate ~engine:`Game m)
+  in
+  let (dec : Exact.stats), t_dec =
+    time_wall (fun () -> Exact.solve_decomposed ~granularity:`Unit m)
+  in
+  (match (whole.Exact.outcome, dec.Exact.outcome) with
+  | Exact.Infeasible, Exact.Infeasible -> ()
+  | a, b ->
+      failwith
+        (Printf.sprintf "E17: verdicts diverged (whole %s, decomposed %s)"
+           (show a) (show b)));
+  let ratio =
+    float_of_int whole.Exact.explored
+    /. float_of_int (max 1 dec.Exact.explored)
+  in
+  row "  whole-model game: %d states (%.4fs); component-wise: %d states \
+       (%.4fs) — %.1fx fewer"
+    whole.Exact.explored t_whole dec.Exact.explored t_dec ratio;
+  if ratio < 10.0 then
+    failwith
+      (Printf.sprintf
+         "E17: component-wise search must explore >= 10x fewer states \
+          (whole %d, decomposed %d)"
+         whole.Exact.explored dec.Exact.explored);
+  (* Determinism across job counts: the component fan-out keeps every
+     inner search sequential, so schedule AND explored count must be
+     bit-identical under a pool.  (Restores the counters: pooled timing
+     must not perturb the deterministic RTSYN_JOBS=1 snapshot.) *)
+  counters_preserved (fun () ->
+      let dec_pooled =
+        Rt_par.Pool.with_pool ~jobs (fun pool ->
+            Exact.solve_decomposed ~pool ~granularity:`Unit m)
+      in
+      match (dec.Exact.outcome, dec_pooled.Exact.outcome) with
+      | Exact.Infeasible, Exact.Infeasible
+        when dec.Exact.explored = dec_pooled.Exact.explored ->
+          ()
+      | _ ->
+          failwith
+            "E17: pooled component-wise solve diverged from sequential");
+  json_bench ~file:"BENCH_decompose.json"
+    ~name:"exact/component-wise-game-25comp" ~baseline:t_whole
+    ~optimized:t_dec
+    ~jobs:1
+    ~extra:
+      [
+        ("whole_states", whole.Exact.explored);
+        ("component_states", dec.Exact.explored);
+        ("state_ratio_x10", int_of_float (ratio *. 10.));
+      ]
+    ();
+  (* Coupled control: every constraint shares element b, one interaction
+     component, so the decomposed entry point must be invisible —
+     verdict, schedule and explored count bit-identical to the plain
+     engine, sequential and pooled. *)
+  let coupled =
+    load
+      {|system "coupled" {
+  element a weight 1 pipelinable;
+  element b weight 1 pipelinable;
+  edge a -> b;
+  constraint ch asynchronous separation 12 deadline 8 { a -> b; }
+  constraint sg asynchronous separation 9 deadline 4 { b; }
+}|}
+  in
+  let plain = Exact.enumerate ~engine:`Game coupled in
+  let via = Exact.solve_decomposed ~granularity:`Unit coupled in
+  (match (plain.Exact.outcome, via.Exact.outcome) with
+  | Exact.Feasible a, Exact.Feasible b
+    when Schedule.equal a b && plain.Exact.explored = via.Exact.explored ->
+      ()
+  | a, b ->
+      failwith
+        (Printf.sprintf
+           "E17: decomposition must be invisible on a coupled model \
+            (plain %s/%d, via %s/%d)"
+           (show a) plain.Exact.explored (show b) via.Exact.explored));
+  counters_preserved (fun () ->
+      let via_pooled =
+        Rt_par.Pool.with_pool ~jobs (fun pool ->
+            Exact.solve_decomposed ~pool ~granularity:`Unit coupled)
+      in
+      match (plain.Exact.outcome, via_pooled.Exact.outcome) with
+      | Exact.Feasible a, Exact.Feasible b when Schedule.equal a b -> ()
+      | _ -> failwith "E17: pooled coupled control diverged");
+  row "  coupled control: decomposed entry bit-identical to the plain \
+       game (%d states)"
+    plain.Exact.explored;
+  (* (b) the admission daemon at 10k resident loosely-coupled
+     constraints: 100 interaction components; startup solves each once,
+     every later admission re-solves only the touched component and
+     answers the other 99 from the component-schedule cache. *)
+  let n_comps = 100 in
+  let tail = 48 in
+  Printf.printf
+    "\n(b) rtsynd: 100-component plant, %d resident constraints at \
+     startup, %d tail admits\n    each touching one component \
+     (re-solves asserted component-local).\n"
+    (9952 : int) tail;
+  let base_spec =
+    let b = Buffer.create (1 lsl 20) in
+    Buffer.add_string b "system \"plant\" {\n";
+    for k = 0 to n_comps - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "  element e%d weight 1 pipelinable;\n" k)
+    done;
+    for k = 0 to n_comps - 1 do
+      let per = 99 + if k < 52 then 1 else 0 in
+      for i = 0 to per - 1 do
+        Buffer.add_string b
+          (Printf.sprintf
+             "  constraint c%d_%d asynchronous separation 1024 deadline \
+              512 { e%d; }\n"
+             k i k)
+      done
+    done;
+    Buffer.add_string b "}";
+    Buffer.contents b
+  in
+  let journal = Filename.temp_file "rtsynd_decompose" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+  @@ fun () ->
+  let solves () = Rt_par.Perf.value Rt_par.Perf.decompose_component_solves in
+  let reuses () =
+    Rt_par.Perf.value Rt_par.Perf.decompose_component_reuses
+  in
+  let s0 = solves () in
+  let eng, t_create =
+    time_wall (fun () ->
+        match Rt_daemon.Engine.create ~journal ~spec:base_spec () with
+        | Ok eng -> eng
+        | Error e -> failwith ("E17: engine create failed: " ^ e))
+  in
+  let startup_solves = solves () - s0 in
+  if startup_solves <> n_comps then
+    failwith
+      (Printf.sprintf "E17: startup solved %d components, wanted %d"
+         startup_solves n_comps);
+  row "  startup: %d components solved once each, %.2fs" startup_solves
+    t_create;
+  let tail_decl k =
+    Printf.sprintf
+      "constraint t%d asynchronous separation 1024 deadline 256 { e%d; }" k
+      k
+  in
+  let (), t_ramp =
+    time_wall (fun () ->
+        for k = 0 to tail - 1 do
+          let s0 = solves () and r0 = reuses () in
+          (match
+             Rt_daemon.Engine.admit ~level:Rt_daemon.Engine.Full eng
+               (tail_decl k)
+           with
+          | Rt_daemon.Engine.Admitted { path = "synth"; _ } -> ()
+          | Rt_daemon.Engine.Admitted { path; _ } ->
+              failwith
+                (Printf.sprintf
+                   "E17: tail admit %d took the %s path, wanted synth" k
+                   path)
+          | _ -> failwith "E17: tail admit was not committed");
+          let ds = solves () - s0 and dr = reuses () - r0 in
+          if ds <> 1 then
+            failwith
+              (Printf.sprintf
+                 "E17: admit %d re-solved %d components, wanted exactly \
+                  the touched one"
+                 k ds);
+          if dr <> n_comps - 1 then
+            failwith
+              (Printf.sprintf
+                 "E17: admit %d reused %d cached components, wanted %d" k
+                 dr (n_comps - 1))
+        done)
+  in
+  let final = Rt_daemon.Engine.model eng in
+  let resident = List.length (Model.asynchronous final) in
+  Rt_daemon.Engine.close eng;
+  if resident <> 10_000 then
+    failwith
+      (Printf.sprintf "E17: %d resident constraints, wanted 10000" resident);
+  row "  ramp: %d admits to %d resident constraints in %.2fs (%.0f \
+       admits/s), each re-solving\n  exactly 1 of %d components"
+    tail resident t_ramp
+    (float_of_int tail /. t_ramp)
+    n_comps;
+  (* Whole-model synthesis on the final 10k model: undecomposed (budget
+     capped — the polling rewrite drowns; counters restored because the
+     wall-clock cut point is machine-dependent) vs decomposed. *)
+  let r_undec, t_undec =
+    counters_preserved (fun () ->
+        let budget = Budget.create ~wall_s:1.0 () in
+        time_wall (fun () ->
+            Synthesis.synthesize ~budget ~merge:false ~pipeline:false
+              ~decompose:false final))
+  in
+  let undec_ok = match r_undec with Ok _ -> 1 | Error _ -> 0 in
+  let r_dec, t_dec_syn =
+    time_wall (fun () ->
+        Synthesis.synthesize ~merge:false ~pipeline:false ~decompose:true
+          final)
+  in
+  (match r_dec with
+  | Ok _ -> ()
+  | Error e ->
+      failwith
+        ("E17: decomposed synthesis failed on the 10k model: "
+        ^ e.Synthesis.message));
+  row "  10k whole-model synthesis: undecomposed %s in %.2fs (1s budget); \
+       decomposed ok in %.2fs"
+    (if undec_ok = 1 then "ok" else "gave up")
+    t_undec t_dec_syn;
+  (* baseline for re-admission = re-running the undecomposed whole-model
+     synthesis on every admit (measured once above, budget-capped and
+     still slower, [tail] times); optimized = the actual
+     component-local ramp, journal persistence and certificate
+     re-checking included. *)
+  json_bench ~file:"BENCH_decompose.json" ~name:"daemon/readmission-10k"
+    ~baseline:(t_undec *. float_of_int tail)
+    ~optimized:t_ramp ~jobs:1
+    ~extra:
+      [
+        ("admits", tail); ("resident_constraints", resident);
+        ("component_solves_per_admit", 1);
+        ("component_reuses_per_admit", n_comps - 1);
+      ]
+    ();
+  json_bench ~file:"BENCH_decompose.json"
+    ~name:"synthesis/10k-loose-components" ~baseline:t_undec
+    ~optimized:t_dec_syn ~jobs:1
+    ~extra:
+      [
+        ("undecomposed_ok", undec_ok); ("decomposed_ok", 1);
+        ("components", n_comps);
+      ]
+    ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1660,7 +1973,7 @@ let all =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("micro", micro);
+    ("E17", e17); ("micro", micro);
   ]
 
 let () =

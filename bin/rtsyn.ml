@@ -117,6 +117,18 @@ let no_merge =
 let no_pipeline =
   Arg.(value & flag & info [ "no-pipeline" ] ~doc:"Disable software pipelining.")
 
+let no_decompose =
+  Arg.(
+    value & flag
+    & info [ "no-decompose" ]
+        ~doc:
+          "Disable compositional synthesis.  By default models whose \
+           constraints split into several interaction components \
+           (disjoint element sets) are solved component-wise and the \
+           component schedules interleaved, with a whole-model \
+           re-verification gating the result; this flag forces the \
+           undecomposed pipeline.")
+
 let max_hyperperiod =
   Arg.(
     value & opt int 1_000_000
@@ -342,8 +354,8 @@ let synth_cmd =
       & info [ "o"; "output" ] ~docv:"PLAN"
           ~doc:"Write the verified plan (model + schedule) to $(docv).")
   in
-  let run path no_merge no_pipeline max_hyperperiod output cert budget_ms fuel
-      jobs stats trace =
+  let run path no_merge no_pipeline no_decompose max_hyperperiod output cert
+      budget_ms fuel jobs stats trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match make_budget budget_ms fuel with
@@ -352,7 +364,8 @@ let synth_cmd =
         match
           with_jobs jobs (fun pool ->
               Synthesis.synthesize ?pool ?budget ~merge:(not no_merge)
-                ~pipeline:(not no_pipeline) ~max_hyperperiod m)
+                ~pipeline:(not no_pipeline)
+                ~decompose:(not no_decompose) ~max_hyperperiod m)
         with
         | Error e when e.Synthesis.stage = "budget" ->
             Format.eprintf "synthesis timed out: %a@." Synthesis.pp_error e;
@@ -398,9 +411,9 @@ let synth_cmd =
     (cmd_info "synth"
        ~doc:"Synthesize, verify and certify a static schedule.")
     Term.(
-      const run $ spec_file $ no_merge $ no_pipeline $ max_hyperperiod
-      $ output $ cert_out_arg $ budget_ms_arg $ fuel_arg $ jobs_arg
-      $ stats_arg $ trace_arg)
+      const run $ spec_file $ no_merge $ no_pipeline $ no_decompose
+      $ max_hyperperiod $ output $ cert_out_arg $ budget_ms_arg $ fuel_arg
+      $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -751,7 +764,22 @@ let exact_cmd =
              wall-clock/fuel cut-off that reports TIMEOUT (exit 3) use \
              $(b,--budget-ms)/$(b,--fuel).")
   in
-  let run path solver engine bound cert budget_ms fuel jobs stats_flag trace =
+  let decompose_flag =
+    Arg.(
+      value & flag
+      & info [ "decompose" ]
+          ~doc:
+            "Decide component-wise: split the model into interaction \
+             components (constraints whose element sets are disjoint), \
+             run the chosen solver on each component independently, and \
+             combine — a component INFEASIBLE is definitive for the \
+             whole model; all-FEASIBLE interleaves the component \
+             schedules and re-verifies the whole model.  Off by default \
+             so the budget/timeout contract of whole-model search is \
+             unchanged.")
+  in
+  let run path solver engine bound decompose cert budget_ms fuel jobs
+      stats_flag trace =
     with_trace trace @@ fun () ->
     let m = or_die (load_model path) in
     match make_budget budget_ms fuel with
@@ -760,6 +788,23 @@ let exact_cmd =
         let stats =
           with_jobs jobs (fun pool ->
               match solver with
+              | (`Game | `Atomic | `Unit) when decompose ->
+                  (* Component-wise: the single-op game is the atomic-
+                     granularity game, so `Game maps onto `Atomic. *)
+                  let granularity =
+                    match solver with `Unit -> `Unit | _ -> `Atomic
+                  in
+                  (if solver = `Game
+                   && not
+                        (List.for_all
+                           (fun (c : Timing.t) -> Task_graph.size c.graph = 1)
+                           (Model.asynchronous m))
+                  then
+                    Format.printf
+                      "note: not all constraints are single operations — \
+                       playing the game at execution granularity@.");
+                  Exact.solve_decomposed ?pool ?budget ~engine
+                    ~max_len:(min bound 64) ~max_states:bound ~granularity m
               | `Game
                 when List.for_all
                        (fun (c : Timing.t) -> Task_graph.size c.graph = 1)
@@ -830,8 +875,9 @@ let exact_cmd =
     (cmd_info "exact"
        ~doc:"Exact feasibility decision (asynchronous constraints).")
     Term.(
-      const run $ spec_file $ solver $ engine $ bound $ cert_out_arg
-      $ budget_ms_arg $ fuel_arg $ jobs_arg $ stats_arg $ trace_arg)
+      const run $ spec_file $ solver $ engine $ bound $ decompose_flag
+      $ cert_out_arg $ budget_ms_arg $ fuel_arg $ jobs_arg $ stats_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                         *)

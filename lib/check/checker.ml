@@ -135,25 +135,29 @@ let check (m : Model.t) (cert : Certificate.t) =
   (match Schedule.validate m.Model.comm cert.Certificate.schedule with
   | Ok () -> ()
   | Error es -> List.iter (fun e -> err errs "schedule: %s" e) es);
+  (* Name cross-checks via hash sets: the daemon re-checks certificates
+     on every admission, so these passes must stay linear at 10k
+     constraints (List.mem here was quadratic and dominated admission). *)
   let names = List.map (fun (c : Timing.t) -> c.Timing.name) m.Model.constraints in
   let wnames = List.map fst cert.Certificate.witnesses in
+  let name_set = Hashtbl.create (List.length names) in
+  List.iter (fun n -> Hashtbl.replace name_set n ()) names;
+  let witness_tbl = Hashtbl.create (List.length wnames) in
+  List.iter
+    (fun (n, w) ->
+      if Hashtbl.mem witness_tbl n then err errs "duplicate witness for %s" n
+      else Hashtbl.add witness_tbl n w)
+    cert.Certificate.witnesses;
   List.iter
     (fun n ->
-      if not (List.mem n wnames) then
+      if not (Hashtbl.mem witness_tbl n) then
         err errs "missing witness for constraint %s" n)
     names;
   List.iter
     (fun n ->
-      if not (List.mem n names) then
+      if not (Hashtbl.mem name_set n) then
         err errs "witness for unknown constraint %s" n)
     wnames;
-  let rec dups = function
-    | [] -> ()
-    | n :: rest ->
-        if List.mem n rest then err errs "duplicate witness for %s" n;
-        dups rest
-  in
-  dups wnames;
   match finish_errs errs with
   | Error _ as e -> e
   | Ok () ->
@@ -199,7 +203,7 @@ let check (m : Model.t) (cert : Certificate.t) =
         in
         List.iter
           (fun (c : Timing.t) ->
-            match List.assoc_opt c.Timing.name cert.Certificate.witnesses with
+            match Hashtbl.find_opt witness_tbl c.Timing.name with
             | Some w -> check_witness errs tr ~cycle c w
             | None -> ())
           m.Model.constraints;

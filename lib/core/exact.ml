@@ -304,3 +304,73 @@ let solve_single_ops ?pool ?budget ?table ?(max_states = 1_000_000)
              c.name))
     asyncs;
   Game.solve ?pool ?budget ?table ~max_states ~granularity:`Atomic m
+
+(* ------------------------------------------------------------------ *)
+(* Component-wise exact decision (sum of small exponentials instead of *)
+(* one big one).  Per-component verdict algebra:                       *)
+(*   - any Infeasible  -> Infeasible  (subset argument: definitive)    *)
+(*   - else any Timeout -> Timeout    (the search was cut short)       *)
+(*   - else any Unknown -> Unknown                                     *)
+(*   - all Feasible     -> interleave + re-verify the whole model;     *)
+(*                         a failed interleave degrades to Unknown,    *)
+(*                         never to a wrong Feasible/Infeasible.       *)
+(* ------------------------------------------------------------------ *)
+
+let solve_decomposed ?pool ?budget ?(engine = `Game) ?max_len ?max_states
+    ~granularity (m : Model.t) =
+  let plain ?pool ?table m =
+    match granularity with
+    | `Unit -> enumerate ?pool ?budget ?table ~engine ?max_len ?max_states m
+    | `Atomic ->
+        enumerate_atomic ?pool ?budget ?table ~engine ?max_len ?max_states m
+  in
+  match Decompose.components m with
+  | [] | [ _ ] -> plain ?pool m
+  | comps -> (
+      let solve ~sub _comp =
+        Perf.incr Perf.decompose_component_solves;
+        (* Fresh implicit table per component; the inner search runs
+           sequentially — the outer fan-out owns the pool — so explored
+           counts are deterministic at any job count. *)
+        plain sub
+      in
+      let results = Decompose.map_components ?pool ~solve m comps in
+      let explored =
+        List.fold_left (fun acc s -> acc + s.explored) 0 results
+      in
+      let first pred =
+        List.find_opt (fun s -> pred s.outcome) results
+        |> Option.map (fun s -> s.outcome)
+      in
+      match first (function Infeasible -> true | _ -> false) with
+      | Some _ -> { explored; outcome = Infeasible }
+      | None -> (
+          match first (function Timeout _ -> true | _ -> false) with
+          | Some o -> { explored; outcome = o }
+          | None -> (
+              match first (function Unknown _ -> true | _ -> false) with
+              | Some o -> { explored; outcome = o }
+              | None -> (
+                  let scheds =
+                    List.map
+                      (fun s ->
+                        match s.outcome with
+                        | Feasible sched -> sched
+                        | _ -> assert false)
+                      results
+                  in
+                  match Decompose.interleave m.Model.comm scheds with
+                  | Error e -> { explored; outcome = Unknown e }
+                  | Ok sched ->
+                      if
+                        Latency.meets_all_asynchronous m.Model.comm sched
+                          (Model.asynchronous m)
+                      then { explored; outcome = Feasible sched }
+                      else
+                        {
+                          explored;
+                          outcome =
+                            Unknown
+                              "components feasible, but the interleaved \
+                               schedule failed whole-model verification";
+                        }))))

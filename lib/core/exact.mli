@@ -138,3 +138,29 @@ val solve_single_ops :
     tightest deadlines) is checked first, so overloaded instances are
     rejected without search.  With [pool] the first-action branches fan
     out with the usual lowest-index-wins determinism. *)
+
+val solve_decomposed :
+  ?pool:Rt_par.Pool.t ->
+  ?budget:Budget.t ->
+  ?engine:engine ->
+  ?max_len:int ->
+  ?max_states:int ->
+  granularity:[ `Unit | `Atomic ] ->
+  Model.t ->
+  stats
+(** [solve_decomposed ~granularity m] decides feasibility
+    component-wise: split [m] into interaction components
+    ({!Decompose.components}), decide each deduplicated component
+    submodel independently with {!enumerate} ([`Unit]) or
+    {!enumerate_atomic} ([`Atomic]) — fanned out on [pool], each inner
+    search sequential with a fresh implicit table, so [explored] is the
+    deterministic sum of per-component counts at any job level — and
+    combine: any component [Infeasible] is [Infeasible] for the whole
+    model (its constraints are a subset — definitive); otherwise the
+    first [Timeout], then the first [Unknown], wins; when every
+    component is [Feasible] the component schedules are interleaved
+    ({!Decompose.interleave}) and the merged schedule re-verified
+    against the {e whole} model's asynchronous constraints.  A failed
+    interleave or re-verification degrades to [Unknown], never to a
+    wrong definitive answer.  Single-component and empty models take
+    the corresponding plain engine unchanged (with [pool]). *)

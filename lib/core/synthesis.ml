@@ -233,9 +233,8 @@ let exact_rescue ?pool ?budget ?game_table (m : Model.t) granularity
         }
   | Exact.Unknown _ -> Error primary_error
 
-let synthesize ?pool ?budget ?game_table ?(merge = true) ?(pipeline = true)
-    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000)
-    ?(exact_fallback = false) (m : Model.t) =
+let synthesize_plain ?pool ?budget ?game_table ~merge ~pipeline ~backend
+    ~max_hyperperiod ~exact_fallback (m : Model.t) =
   (* Preference order: every round of the merged variant, cheapest
      first, then (when merging was requested) every round of the
      unmerged fallback — merging tightens the merged deadline to the
@@ -318,6 +317,99 @@ let synthesize ?pool ?budget ?game_table ?(merge = true) ?(pipeline = true)
               exact_rescue ?pool ?budget ?game_table m granularity
                 primary_error
           | _ -> Error primary_error))
+
+(* Compositional path: solve each interaction component independently
+   (see Decompose), interleave the component schedules and re-verify
+   the merged schedule against the WHOLE model.  Anything short of a
+   verified whole-model schedule falls back to the undecomposed sweep,
+   with two exceptions that short-circuit it: a component's exact
+   infeasibility (subset argument — definitive for the whole model) and
+   an exhausted budget (retrying undecomposed would burn no fuel). *)
+let synthesize_decomposed ?pool ?budget ~merge ~backend ~max_hyperperiod
+    ~exact_fallback (m : Model.t) comps =
+  let solve ~sub comp =
+    Rt_par.Perf.incr Rt_par.Perf.decompose_component_solves;
+    (* Component solves run with ~pipeline:false: the pipelining rewrite
+       EXTENDS the communication graph per component, which would break
+       the shared element-id space the interleave relies on.  The outer
+       fan-out owns the pool; inner sweeps stay sequential so component
+       counters are deterministic at any job count.  A caller-supplied
+       game table is keyed to the whole model and is NOT forwarded. *)
+    ( comp,
+      synthesize_plain ?budget ~merge ~pipeline:false ~backend
+        ~max_hyperperiod ~exact_fallback sub )
+  in
+  let results = Decompose.map_components ?pool ~solve m comps in
+  let errors =
+    List.filter_map
+      (fun (comp, r) ->
+        match r with Error e -> Some (comp, e) | Ok _ -> None)
+      results
+  in
+  let names comp =
+    String.concat ", "
+      (List.map (fun (c : Timing.t) -> c.Timing.name) comp.Decompose.constraints)
+  in
+  match
+    List.find_opt (fun (_, e) -> e.stage = "exact") errors
+  with
+  | Some (comp, e) ->
+      `Done
+        (fail "exact" "component {%s}: %s (a component's constraints are a \
+                       subset of the model's, so this is definitive)"
+           (names comp) e.message)
+  | None -> (
+      match List.find_opt (fun (_, e) -> e.stage = "budget") errors with
+      | Some (_, e) -> `Done (Error e)
+      | None ->
+          if errors <> [] then `Fallback
+          else
+            let plans =
+              List.map
+                (fun (_, r) ->
+                  match r with Ok p -> p | Error _ -> assert false)
+                results
+            in
+            (match
+               Decompose.interleave m.Model.comm
+                 (List.map (fun p -> p.schedule) plans)
+             with
+            | Error _ -> `Fallback
+            | Ok schedule ->
+                let verdicts = Latency.verify m schedule in
+                if Latency.all_ok verdicts then
+                  `Done
+                    (Ok
+                       {
+                         model_used = m;
+                         schedule;
+                         verdicts;
+                         merge_report = None;
+                         polling =
+                           List.concat_map (fun p -> p.polling) plans;
+                         hyperperiod = Schedule.length schedule;
+                       })
+                else `Fallback))
+
+let synthesize ?pool ?budget ?game_table ?(merge = true) ?(pipeline = true)
+    ?(backend = Edf_cyclic.Edf) ?(max_hyperperiod = 1_000_000)
+    ?(exact_fallback = false) ?(decompose = false) (m : Model.t) =
+  let plain () =
+    synthesize_plain ?pool ?budget ?game_table ~merge ~pipeline ~backend
+      ~max_hyperperiod ~exact_fallback m
+  in
+  if not decompose then plain ()
+  else
+    match Decompose.components m with
+    | [] | [ _ ] -> plain () (* coupled or empty: nothing to split *)
+    | comps -> (
+        match
+          Rt_par.Perf.time "decompose" (fun () ->
+              synthesize_decomposed ?pool ?budget ~merge ~backend
+                ~max_hyperperiod ~exact_fallback m comps)
+        with
+        | `Done r -> r
+        | `Fallback -> plain ())
 
 let pp_plan (_orig : Model.t) fmt (p : plan) =
   Format.fprintf fmt "@[<v>hyperperiod: %d@,schedule: %s@,load: %.3f@,"

@@ -65,6 +65,7 @@ val synthesize :
   ?backend:Edf_cyclic.policy ->
   ?max_hyperperiod:int ->
   ?exact_fallback:bool ->
+  ?decompose:bool ->
   Model.t ->
   (plan, error) Stdlib.result
 (** [synthesize m] runs the pipeline above.  [merge] and [pipeline]
@@ -102,7 +103,22 @@ val synthesize :
     merged variant followed by every round of the unmerged fallback —
     are dispatched and verified concurrently; the first success in
     preference order wins, so the returned plan (and, on failure, the
-    reported error) is identical to the sequential result. *)
+    reported error) is identical to the sequential result.
+
+    [decompose] (default [false]; the [rtsyn synth] CLI turns it on):
+    split the model into interaction components ({!Decompose}), solve
+    each component independently — deduplicated by
+    {!Decompose.representatives}, fanned out on [pool], each inner sweep
+    sequential and without the caller's [game_table] (which is keyed to
+    the whole model) — then interleave the component schedules and
+    re-verify the merged schedule against the whole model.  Fail-closed:
+    any interleave or verification failure falls back to the
+    undecomposed pipeline, so a returned plan is always whole-model
+    verified.  Two component outcomes short-circuit the fallback: a
+    component's stage-["exact"] infeasibility is definitive for the
+    whole model (its constraints are a subset), and a stage-["budget"]
+    error propagates (retrying undecomposed would burn no fuel).
+    Single-component and empty models take the plain path unchanged. *)
 
 val pp_plan : Model.t -> Format.formatter -> plan -> unit
 (** Render a plan (schedule, polling choices, verdicts) for humans;

@@ -11,11 +11,34 @@ type t = { key : string; order : int array }
 (* elements by construction.                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Polymorphic on the signature type: initial colours rank strings,
+   refinement rounds rank (colour, neighbour-multiset) tuples directly —
+   structural compare on small int tuples is far cheaper than
+   formatting each signature into a string first. *)
 let rank_colors sigs =
-  let distinct = List.sort_uniq String.compare (Array.to_list sigs) in
+  let distinct = List.sort_uniq compare (Array.to_list sigs) in
   let tbl = Hashtbl.create 16 in
   List.iteri (fun i s -> Hashtbl.replace tbl s i) distinct;
   (Array.map (Hashtbl.find tbl) sigs, List.length distinct)
+
+(* Adjacency lists, built once per canonicalisation.  The refinement
+   loop runs O(classes * class-size) rounds, so probing the dense
+   has_edge matrix inside every round turns sparse graphs (the daemon's
+   usual population) quadratic for nothing. *)
+type adj = { outs : int list array; ins : int list array }
+
+let adjacency g =
+  let n = Comm_graph.n_elements g in
+  let outs = Array.make n [] and ins = Array.make n [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if Comm_graph.has_edge g u v then begin
+        outs.(u) <- v :: outs.(u);
+        ins.(v) <- u :: ins.(v)
+      end
+    done
+  done;
+  { outs; ins }
 
 (* Constraint-usage seed: per element, the multiset of
    (kind, period, deadline, offset, task-graph in/out degree) over
@@ -61,31 +84,22 @@ let initial_colors (m : Model.t) =
 
 (* One refinement round: recolour by (own colour, sorted multiset of
    out-neighbour colours, sorted multiset of in-neighbour colours). *)
-let refine_step g colors =
+let refine_step adj colors =
   let n = Array.length colors in
-  let out_ = Array.make n [] and in_ = Array.make n [] in
-  for u = 0 to n - 1 do
-    for v = 0 to n - 1 do
-      if Comm_graph.has_edge g u v then begin
-        out_.(u) <- colors.(v) :: out_.(u);
-        in_.(v) <- colors.(u) :: in_.(v)
-      end
-    done
-  done;
   let sigs =
     Array.init n (fun e ->
-        Printf.sprintf "%d|%s|%s" colors.(e)
-          (String.concat "," (List.map string_of_int (List.sort compare out_.(e))))
-          (String.concat "," (List.map string_of_int (List.sort compare in_.(e)))))
+        ( colors.(e),
+          List.sort compare (List.map (fun v -> colors.(v)) adj.outs.(e)),
+          List.sort compare (List.map (fun v -> colors.(v)) adj.ins.(e)) ))
   in
   rank_colors sigs
 
-let refine g colors =
+let refine adj colors =
   let n = Array.length colors in
   let rec go colors k =
     if k >= n then colors
     else
-      let colors', k' = refine_step g colors in
+      let colors', k' = refine_step adj colors in
       if k' = k then colors' else go colors' k'
   in
   let k0 = Array.length (Array.of_list (List.sort_uniq compare (Array.to_list colors))) in
@@ -207,23 +221,19 @@ let smallest_class colors =
    with colliding signatures would merely make the chosen key depend on
    the representative — a lost cache hit on a WL-indistinguishable
    gadget, never a collision: the rendering stays complete.) *)
-let partition_signature g colors =
+let partition_signature adj colors =
   let n = Array.length colors in
   let per =
     Array.init n (fun u ->
-        let outs = ref [] and ins = ref [] in
-        for v = 0 to n - 1 do
-          if Comm_graph.has_edge g u v then outs := colors.(v) :: !outs;
-          if Comm_graph.has_edge g v u then ins := colors.(v) :: !ins
-        done;
-        Printf.sprintf "%d|%s|%s" colors.(u)
-          (String.concat "," (List.map string_of_int (List.sort compare !outs)))
-          (String.concat "," (List.map string_of_int (List.sort compare !ins))))
+        ( colors.(u),
+          List.sort compare (List.map (fun v -> colors.(v)) adj.outs.(u)),
+          List.sort compare (List.map (fun v -> colors.(v)) adj.ins.(u)) ))
   in
-  String.concat ";" (List.sort String.compare (Array.to_list per))
+  List.sort compare (Array.to_list per)
 
 let of_model (m : Model.t) =
   let g = m.Model.comm in
+  let adj = adjacency g in
   let n = Comm_graph.n_elements g in
   let steps = ref 0 in
   let best = ref None in
@@ -236,7 +246,7 @@ let of_model (m : Model.t) =
   let rec search colors =
     incr steps;
     if !steps > ir_cap then raise Over_cap;
-    let colors = refine g colors in
+    let colors = refine adj colors in
     if discrete colors then consider (inv_of_colors colors)
     else
       match smallest_class colors with
@@ -248,13 +258,10 @@ let of_model (m : Model.t) =
               (* Individualise [e]: give it a colour just below its
                  class (fresh by density of ranks after re-ranking). *)
               let sigs =
-                Array.mapi
-                  (fun i c ->
-                    Printf.sprintf "%d%c" c (if i = e then '!' else '.'))
-                  colors
+                Array.mapi (fun i c -> (c, if i = e then 0 else 1)) colors
               in
-              let ind = refine g (fst (rank_colors sigs)) in
-              let sig_ = partition_signature g ind in
+              let ind = refine adj (fst (rank_colors sigs)) in
+              let sig_ = partition_signature adj ind in
               if not (Hashtbl.mem seen sig_) then begin
                 Hashtbl.add seen sig_ ();
                 search ind
@@ -269,7 +276,7 @@ let of_model (m : Model.t) =
            name).  Still collision-free (the rendering is complete);
            only renaming-invariance is lost, costing cache hits on this
            pathologically symmetric model, never correctness. *)
-        let colors = refine g (initial_colors m) in
+        let colors = refine adj (initial_colors m) in
         let keyed =
           List.sort compare
             (List.init n (fun e ->

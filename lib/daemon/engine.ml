@@ -18,14 +18,22 @@ type t = {
   journal : Journal.t;
   tables : (string, Game.table) Hashtbl.t;  (* model digest -> dead facts *)
   memo : (string, int array) Hashtbl.t;  (* canonical key -> canonical slots *)
+  comp_cache : (string, Rt_base.Schedule.t) Hashtbl.t;
+      (* Decompose.interaction_key -> component schedule.  An admission
+         touching one interaction component re-solves that component
+         only; the untouched components answer from here (counted by
+         decompose/component_reuses).  Entries are untrusted hints:
+         every merged schedule still passes whole-model verification
+         and the trusted certificate check before publication. *)
   pool : Rt_par.Pool.t option;
 }
 
-(* Caps on the resident caches: both only ever cost re-derivation, so
+(* Caps on the resident caches: all only ever cost re-derivation, so
    a full reset on overflow is sound and keeps memory bounded under
    adversarial churn. *)
 let max_tables = 32
 let max_memo = 1024
+let max_comp_cache = 8192
 
 let memo_hits = Rt_obs.Metrics.counter "daemon/memo_hits"
 let memo_misses = Rt_obs.Metrics.counter "daemon/memo_misses"
@@ -77,6 +85,11 @@ let table_for t digest =
 let memo_store t canon slots =
   if Hashtbl.length t.memo >= max_memo then Hashtbl.reset t.memo;
   Hashtbl.replace t.memo canon.Canon.key slots
+
+let comp_cache_store t key sched =
+  if Hashtbl.length t.comp_cache >= max_comp_cache then
+    Hashtbl.reset t.comp_cache;
+  Hashtbl.replace t.comp_cache key sched
 
 (* ------------------------------------------------------------------ *)
 (* Spec-source plumbing: the resident model rendered back to source,
@@ -135,8 +148,88 @@ let verifies m sched =
   | verdicts -> Latency.all_ok verdicts
   | exception Invalid_argument _ -> false
 
+(* Whole-model synthesis against the admitted model verbatim (merging
+   and pipelining rewrite the model, which would decouple the resident
+   schedule from the resident constraint set — documented v1
+   limitation). *)
+let plain_solve ?budget ~level t (m' : Model.t) =
+  let game_table = table_for t (digest_of m') in
+  Synthesis.synthesize ?pool:t.pool ?budget ~game_table ~merge:false
+    ~pipeline:false
+    ~exact_fallback:(level = Full)
+    m'
+
+(* Component-local answer path: solve only the interaction components
+   whose structure is not already in the component-schedule cache, then
+   interleave and re-verify against the whole candidate model.  The
+   outer component loop is sequential (the cache is not domain-safe);
+   each component solve gets the pool.  Outcomes:
+     `Sched s      — whole-model verified schedule (still uncertified)
+     `Definitive d — a component is exactly infeasible => so is m'
+     `Timeout r    — the budget tripped mid-pass
+     `Skip         — decomposition does not apply or did not pan out;
+                     fall back to the undecomposed path, fail-closed. *)
+let decomposed_solve ?budget ~level t (m' : Model.t) =
+  match Decompose.components m' with
+  | [] | [ _ ] -> `Skip
+  | comps -> (
+      let exception
+        Stop of
+          [ `Definitive of string list | `Timeout of string | `Give_up ]
+      in
+      let solve ~sub comp =
+        let key = Decompose.interaction_key m' comp in
+        match Hashtbl.find_opt t.comp_cache key with
+        | Some sched ->
+            Rt_par.Perf.incr Rt_par.Perf.decompose_component_reuses;
+            sched
+        | None -> (
+            Rt_par.Perf.incr Rt_par.Perf.decompose_component_solves;
+            let game_table = table_for t (digest_of sub) in
+            match
+              Synthesis.synthesize ?pool:t.pool ?budget ~game_table
+                ~merge:false ~pipeline:false
+                ~exact_fallback:(level = Full)
+                sub
+            with
+            | Ok plan ->
+                comp_cache_store t key plan.Synthesis.schedule;
+                plan.Synthesis.schedule
+            | Error err when err.Synthesis.stage = "exact" ->
+                let names =
+                  String.concat ", "
+                    (List.map
+                       (fun (c : Timing.t) -> c.Timing.name)
+                       comp.Decompose.constraints)
+                in
+                raise
+                  (Stop
+                     (`Definitive
+                       [
+                         Printf.sprintf
+                           "component {%s}: %s (definitive: the component's \
+                            constraints are a subset of the model's)"
+                           names err.Synthesis.message;
+                       ]))
+            | Error _ -> (
+                match Option.bind budget Budget.exhausted with
+                | Some reason -> raise (Stop (`Timeout reason))
+                | None -> raise (Stop `Give_up)))
+      in
+      try
+        let scheds = Decompose.map_components ~solve m' comps in
+        match Decompose.interleave m'.Model.comm scheds with
+        | Error _ -> `Skip
+        | Ok sched -> if verifies m' sched then `Sched sched else `Skip
+      with
+      | Stop (`Definitive d) -> `Definitive d
+      | Stop (`Timeout r) -> `Timeout r
+      | Stop `Give_up -> `Skip)
+
 (* Find a certified schedule for candidate model [m'].  Returns
-   (schedule, path) or a diagnosable failure.  Never mutates [t]. *)
+   (schedule, path) or a diagnosable failure.  Never mutates the
+   resident certified state ([t.model]/[t.schedule]/[t.cert]); the
+   game-table and component-schedule caches may grow. *)
 let find_schedule ?budget ~level t canon (m' : Model.t) =
   let memo_hit =
     match Hashtbl.find_opt t.memo canon.Canon.key with
@@ -157,29 +250,25 @@ let find_schedule ?budget ~level t canon (m' : Model.t) =
           Rt_obs.Metrics.incr warm_hits;
           Ok (sched, "warm")
       | _ -> (
-          let game_table = table_for t (digest_of m') in
-          let result =
-            timed solve_us @@ fun () ->
-            (* Merging and pipelining rewrite the model, which would
-               decouple the resident schedule from the resident
-               constraint set; the daemon synthesizes against the
-               admitted model verbatim (documented v1 limitation). *)
-            Synthesis.synthesize ?pool:t.pool ?budget ~game_table
-              ~merge:false ~pipeline:false
-              ~exact_fallback:(level = Full)
-              m'
-          in
-          match result with
-          | Ok plan -> Ok (plan.Synthesis.schedule, "synth")
-          | Error err -> (
-              match Option.bind budget Budget.exhausted with
-              | Some reason -> Error (`Timeout reason)
-              | None ->
-                  Error
-                    (`Rejected
-                      [
-                        Format.asprintf "%a" Synthesis.pp_error err;
-                      ]))))
+          match timed solve_us (fun () -> decomposed_solve ?budget ~level t m') with
+          | `Sched sched -> Ok (sched, "synth")
+          | `Definitive diags -> Error (`Rejected diags)
+          | `Timeout reason -> Error (`Timeout reason)
+          | `Skip -> (
+              let result =
+                timed solve_us @@ fun () -> plain_solve ?budget ~level t m'
+              in
+              match result with
+              | Ok plan -> Ok (plan.Synthesis.schedule, "synth")
+              | Error err -> (
+                  match Option.bind budget Budget.exhausted with
+                  | Some reason -> Error (`Timeout reason)
+                  | None ->
+                      Error
+                        (`Rejected
+                          [
+                            Format.asprintf "%a" Synthesis.pp_error err;
+                          ])))))
 
 let admit_or_probe ?budget ~level ~commit t decl =
   let ( let* ) r f = match r with Error e -> Rejected e | Ok v -> f v in
@@ -486,6 +575,7 @@ let create ?pool ?startup_budget ~journal ?spec () =
               journal = jh;
               tables = Hashtbl.create 8;
               memo = Hashtbl.create 64;
+              comp_cache = Hashtbl.create 64;
               pool;
             }
           in
@@ -505,25 +595,39 @@ let create ?pool ?startup_budget ~journal ?spec () =
                       let startup =
                         if m.Model.constraints = [] then Ok None
                         else
-                          let game_table = table_for t (digest_of m) in
-                          match
-                            Synthesis.synthesize ?pool ?budget:startup_budget
-                              ~game_table ~merge:false ~pipeline:false
-                              ~exact_fallback:true m
-                          with
-                          | Error err ->
-                              Error
-                                (Format.asprintf "base system: %a"
-                                   Synthesis.pp_error err)
-                          | Ok plan -> (
-                              match
-                                certify_checked m plan.Synthesis.schedule
-                              with
+                          let solved =
+                            (* Component-wise first (one small solve per
+                               interaction component instead of one big
+                               one), undecomposed as the fail-closed
+                               fallback — same ladder as admissions. *)
+                            match
+                              decomposed_solve ?budget:startup_budget
+                                ~level:Full t m
+                            with
+                            | `Sched sched -> Ok sched
+                            | `Definitive diags ->
+                                Error (String.concat "; " diags)
+                            | `Timeout reason -> Error reason
+                            | `Skip -> (
+                                match
+                                  plain_solve ?budget:startup_budget
+                                    ~level:Full t m
+                                with
+                                | Ok plan -> Ok plan.Synthesis.schedule
+                                | Error err ->
+                                    Error
+                                      (Format.asprintf "%a"
+                                         Synthesis.pp_error err))
+                          in
+                          match solved with
+                          | Error e -> Error ("base system: " ^ e)
+                          | Ok sched -> (
+                              match certify_checked m sched with
                               | Error diags ->
                                   Error
                                     ("base system: "
                                     ^ String.concat "; " diags)
-                              | Ok cd -> Ok (Some (plan.Synthesis.schedule, cd)))
+                              | Ok cd -> Ok (Some (sched, cd)))
                       in
                       match startup with
                       | Error e ->

@@ -1,4 +1,9 @@
+(* [Decompose] below is THIS library's multiprocessor decomposition,
+   not Rt_core.Decompose (interaction components) — re-bind it across
+   the open, which would otherwise shadow the sibling. *)
+module Mp_decompose = Decompose
 open Rt_core
+module Decompose = Mp_decompose
 
 let cert_piece (w : Decompose.windowed) =
   match w.Decompose.piece with

@@ -1,4 +1,8 @@
+(* Keep the sibling Decompose (multiprocessor windows) visible across
+   the open of Rt_core, which now also exports a Decompose. *)
+module Mp_decompose = Decompose
 open Rt_core
+module Decompose = Mp_decompose
 
 type result = {
   partition : Partition.t;

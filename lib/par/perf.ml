@@ -19,6 +19,9 @@ let game_states = Metrics.counter "game_states"
 let table_hits = Metrics.counter "table_hits"
 let table_misses = Metrics.counter "table_misses"
 let dominance_kills = Metrics.counter "dominance_kills"
+let decompose_components = Metrics.counter "decompose/components"
+let decompose_component_solves = Metrics.counter "decompose/component_solves"
+let decompose_component_reuses = Metrics.counter "decompose/component_reuses"
 
 let all_counters =
   [
@@ -31,6 +34,9 @@ let all_counters =
     ("table_hits", table_hits);
     ("table_misses", table_misses);
     ("dominance_kills", dominance_kills);
+    ("decompose/components", decompose_components);
+    ("decompose/component_solves", decompose_component_solves);
+    ("decompose/component_reuses", decompose_component_reuses);
   ]
 
 let incr = Metrics.incr

@@ -53,6 +53,18 @@ val dominance_kills : counter
 (** Game-engine states discarded because a recorded dead state
     dominates them (antichain pruning) without ever being expanded. *)
 
+val decompose_components : counter
+(** Interaction components fanned out by a decomposition pass
+    ({!Rt_core.Decompose}); bumped once per component per pass. *)
+
+val decompose_component_solves : counter
+(** Component submodels actually solved (synthesized or decided) by a
+    decomposition pass — as opposed to answered from a cache. *)
+
+val decompose_component_reuses : counter
+(** Component solves answered from a component-schedule cache (the
+    daemon's component-local re-admission path) without re-solving. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int

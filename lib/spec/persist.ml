@@ -127,12 +127,20 @@ let canonicalize m cert =
         ("Persist.save_certificate_string: model does not re-elaborate: "
         ^ String.concat "; " errs)
   | Ok m' ->
-      let find cs name =
-        List.find_opt (fun (c : Timing.t) -> c.Timing.name = name) cs
+      (* Index constraints by name once: one certificate carries a
+         witness per constraint, so a linear find here is quadratic in
+         the model size (felt at daemon scale, where every admission
+         persists a fresh certificate). *)
+      let index cs =
+        let tbl = Hashtbl.create (List.length cs) in
+        List.iter (fun (c : Timing.t) -> Hashtbl.replace tbl c.Timing.name c) cs;
+        tbl
       in
+      let old_by_name = index m.Model.constraints in
+      let new_by_name = index m'.Model.constraints in
       let remap_witness (name, w) =
         match
-          (find m.Model.constraints name, find m'.Model.constraints name)
+          (Hashtbl.find_opt old_by_name name, Hashtbl.find_opt new_by_name name)
         with
         | Some c_old, Some c_new
           when Task_graph.size c_old.Timing.graph

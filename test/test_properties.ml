@@ -276,6 +276,155 @@ let prop_validate_matches_canonical_contiguity () =
     else Alcotest.(check bool) "odd slot count invalid" false valid
   done
 
+(* 11. Decomposition partitions the constraint set and refines
+   interaction connectivity: components are disjoint, cover every
+   constraint, never share an element, and two constraints whose task
+   graphs share an element always land in the same component. *)
+let prop_decompose_partitions () =
+  let g = seeded_prng 1212 in
+  for _ = 1 to 50 do
+    let n_elems = 3 + Rt_graph.Prng.int g 5 in
+    let comm =
+      Comm_graph.create
+        ~elements:(List.init n_elems (fun i -> (Printf.sprintf "e%d" i, 1, true)))
+        ~edges:
+          (List.init (n_elems - 1) (fun i ->
+               (Printf.sprintf "e%d" i, Printf.sprintf "e%d" (i + 1))))
+    in
+    let n_cons = 2 + Rt_graph.Prng.int g 5 in
+    let constraints =
+      List.init n_cons (fun i ->
+          let s = Rt_graph.Prng.int g n_elems in
+          let len = 1 + Rt_graph.Prng.int g (min 3 (n_elems - s)) in
+          let graph = Task_graph.of_chain (List.init len (fun k -> s + k)) in
+          Timing.make
+            ~name:(Printf.sprintf "c%d" i)
+            ~graph
+            ~period:(24 + Rt_graph.Prng.int g 16)
+            ~deadline:(4 + Rt_graph.Prng.int g 8)
+            ~kind:Timing.Asynchronous)
+    in
+    let m = Model.make ~comm ~constraints in
+    let comps = Decompose.components m in
+    (* Partition: ascending disjoint indices covering 0..n_cons-1. *)
+    let covered = List.concat_map (fun c -> c.Decompose.indices) comps in
+    Alcotest.(check (list int))
+      "indices cover the constraint list exactly once"
+      (List.init n_cons Fun.id)
+      (List.sort compare covered);
+    (* Refinement: no element belongs to two components. *)
+    let elems = List.concat_map (fun c -> c.Decompose.elements) comps in
+    Alcotest.(check (list int))
+      "components never share an element"
+      (List.sort_uniq compare elems)
+      (List.sort compare elems);
+    (* Connectivity: element-sharing constraints share a component. *)
+    let comp_of = Array.make n_cons (-1) in
+    List.iter
+      (fun c ->
+        List.iter (fun i -> comp_of.(i) <- c.Decompose.rank) c.Decompose.indices)
+      comps;
+    let elem_sets =
+      Array.of_list
+        (List.map
+           (fun (c : Timing.t) ->
+             List.sort_uniq compare (Task_graph.elements_used c.Timing.graph))
+           constraints)
+    in
+    for i = 0 to n_cons - 1 do
+      for j = i + 1 to n_cons - 1 do
+        let share =
+          List.exists (fun e -> List.mem e elem_sets.(j)) elem_sets.(i)
+        in
+        if share then
+          Alcotest.(check int)
+            (Printf.sprintf "c%d and c%d share an element, same component" i j)
+            comp_of.(i) comp_of.(j)
+      done
+    done
+  done
+
+(* 12. On a fully coupled model (one interaction component) the
+   decomposition pass is an accelerator with nothing to accelerate: the
+   decomposed pipeline must return a bit-identical plan (or the same
+   failure stage) as the undecomposed one, sequentially and on a
+   4-domain pool alike. *)
+let prop_decompose_single_component_identity () =
+  let g = seeded_prng 1313 in
+  for _ = 1 to 8 do
+    let m =
+      Rt_workload.Model_gen.shared_block_model g
+        ~n_pairs:(1 + Rt_graph.Prng.int g 3)
+        ~shared_weight:2 ~private_weight:1
+        ~period:(12 + (4 * Rt_graph.Prng.int g 3))
+    in
+    if List.length (Decompose.components m) = 1 then begin
+      let plain = Synthesis.synthesize ~decompose:false m in
+      let dec1 = Synthesis.synthesize ~decompose:true m in
+      let dec4 =
+        Rt_par.Pool.with_pool ~jobs:4 (fun pool ->
+            Synthesis.synthesize ~pool ~decompose:true m)
+      in
+      List.iter
+        (fun (label, dec) ->
+          match (plain, dec) with
+          | Ok p, Ok d ->
+              checkb (label ^ ": schedules bit-identical") true
+                (Schedule.equal p.Synthesis.schedule d.Synthesis.schedule);
+              Alcotest.(check int)
+                (label ^ ": hyperperiods equal")
+                p.Synthesis.hyperperiod d.Synthesis.hyperperiod
+          | Error p, Error d ->
+              Alcotest.(check string)
+                (label ^ ": failure stages equal")
+                p.Synthesis.stage d.Synthesis.stage
+          | Ok _, Error d ->
+              Alcotest.failf "%s: decomposed failed where plain succeeded: %s"
+                label d.Synthesis.message
+          | Error p, Ok _ ->
+              Alcotest.failf "%s: decomposed succeeded where plain failed: %s"
+                label p.Synthesis.message)
+        [ ("jobs=1", dec1); ("jobs=4", dec4) ]
+    end
+  done
+
+(* 13. Fail-closed contract of the decomposed pipeline on random
+   loosely-coupled models: either the plan's interleaved schedule
+   verifies against the whole model it was built for, or synthesis
+   reports a structured error (named stage, non-empty message) — never
+   an unverified schedule, never an exception. *)
+let prop_decompose_fail_closed () =
+  let g = seeded_prng 1414 in
+  for _ = 1 to 10 do
+    let n_comp = 2 + Rt_graph.Prng.int g 3 in
+    let comm =
+      Comm_graph.create
+        ~elements:(List.init n_comp (fun i -> (Printf.sprintf "u%d" i, 1, true)))
+        ~edges:[]
+    in
+    let constraints =
+      List.init n_comp (fun i ->
+          Timing.make
+            ~name:(Printf.sprintf "a%d" i)
+            ~graph:(Task_graph.singleton i)
+            ~period:(24 + (8 * Rt_graph.Prng.int g 4))
+            ~deadline:(3 + Rt_graph.Prng.int g 10)
+            ~kind:Timing.Asynchronous)
+    in
+    let m = Model.make ~comm ~constraints in
+    match Synthesis.synthesize ~decompose:true m with
+    | Ok plan ->
+        checkb "decomposed plan verifies against its whole model" true
+          (Latency.all_ok
+             (Latency.verify plan.Synthesis.model_used plan.Synthesis.schedule))
+    | Error e ->
+        checkb "structured error names its stage" true (e.Synthesis.stage <> "");
+        checkb "structured error carries a message" true
+          (e.Synthesis.message <> "")
+    | exception exn ->
+        Alcotest.failf "decomposed synthesis raised %s" (Printexc.to_string exn)
+  done
+
 let () =
   Alcotest.run "cross-module-properties"
     [
@@ -298,5 +447,11 @@ let () =
             prop_scales_to_wide_models;
           Alcotest.test_case "validate matches canonical contiguity" `Quick
             prop_validate_matches_canonical_contiguity;
+          Alcotest.test_case "decomposition partitions constraints" `Quick
+            prop_decompose_partitions;
+          Alcotest.test_case "single-component decomposed identity" `Slow
+            prop_decompose_single_component_identity;
+          Alcotest.test_case "decomposed synthesis fails closed" `Slow
+            prop_decompose_fail_closed;
         ] );
     ]

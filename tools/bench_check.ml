@@ -18,6 +18,11 @@
                           an absolute floor, independent of the reference —
                           e.g. table_hits:1 fails the build if the
                           transposition table never hit)
+     --counter-max NAME:V require candidate counter NAME <= V (repeatable;
+                          the dual ceiling — e.g.
+                          decompose/component_solves:1 fails the build if
+                          an admission re-solved an untouched component;
+                          an absent counter fails, catching typos)
      --allow-missing      skip (rather than fail on) reference benchmarks
                           absent from the candidate
 
@@ -34,7 +39,8 @@ let usage () =
   prerr_endline
     "usage: bench_check CANDIDATE REFERENCE [--tolerance T] [--eps E] \
      [--metric NAME[:TOL]]... [--counter NAME[:TOL]]... \
-     [--all-counters[:TOL]] [--counter-min NAME:V]... [--allow-missing]";
+     [--all-counters[:TOL]] [--counter-min NAME:V]... \
+     [--counter-max NAME:V]... [--allow-missing]";
   exit 2
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
@@ -59,6 +65,7 @@ let () =
   let counters = ref [] in
   let all_counters = ref None in
   let counter_mins = ref [] in
+  let counter_maxes = ref [] in
   let allow_missing = ref false in
   let rec parse = function
     | [] -> ()
@@ -103,6 +110,18 @@ let () =
                 counter_mins := (name, v) :: !counter_mins;
                 parse rest
             | None -> die "bad minimum in %S" c))
+    | "--counter-max" :: c :: rest -> (
+        match String.rindex_opt c ':' with
+        | None -> die "--counter-max needs NAME:V, got %S" c
+        | Some i -> (
+            let name = String.sub c 0 i in
+            match
+              float_of_string_opt (String.sub c (i + 1) (String.length c - i - 1))
+            with
+            | Some v ->
+                counter_maxes := (name, v) :: !counter_maxes;
+                parse rest
+            | None -> die "bad maximum in %S" c))
     | "--allow-missing" :: rest ->
         allow_missing := true;
         parse rest
@@ -126,7 +145,9 @@ let () =
   let candidate = load cand_path and reference = load ref_path in
   let metric_checks =
     match List.rev !metrics with
-    | [] when !counters = [] && !all_counters = None && !counter_mins = [] ->
+    | []
+      when !counters = [] && !all_counters = None && !counter_mins = []
+           && !counter_maxes = [] ->
         (* no check requested at all: gate wall time *)
         [ { BD.metric = "optimized_seconds"; tol = !tolerance; eps = !eps;
             scope = `Benchmarks } ]
@@ -185,4 +206,24 @@ let () =
       true
       (List.rev !counter_mins)
   in
-  if BD.passed outcome && mins_ok then exit 0 else exit 1
+  (* Ceilings mirror the floors: candidate-only, absent counters fail
+     (a misspelt name must not pass vacuously). *)
+  let maxes_ok =
+    List.fold_left
+      (fun ok (name, v) ->
+        match List.assoc_opt name candidate.BD.counters with
+        | None ->
+            Format.printf "FAIL counter %s: absent (maximum %g required)@."
+              name v;
+            false
+        | Some actual when actual > v ->
+            Format.printf "FAIL counter %s: %g above required maximum %g@."
+              name actual v;
+            false
+        | Some actual ->
+            Format.printf "ok   counter %s: %g <= %g@." name actual v;
+            ok)
+      true
+      (List.rev !counter_maxes)
+  in
+  if BD.passed outcome && mins_ok && maxes_ok then exit 0 else exit 1
