@@ -1529,9 +1529,12 @@ let e16 () =
       "constraint c%d asynchronous separation 10 deadline 6 { f_x; }" i
   in
   let n = 1_000 in
+  let serial_verdicts = ref [] in
   let admit d =
     match Rt_daemon.Engine.admit ~level:Rt_daemon.Engine.Full eng d with
-    | Rt_daemon.Engine.Admitted { path; _ } -> path
+    | Rt_daemon.Engine.Admitted { path; verdict } ->
+        serial_verdicts := verdict :: !serial_verdicts;
+        path
     | _ -> failwith "E16: admit was not committed"
   in
   (* First admit synthesizes; the rest ride the warm path (the resident
@@ -1584,6 +1587,197 @@ let e16 () =
         ("synth_admits", path_count "synth");
         ("warm_admits", path_count "warm");
         ("memo_admits", path_count "memo");
+      ]
+    ();
+  (* -------------------------------------------------------------- *)
+  (* Multi-client: the same ramp served over the socket transport to *)
+  (* 4 concurrent pipelining admitters.  The single-writer engine    *)
+  (* serializes mutations, so the answer-path counts and the verdict *)
+  (* multiset must match the serial run byte for byte, and each      *)
+  (* connection's responses must come back in its own request order  *)
+  (* with none lost.                                                 *)
+  (* -------------------------------------------------------------- *)
+  let n_clients = 4 in
+  let per = n / n_clients in
+  let dir = Filename.temp_file "rtsynd_bench_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "s" in
+  let journal_mc = Filename.concat dir "j.journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ journal_mc; sock ];
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let dcfg =
+    {
+      Rt_daemon.Daemon.default_config with
+      Rt_daemon.Daemon.journal = journal_mc;
+      spec = Some spec;
+      (* no shedding and no degradation: the row asserts path/verdict
+         equality with the serial ramp, so every request must be served
+         at level Full *)
+      max_queue = 100_000;
+      degrade_heuristic = max_int;
+      degrade_analytic = max_int;
+      default_budget_ms = 0;
+      default_fuel = 0;
+    }
+  in
+  let tcfg =
+    {
+      Rt_daemon.Transport.default with
+      Rt_daemon.Transport.socket = Some sock;
+      conn_queue = 2 * per;
+      drain_timeout_s = 30.;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Rt_daemon.Transport.run tcfg dcfg) in
+  let rec wait_sock k =
+    if Sys.file_exists sock then ()
+    else if k = 0 then failwith "E16: transport socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      wait_sock (k - 1)
+    end
+  in
+  wait_sock 200;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let send_all fd s =
+    let len = String.length s in
+    let rec go off =
+      if off < len then go (off + Unix.write_substring fd s off (len - off))
+    in
+    go 0
+  in
+  let recv_lines fd count =
+    let chunk = Bytes.create 65536 in
+    let buf = Buffer.create 65536 in
+    let rec fill () =
+      let s = Buffer.contents buf in
+      let lines = String.split_on_char '\n' s in
+      if List.length lines > count then
+        (* [count] complete lines plus the trailing remainder *)
+        List.filteri (fun i _ -> i < count) lines
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "E16: connection closed before all responses"
+        | got ->
+            Buffer.add_subbytes buf chunk 0 got;
+            fill ()
+    in
+    fill ()
+  in
+  let jfield line key =
+    match Rt_obs.Json.parse line with
+    | Error e -> failwith ("E16: unparseable response " ^ line ^ ": " ^ e)
+    | Ok j -> (
+        match
+          Option.bind (Rt_obs.Json.member key j) Rt_obs.Json.to_string
+        with
+        | Some s -> s
+        | None -> failwith ("E16: response lacks \"" ^ key ^ "\": " ^ line))
+  in
+  let client k () =
+    let fd = connect () in
+    let ids = List.init per (fun j -> (k * per) + j) in
+    send_all fd
+      (String.concat ""
+         (List.map
+            (fun i ->
+              Printf.sprintf
+                "{\"v\":1,\"id\":\"a%d\",\"op\":\"admit\",\"decl\":\"%s\"}\n"
+                i (decl i))
+            ids));
+    let lines = recv_lines fd per in
+    Unix.close fd;
+    (ids, lines)
+  in
+  let results, t_mc =
+    time_wall (fun () ->
+        List.map Domain.join
+          (List.init n_clients (fun k -> Domain.spawn (client k))))
+  in
+  let paths_mc = Hashtbl.create 4 in
+  let count_mc p =
+    Hashtbl.replace paths_mc p
+      (1 + Option.value ~default:0 (Hashtbl.find_opt paths_mc p))
+  in
+  let verdicts_mc = ref [] in
+  List.iter
+    (fun (ids, lines) ->
+      if List.length lines <> per then
+        failwith "E16: a client lost responses";
+      List.iter2
+        (fun i line ->
+          if jfield line "id" <> Printf.sprintf "a%d" i then
+            failwith "E16: responses reordered within a connection";
+          count_mc (jfield line "path");
+          verdicts_mc := jfield line "verdict" :: !verdicts_mc)
+        ids lines)
+    results;
+  (* Retire + alpha-renamed re-admit over a control connection: the
+     memo must answer exactly as in the serial run; then drain. *)
+  let ctl = connect () in
+  send_all ctl "{\"v\":1,\"id\":\"t\",\"op\":\"retire\",\"name\":\"c1\"}\n";
+  if jfield (List.hd (recv_lines ctl 1)) "id" <> "t" then
+    failwith "E16: retire over the socket failed";
+  send_all ctl
+    (Printf.sprintf
+       "{\"v\":1,\"id\":\"m\",\"op\":\"admit\",\"decl\":\"%s\"}\n" (decl n));
+  let memo_line = List.hd (recv_lines ctl 1) in
+  if jfield memo_line "path" <> "memo" then
+    failwith
+      (Printf.sprintf "E16: socket re-admit took the %s path, wanted memo"
+         (jfield memo_line "path"));
+  count_mc "memo";
+  verdicts_mc := jfield memo_line "verdict" :: !verdicts_mc;
+  send_all ctl "{\"v\":1,\"id\":\"q\",\"op\":\"shutdown\"}\n";
+  ignore (recv_lines ctl 1);
+  (try
+     while Unix.read ctl (Bytes.create 4096) 0 4096 > 0 do
+       ()
+     done
+   with Unix.Unix_error _ -> ());
+  Unix.close ctl;
+  (match Domain.join daemon with
+  | 0 -> ()
+  | c -> failwith (Printf.sprintf "E16: transport exited %d on drain" c));
+  let pc p = Option.value ~default:0 (Hashtbl.find_opt paths_mc p) in
+  if
+    pc "synth" <> path_count "synth"
+    || pc "warm" <> path_count "warm"
+    || pc "memo" <> path_count "memo"
+  then
+    failwith
+      (Printf.sprintf
+         "E16: multi-client paths synth/warm/memo %d/%d/%d diverge from \
+          serial %d/%d/%d"
+         (pc "synth") (pc "warm") (pc "memo") (path_count "synth")
+         (path_count "warm") (path_count "memo"));
+  let sorted l = List.sort compare l in
+  if sorted !verdicts_mc <> sorted !serial_verdicts then
+    failwith "E16: multi-client verdicts diverge from the serial run";
+  row
+    "  multi-client: %d clients x %d pipelined admits over the unix socket \
+     in %.2fs (%.0f admits/s)"
+    n_clients per t_mc
+    (float_of_int (n + 1) /. t_mc);
+  row "  paths: synth %d, warm %d, memo %d — identical to the serial ramp"
+    (pc "synth") (pc "warm") (pc "memo");
+  json_bench ~file:"BENCH_daemon.json" ~name:"daemon/multi-client-admits-1k"
+    ~baseline:total ~optimized:t_mc ~jobs:n_clients
+    ~extra:
+      [
+        ("admits", n + 1); ("clients", n_clients);
+        ("synth_admits", pc "synth"); ("warm_admits", pc "warm");
+        ("memo_admits", pc "memo");
       ]
     ()
 

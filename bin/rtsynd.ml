@@ -12,13 +12,14 @@ let read_file path =
   | s -> Ok s
   | exception Sys_error e -> Error e
 
-let run spec journal max_queue degrade_heuristic degrade_analytic budget_ms
-    fuel jobs =
+let run spec journal max_queue max_frame degrade_heuristic degrade_analytic
+    budget_ms fuel jobs socket tcp max_conns conn_queue idle_timeout_s =
   let cfg =
     {
       Rt_daemon.Daemon.journal;
       spec = None;
       max_queue;
+      max_frame;
       degrade_heuristic;
       degrade_analytic;
       default_budget_ms = budget_ms;
@@ -26,14 +27,29 @@ let run spec journal max_queue degrade_heuristic degrade_analytic budget_ms
       jobs;
     }
   in
+  let serve cfg =
+    match (socket, tcp) with
+    | None, None -> Rt_daemon.Daemon.run cfg
+    | _ ->
+        Rt_daemon.Transport.run
+          {
+            Rt_daemon.Transport.default with
+            Rt_daemon.Transport.socket;
+            tcp;
+            max_conns;
+            conn_queue;
+            idle_timeout_s;
+          }
+          cfg
+  in
   match spec with
-  | None -> Rt_daemon.Daemon.run cfg
+  | None -> serve cfg
   | Some path -> (
       match read_file path with
       | Error e ->
           prerr_endline ("rtsynd: " ^ e);
           1
-      | Ok src -> Rt_daemon.Daemon.run { cfg with Rt_daemon.Daemon.spec = Some src })
+      | Ok src -> serve { cfg with Rt_daemon.Daemon.spec = Some src })
 
 let spec_arg =
   let doc =
@@ -56,6 +72,63 @@ let max_queue_arg =
      $(i,overloaded) response."
   in
   Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let max_frame_arg =
+  let doc =
+    "Per-frame (request line) byte limit on every transport; an oversized \
+     frame is dropped with a structured $(i,oversize) error and the stream \
+     resynchronizes at the next newline."
+  in
+  Arg.(
+    value
+    & opt int Rt_daemon.Daemon.default_config.Rt_daemon.Daemon.max_frame
+    & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let socket_arg =
+  let doc =
+    "Serve the jsonl protocol to many concurrent clients over a Unix-domain \
+     socket at $(docv) instead of stdin/stdout.  May be combined with \
+     $(b,--tcp)."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Additionally (or instead) listen on 127.0.0.1:$(docv) for concurrent \
+     clients."
+  in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let max_conns_arg =
+  let doc =
+    "Concurrent-connection cap in socket mode; excess connections wait in \
+     the listen backlog."
+  in
+  Arg.(
+    value
+    & opt int Rt_daemon.Transport.default.Rt_daemon.Transport.max_conns
+    & info [ "max-conns" ] ~docv:"N" ~doc)
+
+let conn_queue_arg =
+  let doc =
+    "Per-connection pending-request cap in socket mode; beyond it the newest \
+     request from that connection is shed with an $(i,overloaded) response \
+     (the global $(b,--max-queue) cap applies across connections)."
+  in
+  Arg.(
+    value
+    & opt int Rt_daemon.Transport.default.Rt_daemon.Transport.conn_queue
+    & info [ "conn-queue" ] ~docv:"N" ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Close socket connections idle for more than $(docv) seconds (0 = \
+     never)."
+  in
+  Arg.(
+    value
+    & opt float Rt_daemon.Transport.default.Rt_daemon.Transport.idle_timeout_s
+    & info [ "idle-timeout-s" ] ~docv:"S" ~doc)
 
 let degrade_heuristic_arg =
   let doc =
@@ -98,7 +171,11 @@ let cmd =
         "$(tname) keeps a graph-based model, its certified schedule and the \
          exact engine's learned state resident, and serves admit / retire / \
          what-if / reverify / stats / snapshot / shutdown requests as one \
-         JSON object per line on stdin/stdout.";
+         JSON object per line on stdin/stdout — or, with $(b,--socket) / \
+         $(b,--tcp), to many concurrent clients at once (round-robin \
+         fairness, per-connection and global backpressure, idle/read \
+         timeouts, graceful drain on shutdown; mutations stay serialized \
+         through the journal).";
       `P
         "Every acknowledged mutation has passed the trusted certificate \
          checker and been fsynced to the write-ahead journal first; restart \
@@ -116,8 +193,9 @@ let cmd =
   Cmd.v
     (Cmd.info "rtsynd" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ spec_arg $ journal_arg $ max_queue_arg
+      const run $ spec_arg $ journal_arg $ max_queue_arg $ max_frame_arg
       $ degrade_heuristic_arg $ degrade_analytic_arg $ budget_ms_arg
-      $ fuel_arg $ jobs_arg)
+      $ fuel_arg $ jobs_arg $ socket_arg $ tcp_arg $ max_conns_arg
+      $ conn_queue_arg $ idle_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,6 +4,7 @@ type config = {
   journal : string;
   spec : string option;
   max_queue : int;
+  max_frame : int;
   degrade_heuristic : int;
   degrade_analytic : int;
   default_budget_ms : int;
@@ -16,6 +17,7 @@ let default_config =
     journal = "rtsynd.journal";
     spec = None;
     max_queue = 64;
+    max_frame = 262_144;
     degrade_heuristic = 8;
     degrade_analytic = 24;
     default_budget_ms = 2000;
@@ -25,39 +27,56 @@ let default_config =
 
 let requests_ctr = Rt_obs.Metrics.counter "daemon/requests"
 let overloaded_ctr = Rt_obs.Metrics.counter "daemon/overloaded"
+let shed_ctr = Rt_obs.Metrics.counter "daemon/shed"
+let oversize_ctr = Rt_obs.Metrics.counter "daemon/frame_oversize"
 let degraded_ctr = Rt_obs.Metrics.counter "daemon/degraded"
 let shed_depth_gauge = Rt_obs.Metrics.gauge "daemon/queue_depth"
 let request_us = Rt_obs.Metrics.histogram "daemon/request_us"
 let admit_us = Rt_obs.Metrics.histogram "daemon/admit_us"
 
 (* ------------------------------------------------------------------ *)
-(* Input: drain everything already readable on stdin into whole lines
-   without blocking, so queue depth is observable before each serve.   *)
+(* Shared response shapes (stdin loop and socket transport).           *)
+(* ------------------------------------------------------------------ *)
+
+let overloaded_response cfg ~depth line =
+  Rt_obs.Metrics.incr overloaded_ctr;
+  Rt_obs.Metrics.incr shed_ctr;
+  Protocol.error
+    ~id:(Protocol.parse_request_id line)
+    ~kind:"overloaded"
+    ~retry_after_ms:(max 100 (depth * max 1 cfg.default_budget_ms))
+    (Printf.sprintf "queue full (%d pending)" depth)
+
+let oversize_response cfg dropped =
+  Rt_obs.Metrics.incr oversize_ctr;
+  Protocol.error ~id:"" ~kind:"oversize"
+    (Printf.sprintf "frame of %d bytes exceeds max-frame %d (dropped)" dropped
+       cfg.max_frame)
+
+let eof_mid_frame_response origin pending =
+  Protocol.error ~id:"" ~kind:"parse"
+    (Printf.sprintf "%s closed mid-frame (%d bytes discarded)" origin pending)
+
+(* ------------------------------------------------------------------ *)
+(* Input: drain everything already readable on stdin into whole frames
+   without blocking, so queue depth is observable before each serve.
+   Framing (and the max-frame limit) is shared with the socket
+   transport — see Framing.                                            *)
 (* ------------------------------------------------------------------ *)
 
 type input = {
   fd : Unix.file_descr;
-  buf : Buffer.t;
+  framer : Framing.t;
   chunk : Bytes.t;
   mutable eof : bool;
 }
 
-let make_input fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; eof = false }
-
-let split_lines input =
-  let s = Buffer.contents input.buf in
-  let rec go start acc =
-    match String.index_from_opt s start '\n' with
-    | None ->
-        Buffer.clear input.buf;
-        Buffer.add_substring input.buf s start (String.length s - start);
-        List.rev acc
-    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
-  in
-  go 0 []
+let make_input ~max_frame fd =
+  { fd; framer = Framing.create ~max_frame; chunk = Bytes.create 65536; eof = false }
 
 (* Read whatever is available right now (non-blocking). *)
 let drain input =
+  let events = ref [] in
   let rec go () =
     if input.eof then ()
     else
@@ -67,16 +86,17 @@ let drain input =
           match Unix.read input.fd input.chunk 0 (Bytes.length input.chunk) with
           | 0 -> input.eof <- true
           | n ->
-              Buffer.add_subbytes input.buf input.chunk 0 n;
+              events :=
+                !events @ Framing.feed input.framer (Bytes.sub_string input.chunk 0 n);
               go ()
           | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
               ())
   in
   go ();
-  split_lines input
+  !events
 
-(* Block until at least one more line (or EOF). *)
-let wait_line input =
+(* Block until at least one more event (or EOF). *)
+let wait_event input =
   let rec go () =
     if input.eof then []
     else
@@ -86,10 +106,11 @@ let wait_line input =
           match Unix.read input.fd input.chunk 0 (Bytes.length input.chunk) with
           | 0 ->
               input.eof <- true;
-              split_lines input
+              []
           | n -> (
-              Buffer.add_subbytes input.buf input.chunk 0 n;
-              match split_lines input with [] -> go () | lines -> lines)
+              match Framing.feed input.framer (Bytes.sub_string input.chunk 0 n) with
+              | [] -> go ()
+              | events -> events)
           | exception Unix.Unix_error (EINTR, _, _) -> go ())
   in
   go ()
@@ -153,6 +174,7 @@ let outcome_response ~id ~level (o : Engine.outcome) =
 
 let stats_response engine ~id ~depth ~started =
   let c name = Rt_obs.Metrics.value (Rt_obs.Metrics.counter name) in
+  let g name = Rt_obs.Metrics.gauge_value (Rt_obs.Metrics.gauge name) in
   let h name =
     let hist = Rt_obs.Metrics.histogram name in
     let q p = Option.value ~default:0 (Rt_obs.Metrics.quantile hist p) in
@@ -174,6 +196,8 @@ let stats_response engine ~id ~depth ~started =
       ("admits_rejected", Protocol.I (c "daemon/admits_rejected"));
       ("timeouts", Protocol.I (c "daemon/timeouts"));
       ("overloaded", Protocol.I (c "daemon/overloaded"));
+      ("shed", Protocol.I (c "daemon/shed"));
+      ("frames_oversized", Protocol.I (c "daemon/frame_oversize"));
       ("degraded", Protocol.I (c "daemon/degraded"));
       ("memo_hits", Protocol.I (c "daemon/memo_hits"));
       ("memo_misses", Protocol.I (c "daemon/memo_misses"));
@@ -181,13 +205,18 @@ let stats_response engine ~id ~depth ~started =
       ("check_failures", Protocol.I (c "daemon/check_failures"));
       ("journal_records", Protocol.I (c "daemon/journal_records"));
       ("replayed_records", Protocol.I (c "daemon/replayed_records"));
+      ("conn_opened", Protocol.I (c "daemon/conn_opened"));
+      ("conn_closed", Protocol.I (c "daemon/conn_closed"));
+      ("conn_active", Protocol.I (g "daemon/conn_active"));
+      ("conn_timeouts", Protocol.I (c "daemon/conn_timeouts"));
       ("request_us", Protocol.Raw (h "daemon/request_us"));
       ("admit_us", Protocol.Raw (h "daemon/admit_us"));
       ("solve_us", Protocol.Raw (h "daemon/solve_us"));
       ("check_us", Protocol.Raw (h "daemon/check_us"));
+      ("conn_request_us", Protocol.Raw (h "daemon/conn_request_us"));
     ]
 
-let serve cfg engine ~started ~depth line =
+let serve_line cfg engine ~started ~depth line =
   Rt_obs.Metrics.incr requests_ctr;
   let t0 = Unix.gettimeofday () in
   let response =
@@ -239,10 +268,11 @@ let serve cfg engine ~started ~depth line =
     (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
   response
 
-let run cfg =
-  (match Sys.os_type with
-  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-  | _ -> ());
+(* ------------------------------------------------------------------ *)
+(* Engine bring-up shared by the stdin loop and the socket transport.  *)
+(* ------------------------------------------------------------------ *)
+
+let create_engine cfg =
   let pool =
     if cfg.jobs > 1 then Some (Rt_par.Pool.create ~jobs:cfg.jobs ()) else None
   in
@@ -258,53 +288,60 @@ let run cfg =
     Engine.create ?pool ?startup_budget ~journal:cfg.journal ?spec:cfg.spec ()
   with
   | Error e ->
-      prerr_endline ("rtsynd: " ^ e);
       Option.iter Rt_par.Pool.shutdown pool;
+      Error e
+  | Ok engine -> Ok (engine, pool)
+
+let run cfg =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  match create_engine cfg with
+  | Error e ->
+      prerr_endline ("rtsynd: " ^ e);
       1
-  | Ok engine ->
+  | Ok (engine, pool) ->
       let started = Unix.gettimeofday () in
-      let input = make_input Unix.stdin in
+      let input = make_input ~max_frame:cfg.max_frame Unix.stdin in
       let pending = Queue.create () in
       let stop = ref false in
-      let enqueue lines =
+      let enqueue events =
         List.iter
-          (fun line ->
-            if String.trim line = "" then ()
-            else if Queue.length pending >= cfg.max_queue then begin
-              (* Deterministic shedding: newest request beyond the cap
-                 bounces immediately; resident state and queue are
-                 untouched. *)
-              Rt_obs.Metrics.incr overloaded_ctr;
-              respond
-                (Protocol.error
-                   ~id:(Protocol.parse_request_id line)
-                   ~kind:"overloaded"
-                   ~retry_after_ms:
-                     (max 100
-                        (Queue.length pending
-                        * max 1 cfg.default_budget_ms))
-                   (Printf.sprintf "queue full (%d pending)"
-                      (Queue.length pending)))
-            end
-            else Queue.add line pending)
-          lines
+          (fun ev ->
+            match ev with
+            | Framing.Oversized dropped ->
+                (* The frame was never a request: answer now, stay live. *)
+                respond (oversize_response cfg dropped)
+            | Framing.Line line ->
+                if String.trim line = "" then ()
+                else if Queue.length pending >= cfg.max_queue then
+                  (* Deterministic shedding: newest request beyond the cap
+                     bounces immediately; resident state and queue are
+                     untouched. *)
+                  respond
+                    (overloaded_response cfg ~depth:(Queue.length pending) line)
+                else Queue.add line pending)
+          events
       in
       while (not !stop) && not (Queue.is_empty pending && input.eof) do
         enqueue (drain input);
-        if Queue.is_empty pending then
-          if input.eof then ()
-          else enqueue (wait_line input)
+        if input.eof && Queue.is_empty pending then ()
+        else if Queue.is_empty pending then enqueue (wait_event input)
         else begin
           let line = Queue.pop pending in
           let depth = Queue.length pending in
           Rt_obs.Metrics.set shed_depth_gauge depth;
-          match serve cfg engine ~started ~depth line with
+          match serve_line cfg engine ~started ~depth line with
           | `Continue r -> respond r
           | `Stop r ->
               respond r;
               stop := true
         end
       done;
+      (if input.eof then
+         match Framing.finish input.framer with
+         | `Clean -> ()
+         | `Partial n -> respond (eof_mid_frame_response "stdin" n));
       Engine.close engine;
       Option.iter Rt_par.Pool.shutdown pool;
       0

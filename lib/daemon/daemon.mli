@@ -11,15 +11,25 @@
       immediately with an ["overloaded"] error carrying a
       [retry_after_ms] hint — responses carry the request [id], and
       their order is not guaranteed under overload;
+    - frames are split by {!Framing} under [max_frame]: an oversized
+      request line is dropped and answered with a structured
+      ["oversize"] error, and the stream resynchronizes at the next
+      newline (bounded memory, the daemon keeps serving);
     - queue depth drives the degradation ladder: beyond
       [degrade_heuristic] the exact game-engine rescue is dropped,
       beyond [degrade_analytic] admits are answered from the analytic
-      {!Rt_core.Admission} gap tests alone (and not committed). *)
+      {!Rt_core.Admission} gap tests alone (and not committed).
+
+    The concurrent socket transport ({!Transport}) reuses the pieces
+    exported below — one request at a time through {!serve_line}, so
+    mutations stay serialized through the journal no matter how many
+    clients are connected. *)
 
 type config = {
   journal : string;
   spec : string option;  (** Base system source (fresh start only). *)
   max_queue : int;
+  max_frame : int;  (** Per-frame byte limit (both transports). *)
   degrade_heuristic : int;  (** Queue depth at which exact rescue drops. *)
   degrade_analytic : int;  (** Queue depth for analytic-only answers. *)
   default_budget_ms : int;  (** 0 = unlimited. *)
@@ -33,3 +43,37 @@ val run : config -> int
 (** Serve until stdin closes or a [shutdown] request arrives.  Returns
     the process exit code: 0 on clean shutdown, 1 when startup fails
     (corrupt journal, failed replay, infeasible base system). *)
+
+(** {1 Shared serving core}
+
+    Everything below is the single-writer serving core reused by the
+    socket transport; [run] is exactly this core driven from stdin. *)
+
+val create_engine :
+  config -> (Engine.t * Rt_par.Pool.t option, string) result
+(** Replay/open the journal and bring up the resident engine (plus the
+    synthesis pool when [jobs > 1]).  On error the pool is already shut
+    down. *)
+
+val serve_line :
+  config ->
+  Engine.t ->
+  started:float ->
+  depth:int ->
+  string ->
+  [ `Continue of string | `Stop of string ]
+(** Serve one raw request line against the engine at the given queue
+    [depth] (which drives the degradation ladder) and render the
+    response line.  [`Stop] is a [shutdown] acknowledgement. *)
+
+val overloaded_response : config -> depth:int -> string -> string
+(** Render the shed answer for a request bounced off a full queue
+    (increments [daemon/overloaded] and [daemon/shed]). *)
+
+val oversize_response : config -> int -> string
+(** Render the answer for a dropped oversized frame of the given byte
+    length (increments [daemon/frame_oversize]). *)
+
+val eof_mid_frame_response : string -> int -> string
+(** [eof_mid_frame_response origin pending] renders the structured
+    ["parse"] error for a stream that ended mid-frame. *)

@@ -1,0 +1,60 @@
+type event = Line of string | Oversized of int
+
+type t = {
+  max_frame : int;
+  buf : Buffer.t;
+  (* Bytes already discarded of the current oversized frame; -1 when
+     the current frame is still within bounds. *)
+  mutable dropping : int;
+}
+
+let create ~max_frame =
+  { max_frame = max 1 max_frame; buf = Buffer.create 256; dropping = -1 }
+
+let max_frame t = t.max_frame
+
+let feed t s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match String.index_from_opt s i '\n' with
+      | None ->
+          (if t.dropping >= 0 then t.dropping <- t.dropping + (n - i)
+           else begin
+             Buffer.add_substring t.buf s i (n - i);
+             (* Went over the limit mid-frame: stop buffering, start
+                counting — memory stays bounded by [max_frame]. *)
+             if Buffer.length t.buf > t.max_frame then begin
+               t.dropping <- Buffer.length t.buf;
+               Buffer.clear t.buf
+             end
+           end);
+          List.rev acc
+      | Some j ->
+          let acc =
+            if t.dropping >= 0 then begin
+              let total = t.dropping + (j - i) in
+              t.dropping <- -1;
+              Oversized total :: acc
+            end
+            else begin
+              Buffer.add_substring t.buf s i (j - i);
+              let len = Buffer.length t.buf in
+              let line = Buffer.contents t.buf in
+              Buffer.clear t.buf;
+              if len > t.max_frame then Oversized len :: acc
+              else Line line :: acc
+            end
+          in
+          go (j + 1) acc
+  in
+  go 0 []
+
+let pending t = if t.dropping >= 0 then t.dropping else Buffer.length t.buf
+
+let finish t =
+  let p = pending t in
+  Buffer.clear t.buf;
+  t.dropping <- -1;
+  if p = 0 then `Clean else `Partial p

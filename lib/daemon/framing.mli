@@ -1,0 +1,41 @@
+(** Newline framing with a hard per-frame byte limit.
+
+    Both transports of [rtsynd] — the stdin/stdout jsonl loop and the
+    socket listener — split their byte stream into frames here, so the
+    max-frame policy (an oversized frame is answered with a structured
+    error and the stream resynchronizes at the next newline — bounded
+    memory, never a crash or a wedged connection) is enforced once, the
+    same way, everywhere.
+
+    The splitter is pure state over the fed bytes: chunk boundaries are
+    irrelevant (a frame torn across any number of [feed] calls
+    reassembles byte-identically), and an oversized frame never buffers
+    more than [max_frame] bytes — the rest is counted and discarded
+    until the terminating newline. *)
+
+type t
+
+type event =
+  | Line of string
+      (** One complete frame, terminating newline stripped.  At most
+          [max_frame] bytes. *)
+  | Oversized of int
+      (** A frame exceeded [max_frame] and was dropped; the payload is
+          the full byte length of the dropped frame.  The stream is
+          already resynchronized: subsequent frames parse normally. *)
+
+val create : max_frame:int -> t
+(** [max_frame] is clamped to at least 1. *)
+
+val max_frame : t -> int
+
+val feed : t -> string -> event list
+(** Feed one chunk; returns the completed events, oldest first. *)
+
+val pending : t -> int
+(** Bytes of the current partial frame (buffered plus already
+    discarded), 0 when the stream sits on a frame boundary. *)
+
+val finish : t -> [ `Clean | `Partial of int ]
+(** End of stream.  [`Partial n] means the stream ended mid-frame ([n]
+    bytes seen); the partial data is discarded and [t] is reset. *)

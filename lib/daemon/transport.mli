@@ -1,0 +1,56 @@
+(** Concurrent socket transport for [rtsynd].
+
+    A Unix-domain (and optionally loopback-TCP) listener accepts many
+    clients at once; each connection speaks the same newline-delimited
+    jsonl protocol as the stdin transport ({!Protocol}), framed per
+    connection by {!Framing}.  Reads, parsing and response writes fan
+    out across connections in one event loop, while every state
+    mutation still flows one request at a time through
+    {!Daemon.serve_line} — the single-writer journal/crash-safety story
+    is untouched by concurrency.
+
+    Robustness (see [docs/DAEMON.md] for the full contract):
+
+    - {b fairness} — queued requests are served round-robin across
+      connections, so one chatty tenant cannot starve the others;
+    - {b backpressure} — per-connection ([conn_queue]) and global
+      ([Daemon.max_queue]) pending caps; beyond either, the newest
+      request is shed immediately with an ["overloaded"] +
+      [retry_after_ms] answer (counted by [daemon/shed]).  A client
+      that stops reading its responses is disconnected once
+      [max_out_bytes] of unsent replies accumulate;
+    - {b stalled/malicious clients} — frames above [Daemon.max_frame]
+      are dropped with a structured ["oversize"] error; a connection
+      idle past [idle_timeout_s], or holding a partial frame longer
+      than [read_timeout_s], is closed ([daemon/conn_timeouts]);
+    - {b graceful drain} — a [shutdown] request closes the listeners,
+      lets every already-queued request finish, flushes the response
+      buffers (bounded by [drain_timeout_s]), fsyncs the journal and
+      exits 0.
+
+    Per-connection responses preserve request order (the per-connection
+    queue is FIFO and responses are written in serve order); shed
+    answers are the only reordering, exactly as in stdin mode. *)
+
+type config = {
+  socket : string option;  (** Unix-domain listener path. *)
+  tcp : int option;  (** Loopback TCP listener port. *)
+  max_conns : int;  (** Accept cap; excess connections wait in the backlog. *)
+  conn_queue : int;  (** Per-connection pending-request cap. *)
+  idle_timeout_s : float;  (** Idle-connection close; 0 = never. *)
+  read_timeout_s : float;  (** Partial-frame (stalled read) close; 0 = never. *)
+  drain_timeout_s : float;  (** Shutdown drain bound. *)
+  max_out_bytes : int;  (** Unread-response cap before disconnect. *)
+}
+
+val default : config
+(** No listeners configured; [max_conns = 64], [conn_queue = 32],
+    [idle_timeout_s = 300.], [read_timeout_s = 30.],
+    [drain_timeout_s = 10.], [max_out_bytes = 8 MiB]. *)
+
+val run : config -> Daemon.config -> int
+(** Listen and serve until a [shutdown] request arrives.  At least one
+    of [socket]/[tcp] must be set.  Returns the process exit code: 0 on
+    clean (drained) shutdown, 1 when startup fails — corrupt journal,
+    failed replay, infeasible base system, or a listener that cannot
+    bind. *)

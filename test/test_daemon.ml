@@ -9,6 +9,9 @@ open Rt_core
 module Canon = Rt_daemon.Canon
 module Journal = Rt_daemon.Journal
 module Engine = Rt_daemon.Engine
+module Framing = Rt_daemon.Framing
+module Daemon = Rt_daemon.Daemon
+module Transport = Rt_daemon.Transport
 
 let checkb = Alcotest.check Alcotest.bool
 let checks = Alcotest.check Alcotest.string
@@ -255,6 +258,304 @@ let test_engine_memo_and_replay () =
       Alcotest.fail "mid-file corruption must refuse to start"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Framing: the newline splitter both transports share.  The protocol- *)
+(* level contract under attack: torn frames reassemble byte-identical  *)
+(* regardless of chunking, oversized frames are dropped with an exact  *)
+(* byte count and the stream resynchronizes, two clients' streams are  *)
+(* framed independently however their chunks interleave, and EOF mid-  *)
+(* frame is reported — never a crash, never a hang.                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cut [payload] into chunks whose sizes cycle through [sizes]. *)
+let chunks_of payload sizes =
+  let n = String.length payload in
+  let sizes = match sizes with [] -> [ 1 ] | s -> List.map (fun x -> 1 + abs x) s in
+  let arr = Array.of_list sizes in
+  let rec go i k acc =
+    if i >= n then List.rev acc
+    else
+      let len = min arr.(k mod Array.length arr) (n - i) in
+      go (i + len) (k + 1) (String.sub payload i len :: acc)
+  in
+  go 0 0 []
+
+let feed_chunks framer chunks =
+  List.concat_map (fun c -> Framing.feed framer c) chunks
+
+let gen_line max_len =
+  QCheck.Gen.(
+    map
+      (fun s ->
+        String.map (fun c -> if c = '\n' then ' ' else c) s)
+      (string_size (int_bound max_len)))
+
+let gen_stream max_line_len =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 0 20) (gen_line max_line_len))
+      (list_size (int_range 1 8) (int_bound 37)))
+
+let qcheck_framing_torn_frames =
+  QCheck.Test.make ~count:200 ~name:"framing reassembles torn frames"
+    (QCheck.make (gen_stream 80))
+    (fun (lines, sizes) ->
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let framer = Framing.create ~max_frame:100 in
+      let events = feed_chunks framer (chunks_of payload sizes) in
+      let got =
+        List.map
+          (function
+            | Framing.Line l -> l
+            | Framing.Oversized n ->
+                QCheck.Test.fail_reportf "unexpected Oversized %d" n)
+          events
+      in
+      if got <> lines then
+        QCheck.Test.fail_reportf "frames did not reassemble: %d in, %d out"
+          (List.length lines) (List.length got);
+      Framing.finish framer = `Clean)
+
+let qcheck_framing_oversize_resync =
+  QCheck.Test.make ~count:200
+    ~name:"framing drops oversized frames and resyncs"
+    (QCheck.make (gen_stream 120))
+    (fun (lines, sizes) ->
+      let max_frame = 50 in
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let framer = Framing.create ~max_frame in
+      let events = feed_chunks framer (chunks_of payload sizes) in
+      let expected =
+        List.map
+          (fun l ->
+            if String.length l > max_frame then
+              Framing.Oversized (String.length l)
+            else Framing.Line l)
+          lines
+      in
+      if events <> expected then
+        QCheck.Test.fail_reportf
+          "oversize events diverged (%d lines, max_frame %d)"
+          (List.length lines) max_frame;
+      Framing.finish framer = `Clean)
+
+let qcheck_framing_interleaved_clients =
+  QCheck.Test.make ~count:200
+    ~name:"framing keeps interleaved clients independent"
+    (QCheck.make QCheck.Gen.(pair (gen_stream 60) (gen_stream 60)))
+    (fun ((lines_a, sizes_a), (lines_b, sizes_b)) ->
+      let payload ls = String.concat "" (List.map (fun l -> l ^ "\n") ls) in
+      let fa = Framing.create ~max_frame:80
+      and fb = Framing.create ~max_frame:80 in
+      let ca = chunks_of (payload lines_a) sizes_a
+      and cb = chunks_of (payload lines_b) sizes_b in
+      (* Interleave the two clients' partial writes chunk by chunk, the
+         way the transport's event loop would see them. *)
+      let rec interleave ea eb = function
+        | [], [] -> (List.rev ea, List.rev eb)
+        | a :: ra, [] ->
+            interleave (List.rev_append (Framing.feed fa a) ea) eb (ra, [])
+        | [], b :: rb ->
+            interleave ea (List.rev_append (Framing.feed fb b) eb) ([], rb)
+        | a :: ra, b :: rb ->
+            let ea = List.rev_append (Framing.feed fa a) ea in
+            let eb = List.rev_append (Framing.feed fb b) eb in
+            interleave ea eb (ra, rb)
+      in
+      let ea, eb = interleave [] [] (ca, cb) in
+      let only_lines evs =
+        List.map
+          (function
+            | Framing.Line l -> l
+            | Framing.Oversized n ->
+                QCheck.Test.fail_reportf "unexpected Oversized %d" n)
+          evs
+      in
+      only_lines ea = lines_a && only_lines eb = lines_b)
+
+let qcheck_framing_eof_mid_frame =
+  QCheck.Test.make ~count:200 ~name:"framing reports EOF mid-frame"
+    (QCheck.make QCheck.Gen.(pair (gen_stream 40) (gen_line 40)))
+    (fun ((lines, sizes), tail) ->
+      let payload =
+        String.concat "" (List.map (fun l -> l ^ "\n") lines) ^ tail
+      in
+      let framer = Framing.create ~max_frame:64 in
+      let events = feed_chunks framer (chunks_of payload sizes) in
+      List.length events = List.length lines
+      &&
+      match Framing.finish framer with
+      | `Clean -> String.length tail = 0
+      | `Partial n -> n = String.length tail && n > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport: two concurrent clients against a live engine.     *)
+(* Partial interleaved writes, per-connection response ordering, an    *)
+(* oversized frame answered with a structured error on a still-usable  *)
+(* connection, EOF mid-request answered before close, and a graceful   *)
+(* shutdown drain (exit 0) — never a crash or a hung connection.       *)
+(* ------------------------------------------------------------------ *)
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Read [n] newline-terminated responses with a hard deadline; [buf] is
+   the connection's carry-over between calls. *)
+let recv_lines fd buf n ~deadline =
+  let chunk = Bytes.create 4096 in
+  let rec go acc need =
+    if need = 0 then List.rev acc
+    else
+      match String.index_opt !buf '\n' with
+      | Some i ->
+          let line = String.sub !buf 0 i in
+          buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+          go (line :: acc) (need - 1)
+      | None ->
+          let now = Unix.gettimeofday () in
+          if now > deadline then
+            Alcotest.failf "recv timed out waiting for %d response(s)" need;
+          (match Unix.select [ fd ] [] [] (min 1.0 (deadline -. now)) with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Alcotest.fail "connection closed before all responses"
+              | got -> buf := !buf ^ Bytes.sub_string chunk 0 got));
+          go acc need
+  in
+  go [] n
+
+let recv_eof fd ~deadline =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let now = Unix.gettimeofday () in
+    if now > deadline then Alcotest.fail "expected EOF, got a hang";
+    match Unix.select [ fd ] [] [] (min 1.0 (deadline -. now)) with
+    | [], _, _ -> go ()
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | _ -> go ())
+  in
+  go ()
+
+let field line key =
+  match Rt_obs.Json.parse line with
+  | Error e -> Alcotest.failf "unparseable response %s: %s" line e
+  | Ok j -> Option.bind (Rt_obs.Json.member key j) Rt_obs.Json.to_string
+
+let response_id line = Option.value ~default:"" (field line "id")
+
+let error_kind line =
+  match Rt_obs.Json.parse line with
+  | Error _ -> ""
+  | Ok j ->
+      Option.value ~default:""
+        (Option.bind
+           (Rt_obs.Json.member "error" j)
+           (fun e -> Option.bind (Rt_obs.Json.member "kind" e) Rt_obs.Json.to_string))
+
+let test_transport_two_clients () =
+  let dir = Filename.temp_file "rtsynd_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "s" in
+  let journal = Filename.concat dir "j.journal" in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let dcfg =
+    {
+      Daemon.default_config with
+      Daemon.journal;
+      spec = Some base_spec;
+      max_frame = 256;
+    }
+  in
+  let tcfg =
+    {
+      Transport.default with
+      Transport.socket = Some sock;
+      drain_timeout_s = 5.;
+    }
+  in
+  let daemon = Stdlib.Domain.spawn (fun () -> Transport.run tcfg dcfg) in
+  let rec wait_sock n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      wait_sock (n - 1)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Always attempt a shutdown so a failing assertion cannot leave
+         the transport domain (and the test binary) hanging. *)
+      (try
+         let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+         Unix.connect fd (ADDR_UNIX sock);
+         send_all fd "{\"v\":1,\"id\":\"kill\",\"op\":\"shutdown\"}\n";
+         Unix.close fd
+       with _ -> ());
+      ignore (Stdlib.Domain.join daemon : int))
+  @@ fun () ->
+  wait_sock 200;
+  let connect () =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_UNIX sock);
+    fd
+  in
+  let c1 = connect () and c2 = connect () in
+  let b1 = ref "" and b2 = ref "" in
+  (* Interleaved partial writes: c1's first request is torn across two
+     writes with c2's complete request landing in between. *)
+  send_all c1 "{\"v\":1,\"id\":\"a\",\"op\":";
+  send_all c2 "{\"v\":1,\"id\":\"x\",\"op\":\"stats\"}\n";
+  send_all c1 "\"stats\"}\n{\"v\":1,\"id\":\"b\",\"op\":\"reverify\"}\n";
+  let r1 = recv_lines c1 b1 2 ~deadline in
+  let r2 = recv_lines c2 b2 1 ~deadline in
+  Alcotest.(check (list string))
+    "c1 responses arrive in request order" [ "a"; "b" ]
+    (List.map response_id r1);
+  checks "c2 got its own response" "x" (response_id (List.hd r2));
+  (* Oversized frame on c2: structured error, connection stays usable. *)
+  send_all c2 (String.make 400 'x' ^ "\n");
+  let r = List.hd (recv_lines c2 b2 1 ~deadline) in
+  checks "oversized frame answered with a structured error" "oversize"
+    (error_kind r);
+  send_all c2 "{\"v\":1,\"id\":\"y\",\"op\":\"stats\"}\n";
+  checks "connection survives an oversized frame" "y"
+    (response_id (List.hd (recv_lines c2 b2 1 ~deadline)));
+  (* EOF mid-request on c1: structured error, then the daemon closes. *)
+  send_all c1 "{\"v\":1,\"id\":\"c\",\"op\"";
+  Unix.shutdown c1 Unix.SHUTDOWN_SEND;
+  let r = List.hd (recv_lines c1 b1 1 ~deadline) in
+  checks "EOF mid-request answered with a parse error" "parse" (error_kind r);
+  recv_eof c1 ~deadline;
+  Unix.close c1;
+  (* Graceful shutdown: ack arrives, the daemon drains and exits 0. *)
+  send_all c2 "{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n";
+  checks "shutdown acknowledged" "z"
+    (response_id (List.hd (recv_lines c2 b2 1 ~deadline)));
+  recv_eof c2 ~deadline;
+  Unix.close c2;
+  (* The transport unlinks its socket just after closing the last
+     connection; poll briefly rather than racing that cleanup. *)
+  let rec wait_unlink n =
+    if not (Sys.file_exists sock) then ()
+    else if n = 0 then Alcotest.fail "socket file not removed on drain"
+    else begin
+      Unix.sleepf 0.05;
+      wait_unlink (n - 1)
+    end
+  in
+  wait_unlink 100
+
 let test_engine_admission_contract () =
   let _, code = Engine.admission Rt_workload.Suite.infeasible_pair in
   Alcotest.check Alcotest.int "impossible model exits 1" 1 code;
@@ -285,5 +586,17 @@ let () =
             `Quick test_engine_memo_and_replay;
           Alcotest.test_case "analytic admission contract" `Quick
             test_engine_admission_contract;
+        ] );
+      ( "framing",
+        [
+          QCheck_alcotest.to_alcotest qcheck_framing_torn_frames;
+          QCheck_alcotest.to_alcotest qcheck_framing_oversize_resync;
+          QCheck_alcotest.to_alcotest qcheck_framing_interleaved_clients;
+          QCheck_alcotest.to_alcotest qcheck_framing_eof_mid_frame;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "two clients: ordering, oversize, eof, drain"
+            `Quick test_transport_two_clients;
         ] );
     ]

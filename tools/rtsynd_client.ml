@@ -1,0 +1,101 @@
+(* rtsynd_client — a minimal pipelining client for rtsynd's socket
+   transport, used by tools/daemon_smoke.sh and the CI daemon-soak gate.
+
+     rtsynd_client (--socket PATH | --tcp PORT) [--timeout-s S] < requests.jsonl
+
+   Streams every stdin byte to the daemon (pipelined, draining responses
+   concurrently so neither side's buffers can deadlock), half-closes the
+   write side at stdin EOF, then keeps printing responses until the
+   daemon closes the connection — which it does after serving every
+   queued request of a half-closed client.
+
+   Exit codes: 0 done; 2 usage/connect failure; 3 overall deadline hit
+   (a wedged daemon turns into a visible failure, not a hung CI job). *)
+
+let usage () =
+  prerr_endline
+    "usage: rtsynd_client (--socket PATH | --tcp PORT) [--timeout-s S]";
+  exit 2
+
+let () =
+  let socket = ref None and tcp = ref None and timeout_s = ref 60. in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: p :: rest ->
+        socket := Some p;
+        parse rest
+    | "--tcp" :: p :: rest ->
+        (match int_of_string_opt p with
+        | Some port -> tcp := Some port
+        | None -> usage ());
+        parse rest
+    | "--timeout-s" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some t when t > 0. -> timeout_s := t
+        | _ -> usage ());
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let addr =
+    match (!socket, !tcp) with
+    | Some p, None -> Unix.ADDR_UNIX p
+    | None, Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    | _ -> usage ()
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     prerr_endline ("rtsynd_client: connect: " ^ Unix.error_message e);
+     exit 2);
+  Unix.set_nonblock fd;
+  let payload = In_channel.input_all In_channel.stdin in
+  let deadline = Unix.gettimeofday () +. !timeout_s in
+  let sent = ref 0 in
+  let half_closed = ref false in
+  let buf = Bytes.create 65536 in
+  let done_ = ref false in
+  while not !done_ do
+    let now = Unix.gettimeofday () in
+    if now > deadline then begin
+      prerr_endline "rtsynd_client: deadline exceeded";
+      exit 3
+    end;
+    let want_write = !sent < String.length payload in
+    let rd, wr =
+      match
+        Unix.select [ fd ]
+          (if want_write then [ fd ] else [])
+          []
+          (min 1.0 (deadline -. now))
+      with
+      | rd, wr, _ -> (rd, wr)
+      | exception Unix.Unix_error (EINTR, _, _) -> ([], [])
+    in
+    if wr <> [] then begin
+      match
+        Unix.write_substring fd payload !sent (String.length payload - !sent)
+      with
+      | n -> sent := !sent + n
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) ->
+          prerr_endline "rtsynd_client: connection lost while sending";
+          exit 1
+    end;
+    if (not !half_closed) && !sent >= String.length payload then begin
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      half_closed := true
+    end;
+    if rd <> [] then begin
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> done_ := true
+      | n ->
+          print_string (Bytes.sub_string buf 0 n);
+          flush stdout
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> done_ := true
+    end
+  done;
+  (try Unix.close fd with _ -> ());
+  exit 0

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Loop-driven CI test gate (replaces the per-suite copy-pasted grep
+# steps in ci.yml).  Reads tools/test_gates.manifest — `exe|test name`
+# lines — runs each executable once, and requires every named test to
+# have RUN and PASSED (an OK line in the alcotest output).  Add a line
+# to the manifest to gate a new property.
+#
+# Run it through the switch (`opam exec -- bash tools/test_gates.sh`)
+# or anywhere `dune exec` works.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MANIFEST=${1:-tools/test_gates.manifest}
+[ -r "$MANIFEST" ] || { echo "test_gates: no manifest $MANIFEST" >&2; exit 2; }
+
+LOGDIR=$(mktemp -d)
+trap 'rm -rf "$LOGDIR"' EXIT
+
+manifest_lines() { grep -v '^[[:space:]]*\(#\|$\)' "$MANIFEST"; }
+
+# Run each executable exactly once, however many tests it gates.
+for exe in $(manifest_lines | cut -d'|' -f1 | sort -u); do
+  log="$LOGDIR/$(echo "$exe" | tr '/' '_').log"
+  echo "== $exe"
+  if ! dune exec "$exe" >"$log" 2>&1; then
+    cat "$log"
+    echo "test_gates: $exe exited nonzero" >&2
+    exit 1
+  fi
+done
+
+status=0
+gated=0
+while IFS='|' read -r exe name; do
+  gated=$((gated + 1))
+  log="$LOGDIR/$(echo "$exe" | tr '/' '_').log"
+  if ! grep -F "$name" "$log" | grep -q "OK"; then
+    echo "test_gates: gated test '$name' in $exe did not run and pass" >&2
+    status=1
+  fi
+done < <(manifest_lines)
+
+[ "$status" -eq 0 ] && echo "test_gates: OK ($gated gated tests across $(manifest_lines | cut -d'|' -f1 | sort -u | wc -l) executables)"
+exit "$status"
